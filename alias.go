@@ -1,0 +1,13 @@
+package bbsmine
+
+import (
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/txdb"
+)
+
+// Internal type names used in facade signatures, kept here so the public
+// files read without internal package noise.
+
+type bitvecVector = bitvec.Vector
+
+type txdbTransaction = txdb.Transaction

@@ -1,0 +1,276 @@
+// Package bbsmine is a frequent-pattern mining library built on the
+// Bit-Sliced Bloom-Filtered Signature File (BBS) of Lan, Ooi & Tan,
+// "Efficient Indexing Structures for Mining Frequent Patterns" (ICDE 2002).
+//
+// A Database couples an append-only transaction store with a persistent BBS
+// index. Unlike an FP-tree, the index never needs rebuilding: appending a
+// transaction updates both structures in place, so mining stays cheap as
+// the database grows. Mining runs one of the paper's four filter-and-refine
+// algorithms (SFS, SFP, DFS, DFP); the index also answers ad-hoc support
+// queries — including over non-frequent itemsets and under constraints —
+// that scan-based miners cannot answer without re-reading the data.
+//
+// Quick start:
+//
+//	db, err := bbsmine.Open(dir, bbsmine.Options{})
+//	...
+//	db.Append(tid, []int32{3, 17, 29})
+//	...
+//	res, err := db.Mine(bbsmine.MineOptions{MinSupportFrac: 0.003, Scheme: bbsmine.DFP})
+//	for _, p := range res.Patterns { fmt.Println(p.Items, p.Support) }
+package bbsmine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bbsmine/internal/core"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/sighash"
+	"bbsmine/internal/txdb"
+)
+
+// Options configures a Database.
+type Options struct {
+	// M is the signature width in bits. Larger M means fewer false drops
+	// but a bigger index; the paper's sweet spot for its workloads is 1600
+	// (Section 4.1). Defaults to 1600.
+	M int
+	// K is the number of hash functions per item. Defaults to 4 (the four
+	// 32-bit groups of one MD5 digest).
+	K int
+}
+
+func (o *Options) applyDefaults() {
+	if o.M == 0 {
+		o.M = 1600
+	}
+	if o.K == 0 {
+		o.K = 4
+	}
+}
+
+// Database is a transaction database with a BBS index kept in sync.
+// It is not safe for concurrent use.
+type Database struct {
+	store txdb.Store
+	file  *txdb.FileStore // nil for in-memory databases
+	index *sigfile.BBS
+	stats *iostat.Stats
+	dir   string // "" for in-memory databases
+}
+
+const (
+	dataFile  = "transactions.txdb"
+	indexFile = "index.bbs"
+)
+
+// Open opens (or creates) a persistent database in dir. If the index file
+// is missing or lags behind the transaction file — for example after a
+// crash between appends — the missing tail is re-indexed automatically.
+func Open(dir string, opts Options) (*Database, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bbsmine: creating %s: %w", dir, err)
+	}
+	stats := &iostat.Stats{}
+	hasher := sighash.NewMD5(opts.M, opts.K)
+
+	dataPath := filepath.Join(dir, dataFile)
+	var file *txdb.FileStore
+	var err error
+	if _, statErr := os.Stat(dataPath); statErr == nil {
+		file, err = txdb.OpenFileStore(dataPath, stats)
+	} else {
+		file, err = txdb.CreateFileStore(dataPath, stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	indexPath := filepath.Join(dir, indexFile)
+	var index *sigfile.BBS
+	if _, statErr := os.Stat(indexPath); statErr == nil {
+		index, err = sigfile.Load(indexPath, hasher, stats)
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+	} else {
+		index = sigfile.New(hasher, stats)
+	}
+	if index.Len() > file.Len() {
+		file.Close()
+		return nil, fmt.Errorf("bbsmine: index covers %d transactions but store has only %d; index belongs to different data", index.Len(), file.Len())
+	}
+
+	db := &Database{store: file, file: file, index: index, stats: stats, dir: dir}
+	if err := db.reindexTail(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// NewInMemory creates a volatile database, useful for tests, examples and
+// benchmarks.
+func NewInMemory(opts Options) *Database {
+	opts.applyDefaults()
+	stats := &iostat.Stats{}
+	return &Database{
+		store: txdb.NewMemStore(stats),
+		index: sigfile.New(sighash.NewMD5(opts.M, opts.K), stats),
+		stats: stats,
+	}
+}
+
+// reindexTail inserts any transactions present in the store but not yet in
+// the index (crash recovery between data append and index save).
+func (db *Database) reindexTail() error {
+	if db.index.Len() == db.store.Len() {
+		return nil
+	}
+	from := db.index.Len()
+	return db.store.Scan(func(pos int, tx txdb.Transaction) bool {
+		if pos >= from {
+			db.index.Insert(tx.Items)
+		}
+		return true
+	})
+}
+
+// Append adds one transaction to the database and the index. Items are
+// normalized (sorted, deduplicated); the input slice is not retained.
+func (db *Database) Append(tid int64, items []int32) error {
+	tx := txdb.NewTransaction(tid, items)
+	if err := db.store.Append(tx); err != nil {
+		return err
+	}
+	db.index.Insert(tx.Items)
+	return nil
+}
+
+// Len returns the number of transaction slots, including deleted ones.
+func (db *Database) Len() int { return db.store.Len() }
+
+// Live returns the number of non-deleted transactions.
+func (db *Database) Live() int { return db.index.Live() }
+
+// Delete tombstones the transaction at ordinal position pos. The record
+// remains in the data file (Bloom bits cannot be unset) but disappears from
+// every estimate, count and mining result immediately; Compact reclaims the
+// space. Deleting twice or out of range is an error.
+func (db *Database) Delete(pos int) error {
+	tx, err := db.store.Get(pos)
+	if err != nil {
+		return err
+	}
+	return db.index.Delete(pos, tx.Items)
+}
+
+// Compact rewrites a persistent database without its deleted transactions
+// and rebuilds the index over the survivors. Positions shift; constraints
+// built earlier are invalidated (their length no longer matches). Only
+// persistent databases can be compacted.
+func (db *Database) Compact() error {
+	if db.dir == "" {
+		return fmt.Errorf("bbsmine: in-memory database cannot be compacted")
+	}
+	if db.index.Deleted() == 0 {
+		return nil
+	}
+	tmpPath := filepath.Join(db.dir, dataFile+".compact")
+	newStore, err := txdb.CreateFileStore(tmpPath, db.stats)
+	if err != nil {
+		return err
+	}
+	newIndex := sigfile.New(db.index.Hasher(), db.stats)
+	scanErr := db.store.Scan(func(pos int, tx txdb.Transaction) bool {
+		if !db.index.IsLive(pos) {
+			return true
+		}
+		if err = newStore.Append(tx); err != nil {
+			return false
+		}
+		newIndex.Insert(tx.Items)
+		return true
+	})
+	if scanErr != nil {
+		err = scanErr
+	}
+	if err != nil {
+		newStore.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("bbsmine: compacting: %w", err)
+	}
+	if err := newStore.Sync(); err != nil {
+		newStore.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("bbsmine: compacting: %w", err)
+	}
+	if err := db.file.Close(); err != nil {
+		newStore.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("bbsmine: compacting: %w", err)
+	}
+	newStore.Close()
+	dataPath := filepath.Join(db.dir, dataFile)
+	if err := os.Rename(tmpPath, dataPath); err != nil {
+		return fmt.Errorf("bbsmine: compacting: %w", err)
+	}
+	reopened, err := txdb.OpenFileStore(dataPath, db.stats)
+	if err != nil {
+		return fmt.Errorf("bbsmine: reopening after compaction: %w", err)
+	}
+	db.file = reopened
+	db.store = reopened
+	db.index = newIndex
+	return db.Save()
+}
+
+// Get returns the transaction at ordinal position pos (0-based insertion
+// order) as (tid, items).
+func (db *Database) Get(pos int) (int64, []int32, error) {
+	tx, err := db.store.Get(pos)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tx.TID, tx.Items, nil
+}
+
+// IndexBytes returns the resident size of the BBS index in bytes.
+func (db *Database) IndexBytes() int64 { return db.index.TotalBytes() }
+
+// Save persists the index. Transaction data is durable as soon as Append
+// returns; the index is saved explicitly because it is cheap to rebuild a
+// short tail but expensive to write on every append.
+func (db *Database) Save() error {
+	if db.dir == "" {
+		return fmt.Errorf("bbsmine: in-memory database has nothing to save")
+	}
+	if err := db.file.Sync(); err != nil {
+		return fmt.Errorf("bbsmine: syncing data: %w", err)
+	}
+	return db.index.Save(filepath.Join(db.dir, indexFile))
+}
+
+// Close releases the underlying files. In-memory databases are a no-op.
+func (db *Database) Close() error {
+	if db.file != nil {
+		return db.file.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O and work counters accumulated so far.
+func (db *Database) Stats() iostat.Snapshot { return db.stats.Snapshot() }
+
+// ResetStats zeroes the counters, typically before a measured run.
+func (db *Database) ResetStats() { db.stats.Reset() }
+
+// miner builds a core.Miner for the current state.
+func (db *Database) miner() (*core.Miner, error) {
+	return core.NewMiner(db.index, db.store, db.stats)
+}

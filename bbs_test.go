@@ -1,0 +1,330 @@
+package bbsmine
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/quest"
+	"bbsmine/internal/txdb"
+)
+
+func fillRandom(t testing.TB, db *Database, seed int64, n, maxLen, alphabet int) []txdb.Transaction {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var txs []txdb.Transaction
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		items := make([]int32, l)
+		for j := range items {
+			items[j] = int32(rng.Intn(alphabet))
+		}
+		tx := txdb.NewTransaction(int64(i+1), items)
+		txs = append(txs, tx)
+		if err := db.Append(tx.TID, tx.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return txs
+}
+
+func TestInMemoryMineMatchesBruteForce(t *testing.T) {
+	db := NewInMemory(Options{M: 128, K: 3})
+	txs := fillRandom(t, db, 1, 150, 8, 20)
+	want := mining.ToMap(mining.BruteForce(txs, 4))
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		res, err := db.Mine(MineOptions{MinSupportCount: 4, Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if len(res.Patterns) != len(want) {
+			t.Errorf("%v: %d patterns, want %d", scheme, len(res.Patterns), len(want))
+		}
+		for _, p := range res.Patterns {
+			if _, ok := want[mining.Key(p.Items)]; !ok {
+				t.Errorf("%v: unexpected pattern %v", scheme, p.Items)
+			}
+		}
+	}
+}
+
+func TestMineOptionsValidation(t *testing.T) {
+	db := NewInMemory(Options{M: 64})
+	fillRandom(t, db, 2, 20, 5, 10)
+	if _, err := db.Mine(MineOptions{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := db.Mine(MineOptions{MinSupportFrac: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := db.Mine(MineOptions{MinSupportFrac: 0.1}); err != nil {
+		t.Errorf("valid fraction rejected: %v", err)
+	}
+}
+
+func TestPersistentOpenAppendReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir, Options{M: 128, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := fillRandom(t, db, 3, 100, 6, 15)
+	res1, err := db.Mine(MineOptions{MinSupportCount: 3, Scheme: DFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{M: 128, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != len(txs) {
+		t.Fatalf("reopened Len = %d, want %d", db2.Len(), len(txs))
+	}
+	res2, err := db2.Mine(MineOptions{MinSupportCount: 3, Scheme: DFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Patterns) != len(res2.Patterns) {
+		t.Errorf("reopened database mined %d patterns, want %d", len(res2.Patterns), len(res1.Patterns))
+	}
+
+	// Dynamic growth after reopen.
+	if err := db2.Append(9999, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != len(txs)+1 {
+		t.Error("append after reopen failed")
+	}
+	tid, items, err := db2.Get(len(txs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != 9999 || len(items) != 3 {
+		t.Errorf("Get returned tid=%d items=%v", tid, items)
+	}
+}
+
+func TestCrashRecoveryReindexesTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir, Options{M: 128, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, db, 4, 50, 6, 15)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash after more appends but before Save: data is on disk
+	// (Append writes through), index file is stale.
+	fillRandom(t, db, 5, 30, 6, 15)
+	db.Close() // no Save
+
+	db2, err := Open(dir, Options{M: 128, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 80 {
+		t.Fatalf("Len = %d, want 80", db2.Len())
+	}
+	// The re-indexed tail must answer count queries exactly.
+	_, exact, err := db2.Count([]int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for pos := 0; pos < db2.Len(); pos++ {
+		_, items, err := db2.Get(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if it == 1 {
+				want++
+				break
+			}
+		}
+	}
+	if exact != want {
+		t.Errorf("Count after recovery = %d, want %d", exact, want)
+	}
+}
+
+func TestOpenRejectsForeignIndex(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir, Options{M: 64, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, db, 6, 20, 5, 10)
+	db.Save()
+	db.Close()
+	// Truncate the data file to fewer transactions than the index covers.
+	if err := os.Remove(filepath.Join(dir, "transactions.txdb")); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{M: 64, K: 2})
+	if err == nil {
+		db2.Close()
+		t.Fatal("index ahead of data accepted")
+	}
+}
+
+func TestCountAndCountWhere(t *testing.T) {
+	db := NewInMemory(Options{M: 64, K: 3})
+	data := [][]int32{{1, 2}, {1, 2, 3}, {2, 3}, {1, 2}, {4}}
+	for i, items := range data {
+		if err := db.Append(int64(i+1), items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, exact, err := db.Count([]int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 3 {
+		t.Errorf("Count({1,2}) = %d, want 3", exact)
+	}
+	_, exact, err = db.CountWhere([]int32{1, 2}, func(tid int64) bool { return tid%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 2 { // TIDs 2 and 4
+		t.Errorf("CountWhere = %d, want 2", exact)
+	}
+}
+
+func TestConstraintInvalidatedByAppend(t *testing.T) {
+	db := NewInMemory(Options{M: 64})
+	fillRandom(t, db, 7, 20, 5, 10)
+	c, err := db.NewConstraint(func(int64) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append(100, []int32{1})
+	if _, _, err := db.CountConstrained([]int32{1}, c); err == nil {
+		t.Error("stale constraint accepted")
+	}
+	if _, err := db.MineConstrained(MineOptions{MinSupportCount: 2}, c); err == nil {
+		t.Error("stale constraint accepted by MineConstrained")
+	}
+}
+
+func TestMineConstrained(t *testing.T) {
+	db := NewInMemory(Options{M: 128, K: 3})
+	txs := fillRandom(t, db, 8, 120, 6, 12)
+	c, err := db.NewConstraint(func(tid int64) bool { return tid%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.MineConstrained(MineOptions{MinSupportCount: 3, Scheme: SFP}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var constrained []txdb.Transaction
+	for _, tx := range txs {
+		if tx.TID%2 == 0 {
+			constrained = append(constrained, tx)
+		}
+	}
+	want := mining.ToMap(mining.BruteForce(constrained, 3))
+	if len(res.Patterns) != len(want) {
+		t.Errorf("constrained mine found %d patterns, want %d", len(res.Patterns), len(want))
+	}
+	// Dual filter must be rejected.
+	if _, err := db.MineConstrained(MineOptions{MinSupportCount: 3, Scheme: DFP}, c); err == nil {
+		t.Error("constrained DFP accepted")
+	}
+}
+
+func TestMineApproxIsSuperset(t *testing.T) {
+	db := NewInMemory(Options{M: 256, K: 4})
+	cfg := quest.DefaultConfig()
+	cfg.D = 400
+	cfg.N = 150
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range g.Generate() {
+		if err := db.Append(tx.TID, tx.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := db.Mine(MineOptions{MinSupportFrac: 0.02, Scheme: DFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := db.MineApprox(MineOptions{MinSupportFrac: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) < len(exact.Patterns) {
+		t.Errorf("approx %d < exact %d", len(approx), len(exact.Patterns))
+	}
+}
+
+func TestRulesEndToEnd(t *testing.T) {
+	db := NewInMemory(Options{M: 64, K: 3})
+	// bread=1 butter=2: butter always with bread.
+	data := [][]int32{{1, 2}, {1, 2}, {1, 2}, {1, 3}, {4}, {1, 2, 3}}
+	for i, items := range data {
+		db.Append(int64(i+1), items)
+	}
+	rules, err := db.Rules(MineOptions{MinSupportCount: 2}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 2 &&
+			len(r.Consequent) == 1 && r.Consequent[0] == 1 && r.Confidence == 1.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rule {2}=>{1} not found in %v", rules)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	db := NewInMemory(Options{M: 64})
+	fillRandom(t, db, 9, 50, 5, 10)
+	db.ResetStats()
+	if _, err := db.Mine(MineOptions{MinSupportCount: 3, Scheme: DFP}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.CountCalls == 0 || s.SliceAnds == 0 {
+		t.Errorf("stats not accumulated: %+v", s)
+	}
+	db.ResetStats()
+	if s := db.Stats(); s.CountCalls != 0 {
+		t.Errorf("ResetStats did not zero: %+v", s)
+	}
+}
+
+func TestSaveInMemoryFails(t *testing.T) {
+	db := NewInMemory(Options{})
+	if err := db.Save(); err == nil {
+		t.Error("Save on in-memory database succeeded")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	db := NewInMemory(Options{})
+	db.Append(1, []int32{1, 2, 3})
+	if db.IndexBytes() == 0 {
+		t.Error("IndexBytes = 0 after append")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureTinyScale(t *testing.T) {
+	// -tau keeps the scaled-down threshold non-degenerate (at τ=0.3% of
+	// 200 transactions the absolute threshold would floor at 1 and every
+	// occurring itemset would be "frequent").
+	if err := run([]string{"-fig", "6", "-scale", "0.02", "-tau", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-fig", "13", "-scale", "0.02", "-tau", "0.05", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOutdir(t *testing.T) {
+	dir := t.TempDir() + "/csv"
+	if err := run([]string{"-fig", "13", "-scale", "0.02", "-tau", "0.05", "-outdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig13.csv")
+	if err != nil {
+		t.Fatalf("fig13.csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "query,DFP,APS,FPS") {
+		t.Errorf("CSV header missing: %s", data)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "abc"}); err == nil {
+		t.Error("non-numeric figure accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command bbsgen generates synthetic transaction databases in the paper's
+// workload families and writes them as .txdb files readable by bbsmine.
+//
+// Quest (Agrawal–Srikant) workloads, the paper's default:
+//
+//	bbsgen -out data.txdb -d 10000 -t 10 -i 10 -n 10000
+//
+// The dynamic web-log workload of Section 4.8 (one file per day):
+//
+//	bbsgen -workload weblog -out web -days 5
+//
+// which writes web.base.txdb and web.day1.txdb .. web.day5.txdb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbsmine/internal/quest"
+	"bbsmine/internal/txdb"
+	"bbsmine/internal/weblog"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bbsgen", flag.ContinueOnError)
+	var (
+		workload = fs.String("workload", "quest", "workload family: quest or weblog")
+		out      = fs.String("out", "data.txdb", "output path (weblog: prefix)")
+		format   = fs.String("format", "txdb", "output format: txdb (binary) or basket (text, one transaction per line)")
+		seed     = fs.Int64("seed", 1, "generator seed")
+
+		d = fs.Int("d", 10000, "quest: number of transactions")
+		t = fs.Int("t", 10, "quest: average transaction size")
+		i = fs.Int("i", 10, "quest: average maximal potentially-large itemset size")
+		n = fs.Int("n", 10000, "quest: number of distinct items")
+		l = fs.Int("l", 2000, "quest: number of potentially-large itemsets")
+
+		files = fs.Int("files", 5000, "weblog: number of files on the server")
+		base  = fs.Int("base", 40000, "weblog: transactions in the base database D0")
+		inc   = fs.Int("inc", 5000, "weblog: transactions per daily increment")
+		days  = fs.Int("days", 5, "weblog: number of daily increments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *format != "txdb" && *format != "basket" {
+		return fmt.Errorf("unknown format %q (want txdb or basket)", *format)
+	}
+	writeStore := func(path string, txs []txdb.Transaction) (int, error) {
+		if *format == "basket" {
+			f, err := os.Create(path)
+			if err != nil {
+				return 0, err
+			}
+			defer f.Close()
+			store, err := txdb.NewMemStoreFrom(nil, txs)
+			if err != nil {
+				return 0, err
+			}
+			if err := txdb.WriteBasket(f, store); err != nil {
+				return 0, err
+			}
+			return len(txs), f.Sync()
+		}
+		store, err := txdb.WriteAll(path, nil, txs)
+		if err != nil {
+			return 0, err
+		}
+		defer store.Close()
+		return store.Len(), store.Sync()
+	}
+
+	switch *workload {
+	case "quest":
+		cfg := quest.DefaultConfig()
+		cfg.D, cfg.T, cfg.I, cfg.N, cfg.L, cfg.Seed = *d, *t, *i, *n, *l, *seed
+		g, err := quest.NewGenerator(cfg)
+		if err != nil {
+			return err
+		}
+		count, err := writeStore(*out, g.Generate())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s, %d transactions, %d items\n", *out, cfg.Name(), count, cfg.N)
+		return nil
+
+	case "weblog":
+		cfg := weblog.DefaultConfig()
+		cfg.Files, cfg.BaseTransactions, cfg.IncrementTransactions, cfg.Days, cfg.Seed =
+			*files, *base, *inc, *days, *seed
+		w, err := weblog.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		ext := ".txdb"
+		if *format == "basket" {
+			ext = ".basket"
+		}
+		write := func(path string, txs []txdb.Transaction) error {
+			count, err := writeStore(path, txs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d transactions\n", path, count)
+			return nil
+		}
+		if err := write(*out+".base"+ext, w.Base); err != nil {
+			return err
+		}
+		for di, txs := range w.Increments {
+			if err := write(fmt.Sprintf("%s.day%d%s", *out, di+1, ext), txs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q (want quest or weblog)", *workload)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func TestRunQuest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.txdb")
+	err := run([]string{"-out", out, "-d", "200", "-t", "6", "-i", "3", "-n", "100", "-l", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := txdb.OpenFileStore(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 200 {
+		t.Errorf("generated %d transactions, want 200", store.Len())
+	}
+	seen := 0
+	store.Scan(func(_ int, tx txdb.Transaction) bool {
+		if err := tx.Validate(); err != nil {
+			t.Fatalf("invalid transaction: %v", err)
+		}
+		seen++
+		return true
+	})
+	if seen != 200 {
+		t.Errorf("scanned %d", seen)
+	}
+}
+
+func TestRunWeblog(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "web")
+	err := run([]string{"-workload", "weblog", "-out", prefix,
+		"-files", "50", "-base", "100", "-inc", "20", "-days", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".base.txdb", ".day1.txdb", ".day2.txdb", ".day3.txdb"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("missing %s: %v", suffix, err)
+		}
+	}
+	base, err := txdb.OpenFileStore(prefix+".base.txdb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if base.Len() != 100 {
+		t.Errorf("base has %d transactions, want 100", base.Len())
+	}
+}
+
+func TestRunQuestBasketFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.basket")
+	err := run([]string{"-out", out, "-format", "basket",
+		"-d", "50", "-t", "5", "-i", "3", "-n", "40", "-l", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	txs, err := txdb.ReadBasket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 50 {
+		t.Errorf("basket file has %d transactions, want 50", len(txs))
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "nonsense"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-d", "not-a-number"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x.txdb"), "-t", "0"}); err == nil {
+		t.Error("invalid quest config accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Command bbsmine builds a BBS index over a transaction database and mines
+// frequent patterns with any of the paper's four schemes, or answers ad-hoc
+// count queries.
+//
+// Mine a .txdb file produced by bbsgen (the index persists next to it):
+//
+//	bbsmine -db dataset/ -import data.txdb
+//	bbsmine -db dataset/ -minsup 0.003 -scheme DFP
+//
+// Ad-hoc queries (Section 4.9):
+//
+//	bbsmine -db dataset/ -count 3,17,29
+//	bbsmine -db dataset/ -count 3,17 -where-tid-mod 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bbsmine"
+	"bbsmine/internal/txdb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbsmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bbsmine", flag.ContinueOnError)
+	var (
+		dir          = fs.String("db", "", "database directory (required)")
+		importPath   = fs.String("import", "", "append all transactions from this .txdb file, then save the index")
+		importBasket = fs.String("import-basket", "", "append transactions from a basket-format text file (one transaction per line, space-separated items)")
+		m            = fs.Int("m", 1600, "signature bits")
+		k            = fs.Int("k", 4, "hash functions per item")
+
+		minsup = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
+		scheme = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
+		maxLen = fs.Int("maxlen", 0, "maximum pattern length (0 = unbounded)")
+		memory = fs.Int64("memory", 0, "memory budget in bytes (0 = unconstrained)")
+		top    = fs.Int("top", 20, "print at most this many patterns (0 = all)")
+
+		count    = fs.String("count", "", "comma-separated itemset to count instead of mining")
+		whereMod = fs.Int64("where-tid-mod", 0, "restrict -count to TIDs divisible by this value")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-db is required")
+	}
+
+	db, err := bbsmine.Open(*dir, bbsmine.Options{M: *m, K: *k})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	if *importPath != "" {
+		src, err := txdb.OpenFileStore(*importPath, nil)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		n := 0
+		err = src.Scan(func(_ int, tx txdb.Transaction) bool {
+			if appendErr := db.Append(tx.TID, tx.Items); appendErr != nil {
+				err = appendErr
+				return false
+			}
+			n++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Save(); err != nil {
+			return err
+		}
+		fmt.Printf("imported %d transactions (database now %d, index %d KiB)\n",
+			n, db.Len(), db.IndexBytes()>>10)
+	}
+
+	if *importBasket != "" {
+		f, err := os.Open(*importBasket)
+		if err != nil {
+			return err
+		}
+		txs, err := txdb.ReadBasket(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		base := int64(db.Len())
+		for _, tx := range txs {
+			if err := db.Append(base+tx.TID, tx.Items); err != nil {
+				return err
+			}
+		}
+		if err := db.Save(); err != nil {
+			return err
+		}
+		fmt.Printf("imported %d basket transactions (database now %d, index %d KiB)\n",
+			len(txs), db.Len(), db.IndexBytes()>>10)
+	}
+
+	if *count != "" {
+		items, err := parseItems(*count)
+		if err != nil {
+			return err
+		}
+		var est, exact int
+		if *whereMod > 0 {
+			mod := *whereMod
+			est, exact, err = db.CountWhere(items, func(tid int64) bool { return tid%mod == 0 })
+		} else {
+			est, exact, err = db.Count(items)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("itemset %v: estimate %d, exact %d (of %d transactions)\n", items, est, exact, db.Len())
+		return nil
+	}
+
+	if *minsup > 0 {
+		sch, err := parseScheme(*scheme)
+		if err != nil {
+			return err
+		}
+		db.ResetStats()
+		res, err := db.Mine(bbsmine.MineOptions{
+			MinSupportFrac: *minsup,
+			Scheme:         sch,
+			MaxLen:         *maxLen,
+			MemoryBudget:   *memory,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s over %d transactions at τ=%.3g%%: %d patterns, %d candidates, %d false drops (FDR %.3f), %d certified without refinement\n",
+			sch, db.Len(), *minsup*100, len(res.Patterns), res.Candidates, res.FalseDrops, res.FalseDropRatio(), res.Certain)
+		fmt.Printf("stats: %s\n", db.Stats())
+		limit := *top
+		if limit == 0 || limit > len(res.Patterns) {
+			limit = len(res.Patterns)
+		}
+		for _, p := range res.Patterns[:limit] {
+			exactness := "exact"
+			if !p.Exact {
+				exactness = "estimate"
+			}
+			fmt.Printf("  %v support=%d (%s)\n", p.Items, p.Support, exactness)
+		}
+		if limit < len(res.Patterns) {
+			fmt.Printf("  ... %d more\n", len(res.Patterns)-limit)
+		}
+	}
+	return nil
+}
+
+func parseItems(s string) ([]int32, error) {
+	parts := strings.Split(s, ",")
+	items := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q: %w", p, err)
+		}
+		items = append(items, int32(v))
+	}
+	return items, nil
+}
+
+func parseScheme(s string) (bbsmine.Scheme, error) {
+	switch strings.ToUpper(s) {
+	case "SFS":
+		return bbsmine.SFS, nil
+	case "SFP":
+		return bbsmine.SFP, nil
+	case "DFS":
+		return bbsmine.DFS, nil
+	case "DFP":
+		return bbsmine.DFP, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want SFS, SFP, DFS or DFP)", s)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func osWrite(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// writeDataset produces a small .txdb file for import tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.txdb")
+	txs := []txdb.Transaction{
+		txdb.NewTransaction(1, []int32{1, 2, 3}),
+		txdb.NewTransaction(2, []int32{1, 2}),
+		txdb.NewTransaction(3, []int32{1, 2, 4}),
+		txdb.NewTransaction(4, []int32{2, 3}),
+		txdb.NewTransaction(5, []int32{1, 2}),
+	}
+	s, err := txdb.WriteAll(path, nil, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return path
+}
+
+func TestImportAndMine(t *testing.T) {
+	data := writeDataset(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := run([]string{"-db", dir, "-import", data, "-m", "64", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Mining against the persisted database must work in a fresh process
+	// invocation (fresh run call).
+	if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-minsup", "0.5", "-scheme", "DFP"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"SFS", "sfp", "DFS"} {
+		if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-minsup", "0.5", "-scheme", scheme}); err != nil {
+			t.Fatalf("scheme %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestCountQuery(t *testing.T) {
+	data := writeDataset(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := run([]string{"-db", dir, "-import", data, "-m", "64", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-count", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-count", "1,2", "-where-tid-mod", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-count", "1,junk"}); err == nil {
+		t.Error("malformed itemset accepted")
+	}
+}
+
+func TestImportBasket(t *testing.T) {
+	basket := filepath.Join(t.TempDir(), "data.basket")
+	if err := osWrite(basket, "1 2 3\n1 2\n2 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := run([]string{"-db", dir, "-import-basket", basket, "-m", "64", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dir, "-m", "64", "-k", "2", "-count", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dir, "-import-basket", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing basket file accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -db accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := run([]string{"-db", dir, "-minsup", "0.5", "-scheme", "BOGUS"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-db", dir, "-import", filepath.Join(t.TempDir(), "missing.txdb")}); err == nil {
+		t.Error("missing import file accepted")
+	}
+}
+
+func TestParseItems(t *testing.T) {
+	items, err := parseItems(" 3, 17 ,29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0] != 3 || items[1] != 17 || items[2] != 29 {
+		t.Errorf("parseItems = %v", items)
+	}
+	if _, err := parseItems(""); err == nil {
+		t.Error("empty itemset accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package bbsmine
+
+import (
+	"fmt"
+
+	"bbsmine/internal/mining"
+)
+
+// Closed filters a complete mining result down to its closed patterns —
+// those with no proper superset of equal support. Closed patterns determine
+// every frequent itemset's support exactly, at a fraction of the size.
+// Supports must be exact (use scheme SFP, or check Pattern.Exact with DFP),
+// otherwise the closure test would compare estimates and the result would
+// be meaningless; an error is returned if any pattern is not exact.
+func Closed(patterns []Pattern) ([]Pattern, error) {
+	fs := make([]mining.Frequent, len(patterns))
+	for i, p := range patterns {
+		if !p.Exact {
+			return nil, fmt.Errorf("bbsmine: pattern %v has an estimated support; closure needs exact counts (mine with SFP)", p.Items)
+		}
+		fs[i] = mining.Frequent{Items: p.Items, Support: p.Support}
+	}
+	return filterByKeys(patterns, mining.Closed(fs)), nil
+}
+
+// Maximal filters a complete mining result down to its maximal patterns —
+// those with no frequent proper superset. Estimated supports are acceptable
+// here: maximality depends only on which itemsets are frequent.
+func Maximal(patterns []Pattern) []Pattern {
+	fs := make([]mining.Frequent, len(patterns))
+	for i, p := range patterns {
+		fs[i] = mining.Frequent{Items: p.Items, Support: p.Support}
+	}
+	return filterByKeys(patterns, mining.Maximal(fs))
+}
+
+// filterByKeys returns the original patterns whose itemsets appear in the
+// condensed set, preserving order and exactness flags.
+func filterByKeys(patterns []Pattern, kept []mining.Frequent) []Pattern {
+	keep := make(map[string]struct{}, len(kept))
+	for _, f := range kept {
+		keep[mining.Key(f.Items)] = struct{}{}
+	}
+	out := make([]Pattern, 0, len(kept))
+	for _, p := range patterns {
+		if _, ok := keep[mining.Key(p.Items)]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package bbsmine
+
+import (
+	"testing"
+)
+
+func TestClosedAndMaximalFacade(t *testing.T) {
+	db := NewInMemory(Options{M: 128, K: 3})
+	// {1,2,3} ×3, {1,2} ×1, {4,5} ×2.
+	for i, items := range [][]int32{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2}, {4, 5}, {4, 5},
+	} {
+		if err := db.Append(int64(i+1), items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Mine(MineOptions{MinSupportCount: 2, Scheme: SFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Closed(res.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := Maximal(res.Patterns)
+	if len(maximal) != 2 { // {1,2,3} and {4,5}
+		t.Errorf("Maximal = %v, want 2 patterns", maximal)
+	}
+	if len(closed) < len(maximal) || len(closed) >= len(res.Patterns) {
+		t.Errorf("sizes: all=%d closed=%d maximal=%d", len(res.Patterns), len(closed), len(maximal))
+	}
+	// {1,2} is closed (support 4 > {1,2,3}'s 3).
+	foundPair := false
+	for _, p := range closed {
+		if len(p.Items) == 2 && p.Items[0] == 1 && p.Items[1] == 2 {
+			foundPair = true
+			if p.Support != 4 {
+				t.Errorf("{1,2} support = %d, want 4", p.Support)
+			}
+		}
+	}
+	if !foundPair {
+		t.Error("{1,2} missing from closed set")
+	}
+}
+
+func TestClosedRejectsEstimates(t *testing.T) {
+	patterns := []Pattern{
+		{Items: []int32{1}, Support: 5, Exact: true},
+		{Items: []int32{2}, Support: 4, Exact: false},
+	}
+	if _, err := Closed(patterns); err == nil {
+		t.Error("Closed accepted estimated supports")
+	}
+	// Maximal tolerates estimates.
+	if got := Maximal(patterns); len(got) != 2 {
+		t.Errorf("Maximal = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package bbsmine_test
+
+import (
+	"fmt"
+	"log"
+
+	"bbsmine"
+)
+
+// The paper's running example (Table 1): five transactions over sixteen
+// items, mined at an absolute threshold of 3.
+func Example() {
+	db := bbsmine.NewInMemory(bbsmine.Options{M: 64, K: 2})
+	data := []struct {
+		tid   int64
+		items []int32
+	}{
+		{100, []int32{0, 1, 2, 3, 4, 5, 14, 15}},
+		{200, []int32{1, 2, 3, 5, 6, 7}},
+		{300, []int32{1, 5, 14, 15}},
+		{400, []int32{0, 1, 2, 7}},
+		{500, []int32{1, 2, 5, 6, 11, 15}},
+	}
+	for _, d := range data {
+		if err := db.Append(d.tid, d.items); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := db.Mine(bbsmine.MineOptions{MinSupportCount: 4, Scheme: bbsmine.DFP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		fmt.Println(p.Items, p.Support)
+	}
+	// Output:
+	// [1] 5
+	// [2] 4
+	// [5] 4
+	// [1 2] 4
+	// [1 5] 4
+}
+
+// Counting an arbitrary itemset — the ad-hoc query of the paper's
+// Section 4.9. The estimate comes from the index alone; the exact count
+// probes only the matching transactions.
+func ExampleDatabase_Count() {
+	db := bbsmine.NewInMemory(bbsmine.Options{M: 64, K: 2})
+	db.Append(1, []int32{1, 2, 3})
+	db.Append(2, []int32{2, 3})
+	db.Append(3, []int32{1, 3})
+	db.Append(4, []int32{1, 2, 3})
+
+	_, exact, err := db.Count([]int32{1, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exact)
+	// Output:
+	// 3
+}
+
+// Constrained counting: only transactions whose TID satisfies a predicate.
+func ExampleDatabase_CountWhere() {
+	db := bbsmine.NewInMemory(bbsmine.Options{M: 64, K: 2})
+	for tid := int64(1); tid <= 20; tid++ {
+		db.Append(tid, []int32{1, int32(tid % 5)})
+	}
+	_, exact, err := db.CountWhere([]int32{1}, func(tid int64) bool { return tid%7 == 0 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exact) // TIDs 7 and 14
+	// Output:
+	// 2
+}
+
+// Deleting a transaction removes it from every estimate and result
+// immediately, without rebuilding the index.
+func ExampleDatabase_Delete() {
+	db := bbsmine.NewInMemory(bbsmine.Options{M: 64, K: 2})
+	db.Append(1, []int32{1, 2})
+	db.Append(2, []int32{1, 2})
+	db.Append(3, []int32{1})
+
+	if err := db.Delete(0); err != nil {
+		log.Fatal(err)
+	}
+	_, exact, err := db.Count([]int32{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(db.Live(), exact)
+	// Output:
+	// 2 1
+}

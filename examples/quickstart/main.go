@@ -1,0 +1,68 @@
+// Quickstart: the paper's running example (Tables 1 and 2) end to end —
+// build a small database, mine it with every scheme, and ask the ad-hoc
+// count queries of Example 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbsmine"
+)
+
+func main() {
+	// The five transactions of the paper's Table 1.
+	db := bbsmine.NewInMemory(bbsmine.Options{M: 64, K: 2})
+	transactions := map[int64][]int32{
+		100: {0, 1, 2, 3, 4, 5, 14, 15},
+		200: {1, 2, 3, 5, 6, 7},
+		300: {1, 5, 14, 15},
+		400: {0, 1, 2, 7},
+		500: {1, 2, 5, 6, 11, 15},
+	}
+	for tid := int64(100); tid <= 500; tid += 100 {
+		if err := db.Append(tid, transactions[tid]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("database: %d transactions, index %d bytes\n\n", db.Len(), db.IndexBytes())
+
+	// Example 2's queries: the count of {0,1} and of {1,3}. The estimate
+	// may overshoot (the index is lossy) but the exact count never does.
+	for _, itemset := range [][]int32{{0, 1}, {1, 3}} {
+		est, exact, err := db.Count(itemset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("count%v: estimate %d, exact %d\n", itemset, est, exact)
+	}
+	fmt.Println()
+
+	// Mine with every scheme; all four must agree on the pattern set.
+	for _, scheme := range []bbsmine.Scheme{bbsmine.SFS, bbsmine.SFP, bbsmine.DFS, bbsmine.DFP} {
+		res, err := db.Mine(bbsmine.MineOptions{MinSupportCount: 3, Scheme: scheme})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v: %d frequent patterns (τ=3), %d candidates, %d false drops\n",
+			scheme, len(res.Patterns), res.Candidates, res.FalseDrops)
+	}
+
+	// Show the patterns once, from the winner.
+	res, err := db.Mine(bbsmine.MineOptions{MinSupportCount: 3, Scheme: bbsmine.DFP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfrequent patterns at τ=3:")
+	for _, p := range res.Patterns {
+		fmt.Printf("  %v support=%d\n", p.Items, p.Support)
+	}
+
+	// A constrained query (Section 3.4): occurrences of {1,5} among
+	// even-numbered transactions.
+	_, exact, err := db.CountWhere([]int32{1, 5}, func(tid int64) bool { return tid%200 == 0 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncount of {1,5} among even TIDs: %d\n", exact)
+}

@@ -1,0 +1,45 @@
+// Tuning: choosing the signature width m — the paper's Section 4.1 study,
+// miniaturized. Sweeps m, reporting the false-drop ratio, the index size,
+// and the mining time for DFP, and shows the U-shaped tradeoff the paper
+// describes: small m drowns in false drops, large m pays for index volume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbsmine"
+	"bbsmine/internal/quest"
+)
+
+func main() {
+	cfg := quest.DefaultConfig()
+	cfg.D = 4000
+	cfg.N = 4000
+	gen, err := quest.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	txs := gen.Generate()
+
+	fmt.Println("m      indexKiB  patterns  candidates  falseDrops  FDR     time")
+	for _, m := range []int{100, 200, 400, 800, 1600, 3200} {
+		db := bbsmine.NewInMemory(bbsmine.Options{M: m, K: 4})
+		for _, tx := range txs {
+			if err := db.Append(tx.TID, tx.Items); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := time.Now()
+		res, err := db.Mine(bbsmine.MineOptions{MinSupportFrac: 0.005, Scheme: bbsmine.DFP})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-9d %-9d %-11d %-11d %-7.3f %v\n",
+			m, db.IndexBytes()>>10, len(res.Patterns), res.Candidates,
+			res.FalseDrops, res.FalseDropRatio(), time.Since(start).Round(time.Microsecond))
+	}
+	fmt.Println("\nthe paper's guidance: pick m where the FDR curve flattens (its data: m=1600);")
+	fmt.Println("past that point a bigger index buys almost no accuracy and only costs I/O.")
+}

@@ -1,0 +1,3 @@
+module bbsmine
+
+go 1.22

@@ -1,0 +1,178 @@
+package bbsmine
+
+// End-to-end integration: synthetic generation → persistent store on disk →
+// persisted index → all four BBS schemes agreeing with both baselines →
+// rules → dynamic growth → ad-hoc queries — the full pipeline a user of the
+// library exercises.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/apriori"
+	"bbsmine/internal/fptree"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/quest"
+	"bbsmine/internal/txdb"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 1500
+	cfg.N = 600
+	cfg.T = 8
+	cfg.I = 4
+	cfg.L = 150
+	gen, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.Generate()
+
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir, Options{M: 800, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		if err := db.Append(tx.TID, tx.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	const tauFrac = 0.01
+	tau := mining.MinSupportCount(tauFrac, len(txs))
+
+	// Baselines over the same data.
+	store, err := txdb.NewMemStoreFrom(nil, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps, err := apriori.Mine(store, apriori.Config{MinSupport: tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, err := fptree.Mine(store, fptree.Config{MinSupport: tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := mining.Diff("apriori", aps, "fpgrowth", fps); len(diffs) > 0 {
+		t.Fatalf("baselines disagree:\n%v", diffs)
+	}
+	if len(aps) < 20 {
+		t.Fatalf("workload too degenerate: %d patterns", len(aps))
+	}
+	want := mining.ToMap(aps)
+
+	// Every BBS scheme agrees on itemsets; exact supports match Apriori.
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		res, err := db.Mine(MineOptions{MinSupportFrac: tauFrac, Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if len(res.Patterns) != len(want) {
+			t.Errorf("%v mined %d patterns, baselines mined %d", scheme, len(res.Patterns), len(want))
+			continue
+		}
+		for _, p := range res.Patterns {
+			sup, ok := want[mining.Key(p.Items)]
+			if !ok {
+				t.Errorf("%v: spurious pattern %v", scheme, p.Items)
+				continue
+			}
+			if p.Exact && p.Support != sup {
+				t.Errorf("%v: %v support %d, want %d", scheme, p.Items, p.Support, sup)
+			}
+		}
+	}
+
+	// Association rules are consistent with the supports.
+	rules, err := db.Rules(MineOptions{MinSupportFrac: tauFrac}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		full := append(append([]int32{}, r.Antecedent...), r.Consequent...)
+		tx := txdb.NewTransaction(0, full)
+		if want[mining.Key(tx.Items)] != r.Support {
+			t.Errorf("rule %v: support %d, itemset support %d", r, r.Support, want[mining.Key(tx.Items)])
+		}
+		if r.Confidence < 0.5 || r.Confidence > 1.0 {
+			t.Errorf("rule %v: confidence out of range", r)
+		}
+	}
+
+	// Persistence: reopen and re-mine identically.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{M: 800, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Mine(MineOptions{MinSupportFrac: tauFrac, Scheme: DFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != len(want) {
+		t.Errorf("reopened database mined %d patterns, want %d", len(res.Patterns), len(want))
+	}
+
+	// Dynamic growth: append more data, results change consistently with a
+	// fresh Apriori over the union.
+	gen2, err := quest.NewGenerator(quest.Config{
+		D: 500, N: 600, T: 8, I: 4, L: 150,
+		CorrelationLevel: 0.5, CorruptionMean: 0.5, CorruptionDev: 0.1,
+		Seed: 99, FirstTID: 10001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := gen2.Generate()
+	for _, tx := range extra {
+		if err := db2.Append(tx.TID, tx.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := append(append([]txdb.Transaction{}, txs...), extra...)
+	store2, _ := txdb.NewMemStoreFrom(nil, all)
+	tau2 := mining.MinSupportCount(tauFrac, len(all))
+	aps2, err := apriori.Mine(store2, apriori.Config{MinSupport: tau2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db2.Mine(MineOptions{MinSupportFrac: tauFrac, Scheme: DFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Patterns) != len(aps2) {
+		t.Errorf("after growth: DFP mined %d patterns, Apriori %d", len(res2.Patterns), len(aps2))
+	}
+
+	// Ad-hoc query parity with a direct scan.
+	probe := txs[0].Items[:min(2, len(txs[0].Items))]
+	_, exact, err := db2.Count(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 0
+	for _, tx := range all {
+		if tx.Contains(probe) {
+			wantCount++
+		}
+	}
+	if exact != wantCount {
+		t.Errorf("Count(%v) = %d, scan says %d", probe, exact, wantCount)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,363 @@
+// Package apriori implements the classic Apriori frequent-pattern miner of
+// Agrawal & Srikant, the paper's APS baseline.
+//
+// The implementation is the standard level-wise search: L1 from one database
+// scan, then repeatedly candidate generation (join + prune over L(k-1)) and
+// one counting scan per level, with candidates held in a prefix trie so each
+// transaction is counted by trie descent rather than by enumerating all of
+// its k-subsets.
+//
+// A memory budget (paper Figure 11) constrains how many candidates may be
+// resident at once: when a level's candidate set exceeds the budget it is
+// counted in chunks, each chunk costing one additional scan — "smaller
+// memory means fewer data can be reused in memory, and so the database has
+// to be scanned multiple times".
+package apriori
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// Config controls one mining run.
+type Config struct {
+	// MinSupport is the absolute support threshold τ (count, not fraction).
+	MinSupport int
+	// MemoryBudget caps the bytes available for resident candidates;
+	// 0 means unlimited. Exceeding it splits a level into chunks, each
+	// requiring its own database scan.
+	MemoryBudget int64
+	// MaxLen bounds the length of mined itemsets; 0 means unbounded.
+	MaxLen int
+}
+
+// candidateBytes approximates the resident size of one candidate itemset of
+// length k: items plus trie node overhead.
+func candidateBytes(k int) int64 { return int64(4*k + 48) }
+
+// Mine runs Apriori over the store and returns all frequent itemsets with
+// their exact supports, sorted in mining.Order.
+func Mine(store txdb.Store, cfg Config) ([]mining.Frequent, error) {
+	if cfg.MinSupport <= 0 {
+		return nil, fmt.Errorf("apriori: MinSupport must be positive, got %d", cfg.MinSupport)
+	}
+
+	// Pass 1: exact 1-itemset counts.
+	counts := make(map[txdb.Item]int)
+	if err := store.Scan(func(_ int, tx txdb.Transaction) bool {
+		for _, it := range tx.Items {
+			counts[it]++
+		}
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("apriori: L1 scan: %w", err)
+	}
+
+	var result []mining.Frequent
+	var level [][]txdb.Item // L(k-1), lexicographically sorted
+	for it, c := range counts {
+		if c >= cfg.MinSupport {
+			level = append(level, []txdb.Item{it})
+			result = append(result, mining.Frequent{Items: []txdb.Item{it}, Support: c})
+		}
+	}
+	sortItemsets(level)
+
+	// Level 2 is counted directly: materializing the |L1|² join candidates
+	// in a trie is the textbook algorithm but pathological in memory, so —
+	// like every production Apriori — pairs are counted in a hash map over
+	// co-occurring pairs only. The memory budget still forces multiple
+	// scans by partitioning the pair space on the first item.
+	if len(level) >= 2 && (cfg.MaxLen == 0 || cfg.MaxLen >= 2) {
+		l2, err := countPairs(store, level, cfg)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, l2...)
+		level = level[:0]
+		for _, f := range l2 {
+			level = append(level, f.Items)
+		}
+		sortItemsets(level)
+	} else {
+		level = nil
+	}
+
+	for k := 3; len(level) >= 2; k++ {
+		if cfg.MaxLen > 0 && k > cfg.MaxLen {
+			break
+		}
+		candidates := generate(level, k)
+		if len(candidates) == 0 {
+			break
+		}
+
+		chunks := chunkCandidates(candidates, k, cfg.MemoryBudget)
+		var next [][]txdb.Item
+		for _, chunk := range chunks {
+			tr := buildTrie(chunk)
+			if err := store.Scan(func(_ int, tx txdb.Transaction) bool {
+				tr.countTransaction(tx.Items)
+				return true
+			}); err != nil {
+				return nil, fmt.Errorf("apriori: level %d scan: %w", k, err)
+			}
+			for _, c := range chunk {
+				if sup := tr.support(c); sup >= cfg.MinSupport {
+					next = append(next, c)
+					result = append(result, mining.Frequent{Items: c, Support: sup})
+				}
+			}
+		}
+		sortItemsets(next)
+		level = next
+	}
+
+	mining.Sort(result)
+	return result, nil
+}
+
+// countPairs computes L2 by hashing co-occurring frequent pairs. The
+// theoretical candidate set is the full join of L1 with itself; the memory
+// budget therefore partitions the frequent items into groups, each group
+// counted with its own scan — the multiplicity of scans is what the paper's
+// memory experiment measures.
+func countPairs(store txdb.Store, l1 [][]txdb.Item, cfg Config) ([]mining.Frequent, error) {
+	frequent := make(map[txdb.Item]bool, len(l1))
+	for _, s := range l1 {
+		frequent[s[0]] = true
+	}
+
+	groups := 1
+	if cfg.MemoryBudget > 0 {
+		theoretical := int64(len(l1)) * int64(len(l1)-1) / 2 * candidateBytes(2)
+		groups = int((theoretical + cfg.MemoryBudget - 1) / cfg.MemoryBudget)
+		if groups < 1 {
+			groups = 1
+		}
+		if groups > len(l1) {
+			groups = len(l1)
+		}
+	}
+
+	// Assign each frequent item a group by its rank in sorted order.
+	group := make(map[txdb.Item]int, len(l1))
+	for rank, s := range l1 {
+		group[s[0]] = rank * groups / len(l1)
+	}
+
+	var out []mining.Frequent
+	for g := 0; g < groups; g++ {
+		pairCounts := make(map[uint64]int)
+		err := store.Scan(func(_ int, tx txdb.Transaction) bool {
+			for i, a := range tx.Items {
+				ga, ok := group[a]
+				if !ok || ga != g {
+					continue
+				}
+				for _, b := range tx.Items[i+1:] {
+					if frequent[b] {
+						pairCounts[pairKey(a, b)]++
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("apriori: L2 scan (group %d): %w", g, err)
+		}
+		for pk, c := range pairCounts {
+			if c >= cfg.MinSupport {
+				a, b := unpairKey(pk)
+				out = append(out, mining.Frequent{Items: []txdb.Item{a, b}, Support: c})
+			}
+		}
+	}
+	return out, nil
+}
+
+func pairKey(a, b txdb.Item) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func unpairKey(k uint64) (txdb.Item, txdb.Item) {
+	return txdb.Item(k >> 32), txdb.Item(uint32(k))
+}
+
+// CountOccurrences returns the exact support of one itemset by scanning the
+// database — the only way the Apriori baseline can answer the paper's
+// ad-hoc queries (Figure 13).
+func CountOccurrences(store txdb.Store, itemset []txdb.Item, constraint func(pos int, tx txdb.Transaction) bool) (int, error) {
+	sorted := append([]txdb.Item(nil), itemset...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := 0
+	err := store.Scan(func(pos int, tx txdb.Transaction) bool {
+		if tx.Contains(sorted) && (constraint == nil || constraint(pos, tx)) {
+			n++
+		}
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("apriori: counting scan: %w", err)
+	}
+	return n, nil
+}
+
+// generate implements the Apriori-gen join + prune: candidates of length k
+// from the sorted list of frequent (k-1)-itemsets.
+func generate(level [][]txdb.Item, k int) [][]txdb.Item {
+	known := make(map[string]struct{}, len(level))
+	for _, s := range level {
+		known[key(s)] = struct{}{}
+	}
+
+	var out [][]txdb.Item
+	// Join: pairs sharing the first k-2 items.
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b, k-2) {
+				break // sorted order: once prefixes diverge, no later j matches
+			}
+			cand := make([]txdb.Item, k)
+			copy(cand, a)
+			cand[k-1] = b[k-2]
+			if prune(cand, known) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// prune checks the Apriori property: every (k-1)-subset of cand must be
+// frequent. The two subsets formed by dropping the last two positions are
+// the join parents and already known, so only the remaining k-2 need tests.
+func prune(cand []txdb.Item, known map[string]struct{}) bool {
+	k := len(cand)
+	sub := make([]txdb.Item, k-1)
+	for drop := 0; drop < k-2; drop++ {
+		copy(sub, cand[:drop])
+		copy(sub[drop:], cand[drop+1:])
+		if _, ok := known[key(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func samePrefix(a, b []txdb.Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkCandidates splits a level's candidates so each chunk fits the memory
+// budget. With no budget, everything is one chunk.
+func chunkCandidates(cands [][]txdb.Item, k int, budget int64) [][][]txdb.Item {
+	if budget <= 0 {
+		return [][][]txdb.Item{cands}
+	}
+	perChunk := int(budget / candidateBytes(k))
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	var chunks [][][]txdb.Item
+	for start := 0; start < len(cands); start += perChunk {
+		end := start + perChunk
+		if end > len(cands) {
+			end = len(cands)
+		}
+		chunks = append(chunks, cands[start:end])
+	}
+	return chunks
+}
+
+// key encodes an itemset as a map key.
+func key(items []txdb.Item) string {
+	buf := make([]byte, 4*len(items))
+	for i, it := range items {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(it))
+	}
+	return string(buf)
+}
+
+func sortItemsets(sets [][]txdb.Item) {
+	sort.Slice(sets, func(i, j int) bool { return lessItems(sets[i], sets[j]) })
+}
+
+func lessItems(a, b []txdb.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// trie is the candidate prefix tree used for support counting.
+type trie struct {
+	root *trieNode
+	k    int
+}
+
+type trieNode struct {
+	children map[txdb.Item]*trieNode
+	count    int // valid on depth-k nodes only
+}
+
+func buildTrie(cands [][]txdb.Item) *trie {
+	t := &trie{root: &trieNode{children: map[txdb.Item]*trieNode{}}}
+	for _, c := range cands {
+		t.k = len(c)
+		n := t.root
+		for _, it := range c {
+			child, ok := n.children[it]
+			if !ok {
+				child = &trieNode{children: map[txdb.Item]*trieNode{}}
+				n.children[it] = child
+			}
+			n = child
+		}
+	}
+	return t
+}
+
+// countTransaction bumps the count of every candidate contained in the
+// (sorted) transaction by descending the trie along the transaction's items.
+func (t *trie) countTransaction(items []txdb.Item) {
+	t.descend(t.root, items, 1)
+}
+
+func (t *trie) descend(n *trieNode, items []txdb.Item, depth int) {
+	for i, it := range items {
+		child, ok := n.children[it]
+		if !ok {
+			continue
+		}
+		if depth == t.k {
+			child.count++
+		} else {
+			t.descend(child, items[i+1:], depth+1)
+		}
+	}
+}
+
+// support returns the counted support of a candidate.
+func (t *trie) support(cand []txdb.Item) int {
+	n := t.root
+	for _, it := range cand {
+		n = n.children[it]
+		if n == nil {
+			return 0
+		}
+	}
+	return n.count
+}

@@ -1,0 +1,273 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/quest"
+	"bbsmine/internal/txdb"
+)
+
+func classicExample() []txdb.Transaction {
+	// The canonical Agrawal–Srikant example database.
+	return []txdb.Transaction{
+		txdb.NewTransaction(1, []int32{1, 3, 4}),
+		txdb.NewTransaction(2, []int32{2, 3, 5}),
+		txdb.NewTransaction(3, []int32{1, 2, 3, 5}),
+		txdb.NewTransaction(4, []int32{2, 5}),
+	}
+}
+
+func TestMineClassicExample(t *testing.T) {
+	store, err := txdb.NewMemStoreFrom(nil, classicExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(store, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mining.BruteForce(classicExample(), 2)
+	if diffs := mining.Diff("apriori", got, "bruteforce", want); len(diffs) > 0 {
+		t.Errorf("result mismatch:\n%v", diffs)
+	}
+	// Spot-check the well-known answer: {2,3,5} is frequent with support 2.
+	m := mining.ToMap(got)
+	if m[mining.Key([]txdb.Item{2, 3, 5})] != 2 {
+		t.Errorf("{2,3,5} support = %d, want 2", m[mining.Key([]txdb.Item{2, 3, 5})])
+	}
+}
+
+func TestMineMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		txs := make([]txdb.Transaction, 60)
+		for i := range txs {
+			n := 1 + rng.Intn(8)
+			items := make([]int32, n)
+			for j := range items {
+				items[j] = int32(rng.Intn(20))
+			}
+			txs[i] = txdb.NewTransaction(int64(i), items)
+		}
+		store, err := txdb.NewMemStoreFrom(nil, txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSup := 2 + rng.Intn(6)
+		got, err := Mine(store, Config{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mining.BruteForce(txs, minSup)
+		if diffs := mining.Diff("apriori", got, "bruteforce", want); len(diffs) > 0 {
+			t.Fatalf("trial %d (minSup %d): %v", trial, minSup, diffs)
+		}
+	}
+}
+
+func TestMineRejectsBadSupport(t *testing.T) {
+	store := txdb.NewMemStore(nil)
+	for _, sup := range []int{0, -5} {
+		if _, err := Mine(store, Config{MinSupport: sup}); err == nil {
+			t.Errorf("MinSupport %d accepted", sup)
+		}
+	}
+}
+
+func TestMineEmptyDatabase(t *testing.T) {
+	store := txdb.NewMemStore(nil)
+	got, err := Mine(store, Config{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("mined %d itemsets from empty database", len(got))
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	store, err := txdb.NewMemStoreFrom(nil, classicExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(store, Config{MinSupport: 2, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		if len(f.Items) > 1 {
+			t.Errorf("MaxLen=1 produced %v", f)
+		}
+	}
+	got2, err := Mine(store, Config{MinSupport: 2, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got2 {
+		if len(f.Items) > 2 {
+			t.Errorf("MaxLen=2 produced %v", f)
+		}
+	}
+	if len(got2) <= len(got) {
+		t.Error("MaxLen=2 should produce more itemsets than MaxLen=1")
+	}
+}
+
+func TestMemoryBudgetSameResultsMoreScans(t *testing.T) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 800
+	cfg.N = 200
+	cfg.T = 8
+	cfg.I = 4
+	cfg.L = 50
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Generate()
+
+	var statsBig iostat.Stats
+	storeBig, _ := txdb.NewMemStoreFrom(&statsBig, txs)
+	unlimited, err := Mine(storeBig, Config{MinSupport: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var statsSmall iostat.Stats
+	storeSmall, _ := txdb.NewMemStoreFrom(&statsSmall, txs)
+	constrained, err := Mine(storeSmall, Config{MinSupport: 8, MemoryBudget: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if diffs := mining.Diff("unlimited", unlimited, "budgeted", constrained); len(diffs) > 0 {
+		t.Errorf("budget changed results:\n%v", diffs)
+	}
+	if statsSmall.DBScans() <= statsBig.DBScans() {
+		t.Errorf("budgeted run used %d scans, unlimited used %d; want strictly more",
+			statsSmall.DBScans(), statsBig.DBScans())
+	}
+	if len(unlimited) == 0 {
+		t.Fatal("degenerate workload: nothing mined")
+	}
+}
+
+func TestCountOccurrences(t *testing.T) {
+	store, err := txdb.NewMemStoreFrom(nil, classicExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountOccurrences(store, []txdb.Item{5, 2}, nil) // unsorted input allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("count({2,5}) = %d, want 3", n)
+	}
+	// With a constraint on even positions.
+	n, err = CountOccurrences(store, []txdb.Item{2, 5}, func(pos int, _ txdb.Transaction) bool {
+		return pos%2 == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // positions 1,2,3 contain {2,5}; even ones: position 2 only
+		t.Errorf("constrained count = %d, want 1", n)
+	}
+}
+
+func TestGenerateJoinPrune(t *testing.T) {
+	level := [][]txdb.Item{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}}
+	got := generate(level, 3)
+	// Join gives {1,2,3},{1,2,4},{1,3,4},{2,3,4}; prune removes {1,3,4}
+	// (subset {3,4} not frequent) and {2,3,4} (same reason).
+	want := map[string]bool{
+		mining.Key([]txdb.Item{1, 2, 3}): true,
+		mining.Key([]txdb.Item{1, 2, 4}): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("generated %d candidates %v, want %d", len(got), got, len(want))
+	}
+	for _, c := range got {
+		if !want[mining.Key(c)] {
+			t.Errorf("unexpected candidate %v", c)
+		}
+	}
+}
+
+func TestTrieCounting(t *testing.T) {
+	cands := [][]txdb.Item{{1, 2, 3}, {1, 2, 4}, {2, 3, 4}}
+	tr := buildTrie(cands)
+	tr.countTransaction([]txdb.Item{1, 2, 3, 4}) // contains all three
+	tr.countTransaction([]txdb.Item{1, 2, 3})    // contains {1,2,3}
+	tr.countTransaction([]txdb.Item{2, 3, 4})    // contains {2,3,4}
+	tr.countTransaction([]txdb.Item{5, 6})       // contains none
+	if got := tr.support([]txdb.Item{1, 2, 3}); got != 2 {
+		t.Errorf("support({1,2,3}) = %d, want 2", got)
+	}
+	if got := tr.support([]txdb.Item{1, 2, 4}); got != 1 {
+		t.Errorf("support({1,2,4}) = %d, want 1", got)
+	}
+	if got := tr.support([]txdb.Item{2, 3, 4}); got != 2 {
+		t.Errorf("support({2,3,4}) = %d, want 2", got)
+	}
+	if got := tr.support([]txdb.Item{9, 9, 9}); got != 0 {
+		t.Errorf("support of unknown candidate = %d, want 0", got)
+	}
+}
+
+func TestQuestWorkloadMined(t *testing.T) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 1000
+	cfg.N = 500
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := txdb.NewMemStore(nil)
+	if err := g.GenerateInto(store); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(store, Config{MinSupport: mining.MinSupportCount(0.01, store.Len())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("quest workload mined nothing at 1% support")
+	}
+	// Supports must all meet the threshold and itemsets be sorted.
+	for _, f := range res {
+		if f.Support < 10 {
+			t.Errorf("itemset %v below threshold", f)
+		}
+		for i := 1; i < len(f.Items); i++ {
+			if f.Items[i-1] >= f.Items[i] {
+				t.Errorf("itemset %v not sorted", f)
+			}
+		}
+	}
+}
+
+func BenchmarkMineQuestSmall(b *testing.B) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 2000
+	cfg.N = 1000
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := txdb.NewMemStore(nil)
+	if err := g.GenerateInto(store); err != nil {
+		b.Fatal(err)
+	}
+	minSup := mining.MinSupportCount(0.005, store.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(store, Config{MinSupport: minSup}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

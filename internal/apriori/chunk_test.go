@@ -1,0 +1,96 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// Property: any memory budget yields exactly the unbudgeted result.
+func TestChunkingEquivalenceRandomBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	txs := make([]txdb.Transaction, 300)
+	for i := range txs {
+		items := make([]int32, 2+rng.Intn(8))
+		for j := range items {
+			items[j] = int32(rng.Intn(40))
+		}
+		txs[i] = txdb.NewTransaction(int64(i), items)
+	}
+	store, err := txdb.NewMemStoreFrom(nil, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mine(store, Config{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 20 {
+		t.Fatalf("workload too sparse: %d patterns", len(want))
+	}
+	for _, budget := range []int64{64, 512, 4 << 10, 1 << 20} {
+		got, err := Mine(store, Config{MinSupport: 5, MemoryBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := mining.Diff("unbudgeted", want, "budgeted", got); len(diffs) > 0 {
+			t.Errorf("budget %d changed results:\n%v", budget, diffs)
+		}
+	}
+}
+
+func TestChunkCandidates(t *testing.T) {
+	cands := make([][]txdb.Item, 10)
+	for i := range cands {
+		cands[i] = []txdb.Item{txdb.Item(i), txdb.Item(i + 100), txdb.Item(i + 200)}
+	}
+	// Unlimited: one chunk.
+	chunks := chunkCandidates(cands, 3, 0)
+	if len(chunks) != 1 || len(chunks[0]) != 10 {
+		t.Errorf("unlimited budget: %d chunks", len(chunks))
+	}
+	// Budget for ~3 candidates per chunk.
+	per := candidateBytes(3)
+	chunks = chunkCandidates(cands, 3, 3*per)
+	if len(chunks) != 4 {
+		t.Errorf("3-candidate budget: %d chunks, want 4", len(chunks))
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 10 {
+		t.Errorf("chunks cover %d candidates, want 10", total)
+	}
+	// Budget below one candidate still makes progress.
+	chunks = chunkCandidates(cands, 3, 1)
+	if len(chunks) != 10 {
+		t.Errorf("tiny budget: %d chunks, want 10", len(chunks))
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	pairs := [][2]txdb.Item{{0, 0}, {1, 2}, {65535, 70000}, {2147483647, 3}}
+	for _, p := range pairs {
+		a, b := unpairKey(pairKey(p[0], p[1]))
+		if a != p[0] || b != p[1] {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", p[0], p[1], a, b)
+		}
+	}
+}
+
+func TestSamePrefix(t *testing.T) {
+	a := []txdb.Item{1, 2, 3}
+	b := []txdb.Item{1, 2, 4}
+	if !samePrefix(a, b, 2) {
+		t.Error("samePrefix(.., 2) = false")
+	}
+	if samePrefix(a, b, 3) {
+		t.Error("samePrefix(.., 3) = true")
+	}
+	if !samePrefix(a, b, 0) {
+		t.Error("samePrefix(.., 0) = false")
+	}
+}

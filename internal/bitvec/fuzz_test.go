@@ -1,0 +1,75 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// FuzzSetWords drives deserialization with arbitrary word/length pairs.
+func FuzzSetWords(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 64)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			for b := 0; b < 8; b++ {
+				words[i] |= uint64(raw[i*8+b]) << (8 * b)
+			}
+		}
+		var v Vector
+		if err := v.SetWords(words, n); err != nil {
+			return
+		}
+		// Valid deserializations must satisfy the length/count invariants.
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if c := v.Count(); c > n {
+			t.Fatalf("Count %d exceeds length %d (tail not trimmed)", c, n)
+		}
+		// Round trip through Words.
+		var u Vector
+		if err := u.SetWords(v.Words(), v.Len()); err != nil {
+			t.Fatalf("round trip SetWords failed: %v", err)
+		}
+		if !u.Equal(&v) {
+			t.Fatal("round trip not equal")
+		}
+	})
+}
+
+// FuzzGrowAppend interleaves growth operations from fuzzed scripts and
+// checks the vector never loses or invents bits.
+func FuzzGrowAppend(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0})
+	f.Add([]byte{100, 2, 3})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		var v Vector
+		var ref []bool
+		for _, op := range script {
+			switch {
+			case op < 128:
+				bit := op%2 == 1
+				v.Append(bit)
+				ref = append(ref, bit)
+			default:
+				extra := int(op % 32)
+				v.Grow(v.Len() + extra)
+				for i := 0; i < extra; i++ {
+					ref = append(ref, false)
+				}
+			}
+		}
+		if v.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", v.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if v.Get(i) != want {
+				t.Fatalf("bit %d = %v, want %v", i, v.Get(i), want)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"bbsmine/internal/mining"
+)
+
+// The ablation knobs change only the work done, never the answer.
+func TestAblationKnobsPreserveResults(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	for _, scheme := range []Scheme{SFS, DFP} {
+		base, _ := buildMiner(t, txs, 400, 4)
+		want, err := base.Mine(Config{MinSupport: tau, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants := []Config{
+			{MinSupport: tau, Scheme: scheme, NoEarlyExit: true},
+			{MinSupport: tau, Scheme: scheme, NoIncrementalAnd: true},
+			{MinSupport: tau, Scheme: scheme, NoEarlyExit: true, NoIncrementalAnd: true},
+		}
+		for vi, cfg := range variants {
+			m, _ := buildMiner(t, txs, 400, 4)
+			got, err := m.Mine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Patterns) != len(want.Patterns) {
+				t.Fatalf("%s variant %d: %d patterns, want %d", scheme, vi, len(got.Patterns), len(want.Patterns))
+			}
+			for i := range want.Patterns {
+				a, b := got.Patterns[i], want.Patterns[i]
+				if mining.Key(a.Items) != mining.Key(b.Items) || a.Support != b.Support {
+					t.Fatalf("%s variant %d: pattern %d differs: %v vs %v", scheme, vi, i, a, b)
+				}
+			}
+			if got.Candidates != want.Candidates || got.FalseDrops != want.FalseDrops {
+				t.Errorf("%s variant %d: bookkeeping differs: cand %d/%d drops %d/%d",
+					scheme, vi, got.Candidates, want.Candidates, got.FalseDrops, want.FalseDrops)
+			}
+		}
+	}
+}
+
+// Disabling the optimizations must cost more slice ANDs, never fewer.
+func TestAblationKnobsCostMoreWork(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.01, len(txs))
+
+	base, statsBase := buildMiner(t, txs, 400, 4)
+	if _, err := base.Mine(Config{MinSupport: tau, Scheme: DFP}); err != nil {
+		t.Fatal(err)
+	}
+	noInc, statsNoInc := buildMiner(t, txs, 400, 4)
+	if _, err := noInc.Mine(Config{MinSupport: tau, Scheme: DFP, NoIncrementalAnd: true}); err != nil {
+		t.Fatal(err)
+	}
+	noExit, statsNoExit := buildMiner(t, txs, 400, 4)
+	if _, err := noExit.Mine(Config{MinSupport: tau, Scheme: DFP, NoEarlyExit: true}); err != nil {
+		t.Fatal(err)
+	}
+	if statsNoInc.SliceAnds() <= statsBase.SliceAnds() {
+		t.Errorf("NoIncrementalAnd did %d ANDs, base %d; expected more",
+			statsNoInc.SliceAnds(), statsBase.SliceAnds())
+	}
+	if statsNoExit.SliceAnds() < statsBase.SliceAnds() {
+		t.Errorf("NoEarlyExit did %d ANDs, base %d; expected at least as many",
+			statsNoExit.SliceAnds(), statsBase.SliceAnds())
+	}
+}

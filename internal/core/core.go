@@ -1,0 +1,248 @@
+// Package core implements the paper's contribution: the four filter-and-
+// refine frequent-pattern mining algorithms built on the BBS index.
+//
+//   - SFS — SingleFilter + SequentialScan (two distinct phases)
+//   - SFP — SingleFilter + Probe (phases integrated)
+//   - DFS — DualFilter + SequentialScan (two distinct phases)
+//   - DFP — DualFilter + Probe (phases integrated; the paper's winner)
+//
+// Filtering enumerates itemsets depth-first over the item order (paper
+// Fig. 2/4), estimating supports with CountItemSet on the BBS. The child of
+// an itemset reuses its parent's residual slice intersection and ANDs only
+// the new item's slices — an implementation of the same algorithm that
+// avoids recomputing the full intersection (ablated in the benchmarks).
+// Items whose level-1 estimate is below τ are excluded from the item order
+// up front: by the monotonicity of slice intersection (Lemma 3/4), no
+// superset can reach τ, so the pruning is semantics-preserving.
+//
+// The dual filter tracks a (flag, count) pair per itemset, per the paper's
+// CheckCount (Fig. 3), certifying most candidates as frequent — often with
+// exact counts — without touching the database.
+//
+// Refinement removes false drops: SequentialScan verifies candidates in
+// batches with full database passes; Probe fetches only the transactions
+// whose bits survive the slice intersection. The probe-based schemes
+// integrate refinement into filtering, stopping chains of false drops
+// early; when a probe answers a DualFilter-uncertain node, its exact count
+// re-enters the CheckCount machinery, which is why DFP probes so rarely.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/txdb"
+)
+
+// Scheme selects one of the paper's four algorithms.
+type Scheme int
+
+// The four filter-and-refine algorithms of Section 3.3.
+const (
+	SFS Scheme = iota // SingleFilter + SequentialScan
+	SFP               // SingleFilter + Probe
+	DFS               // DualFilter + SequentialScan
+	DFP               // DualFilter + Probe
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SFS:
+		return "SFS"
+	case SFP:
+		return "SFP"
+	case DFS:
+		return "DFS"
+	case DFP:
+		return "DFP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// dualFilter reports whether the scheme runs the dual filter.
+func (s Scheme) dualFilter() bool { return s == DFS || s == DFP }
+
+// probes reports whether the scheme refines by probing.
+func (s Scheme) probes() bool { return s == SFP || s == DFP }
+
+// Config controls one mining run.
+type Config struct {
+	// MinSupport is the absolute support threshold τ (count, not fraction).
+	MinSupport int
+	// Scheme selects the algorithm; the zero value is SFS.
+	Scheme Scheme
+	// MemoryBudget, when positive and smaller than the BBS, triggers the
+	// paper's adaptive three-phase filtering (fold the BBS into a
+	// memory-resident MemBBS, filter there, verify against the full BBS).
+	// It also batches SequentialScan refinement.
+	MemoryBudget int64
+	// Constraint optionally restricts mining to the transactions whose bit
+	// is set (paper Section 3.4). Only the single-filter schemes support
+	// constrained mining: the dual filter's exact 1-itemset counts are
+	// unconstrained and its certificates would be unsound.
+	Constraint *bitvec.Vector
+	// MaxLen bounds pattern length; 0 means unbounded.
+	MaxLen int
+
+	// NoEarlyExit disables the below-τ early exit while AND-ing an item's
+	// slices, so every slice of every evaluated extension is processed.
+	// Ablation knob; results are unchanged.
+	NoEarlyExit bool
+	// NoIncrementalAnd recomputes each candidate's slice intersection from
+	// scratch (all items' slices) instead of reusing the parent's residual
+	// vector. Ablation knob; results are unchanged.
+	NoIncrementalAnd bool
+}
+
+// Pattern is one mined itemset. Support is exact when Exact is true;
+// otherwise it is the BBS estimate, which never undercounts (Lemma 4) —
+// this happens only for DualFilter patterns certified via the Lemma 5
+// lower bound (flag 2).
+type Pattern struct {
+	Items   []txdb.Item
+	Support int
+	Exact   bool
+}
+
+// Result is the outcome of a mining run, with the bookkeeping the paper's
+// evaluation reports.
+type Result struct {
+	// Patterns is the final answer set in canonical order.
+	Patterns []Pattern
+	// Candidates is the number of itemsets that passed filtering.
+	Candidates int
+	// FalseDrops is the number of candidates refinement found infrequent.
+	FalseDrops int
+	// Certain is the number of patterns the dual filter certified without
+	// refinement (flag 1 or 2) — the paper's "80–90% of the candidate
+	// frequent patterns can be determined without probing the database".
+	Certain int
+	// ProbedPatterns is the number of candidate itemsets verified by
+	// probing.
+	ProbedPatterns int
+}
+
+// FalseDropRatio returns FDR = false drops / |frequent patterns| (paper
+// Section 4), or 0 when nothing was mined.
+func (r *Result) FalseDropRatio() float64 {
+	if len(r.Patterns) == 0 {
+		return 0
+	}
+	return float64(r.FalseDrops) / float64(len(r.Patterns))
+}
+
+// Frequents converts the result to the shared mining representation.
+func (r *Result) Frequents() []mining.Frequent {
+	out := make([]mining.Frequent, len(r.Patterns))
+	for i, p := range r.Patterns {
+		out[i] = mining.Frequent{Items: p.Items, Support: p.Support}
+	}
+	return out
+}
+
+// Miner binds a BBS index to its backing transaction store. The index's
+// ordinal positions must correspond to the store's: position i of every
+// slice is transaction i of the store.
+type Miner struct {
+	idx   *sigfile.BBS
+	store txdb.Store
+	stats *iostat.Stats
+}
+
+// NewMiner returns a miner over the given index and store. A nil stats
+// falls back to the index's sink.
+func NewMiner(idx *sigfile.BBS, store txdb.Store, stats *iostat.Stats) (*Miner, error) {
+	if idx.Len() != store.Len() {
+		return nil, fmt.Errorf("core: index covers %d transactions, store has %d", idx.Len(), store.Len())
+	}
+	if stats == nil {
+		stats = idx.Stats()
+	}
+	return &Miner{idx: idx, store: store, stats: stats}, nil
+}
+
+// Index returns the underlying BBS.
+func (m *Miner) Index() *sigfile.BBS { return m.idx }
+
+// Store returns the underlying transaction store.
+func (m *Miner) Store() txdb.Store { return m.store }
+
+// Stats returns the accounting sink.
+func (m *Miner) Stats() *iostat.Stats { return m.stats }
+
+// Mine runs the configured scheme and returns the frequent patterns.
+func (m *Miner) Mine(cfg Config) (*Result, error) {
+	if cfg.MinSupport <= 0 {
+		return nil, fmt.Errorf("core: MinSupport must be positive, got %d", cfg.MinSupport)
+	}
+	if cfg.Constraint != nil {
+		if cfg.Scheme.dualFilter() {
+			return nil, fmt.Errorf("core: constrained mining requires a single-filter scheme (SFS or SFP), got %s", cfg.Scheme)
+		}
+		if cfg.Constraint.Len() != m.idx.Len() {
+			return nil, fmt.Errorf("core: constraint length %d != index length %d", cfg.Constraint.Len(), m.idx.Len())
+		}
+	}
+	// Propagate the memory budget into the store's buffer-cache model and
+	// reset residency, so each run's probe accounting starts cold.
+	if limiter, ok := m.store.(txdb.CacheLimiter); ok {
+		limiter.SetCacheLimit(cfg.MemoryBudget)
+	}
+	if cfg.MemoryBudget > 0 && m.idx.TotalBytes() > cfg.MemoryBudget {
+		return m.mineAdaptive(cfg)
+	}
+	return m.mineResident(cfg, m.idx)
+}
+
+// mineResident runs filtering (and, for the probe schemes, integrated
+// refinement) against a memory-resident index, then refines leftovers.
+func (m *Miner) mineResident(cfg Config, idx *sigfile.BBS) (*Result, error) {
+	// Fault the index into the buffer pool (cold pages only — a persistent
+	// index stays resident across mining sessions); every slice AND
+	// afterwards is an in-memory bitwise operation.
+	idx.ChargeColdRead()
+	r := newRun(m, idx, cfg)
+	r.filter()
+
+	res := &Result{
+		Candidates:     r.candidates,
+		FalseDrops:     r.falseDrops,
+		Certain:        r.certain,
+		ProbedPatterns: r.probedPatterns,
+	}
+
+	// Two-phase schemes verify their uncertain candidates now.
+	if !cfg.Scheme.probes() && len(r.uncertain) > 0 {
+		verified, drops, err := m.sequentialScan(r.uncertain, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.FalseDrops += drops
+		r.accepted = append(r.accepted, verified...)
+	}
+	res.Patterns = r.accepted
+	sortPatterns(res.Patterns)
+	return res, nil
+}
+
+// sortPatterns puts patterns into canonical (length, lexicographic) order.
+func sortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := range a.Items {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sort"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/txdb"
+)
+
+// DualFilter flags, per paper Fig. 3.
+const (
+	flagNonFrequent   = -1 // itemset is not frequent (exact knowledge)
+	flagUncertain     = 0  // frequent per BBS estimate only
+	flagCertainActual = 1  // frequent with 100% guarantee, count is actual
+	flagCertainEst    = 2  // frequent with 100% guarantee, count is estimate
+)
+
+// run carries the state of one filtering pass.
+type run struct {
+	m   *Miner
+	idx *sigfile.BBS // the index filtered against (the full BBS or a MemBBS)
+	cfg Config
+	tau int
+
+	items []txdb.Item // level-1 est-survivors, ascending; the global alphabet
+	est1  []int       // BBS estimate of each alphabet item's support
+	act1  []int       // exact support of each alphabet item (dual filter info)
+
+	applied []bool           // slice positions already ANDed into the path
+	scratch []*bitvec.Vector // one evaluation buffer per depth
+
+	rootVec *bitvec.Vector // level-0 residual (all ones, or the constraint)
+	rootEst int
+
+	itemset []txdb.Item // current path
+
+	// disableProbing makes the probe schemes collect uncertain candidates
+	// instead of probing, which is how the adaptive three-phase mode runs
+	// its filtering phase against the coarse MemBBS.
+	disableProbing bool
+
+	accepted  []Pattern
+	uncertain []Pattern // two-phase schemes: needs refinement
+
+	candidates     int
+	falseDrops     int
+	certain        int
+	probedPatterns int
+}
+
+func newRun(m *Miner, idx *sigfile.BBS, cfg Config) *run {
+	return &run{
+		m:       m,
+		idx:     idx,
+		cfg:     cfg,
+		tau:     cfg.MinSupport,
+		applied: make([]bool, idx.M()),
+	}
+}
+
+// ext is one evaluated extension of the current itemset: an alphabet item
+// whose estimated support with the itemset reached τ. Every ext stays in
+// the sibling subtrees' alphabets (the paper's GenerateAndFilter removes an
+// item from I only for its own subtree); exts that additionally survived
+// the scheme's checks descend into subtrees of their own.
+type ext struct {
+	gi      int // index into run.items / est1 / act1
+	est     int
+	count   int // dual filter: the count CheckCount (or a probe) settled on
+	flag    int
+	vec     *bitvec.Vector // residual vector; kept only when descend is set
+	newPos  []int          // slice positions this item added over the parent
+	descend bool
+}
+
+// root returns the level-0 residual vector — the live rows, optionally
+// restricted by the constraint — and its count.
+func (r *run) root() (*bitvec.Vector, int) {
+	v := r.idx.NewResult()
+	est := r.idx.Live()
+	if r.cfg.Constraint != nil {
+		est = v.AndCount(r.cfg.Constraint)
+	}
+	return v, est
+}
+
+// filter runs the filtering pass: a level-1 sweep over every item in the
+// index establishes the global alphabet (items whose 1-itemset estimate
+// reaches τ — by the monotonicity of slice intersection, Lemmas 3/4, no
+// other item can occur in any candidate), then the depth-first enumeration
+// of paper Figs. 2/4 proceeds over conditional alphabets: the extensions of
+// an itemset are exactly its parent's surviving extensions, which is the
+// same enumeration with the guaranteed-failing evaluations skipped.
+func (r *run) filter() {
+	r.rootVec, r.rootEst = r.root()
+
+	all := r.idx.Items()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	// Level-1 sweep. The alphabet arrays (items/est1/act1) are what
+	// CheckCount consults for I1 = {i} at any depth.
+	buf := bitvec.New(r.idx.Len())
+	var newPos []int
+	for _, it := range all {
+		newPos = newPos[:0]
+		est := r.evalExtension(buf, r.rootVec, r.rootEst, it, &newPos)
+		if est >= r.tau {
+			r.items = append(r.items, it)
+			r.est1 = append(r.est1, est)
+			r.act1 = append(r.act1, r.idx.ExactCount(it))
+		}
+	}
+
+	alphabet := make([]int, len(r.items))
+	for i := range alphabet {
+		alphabet[i] = i
+	}
+	r.node(alphabet, r.rootVec, r.rootEst, 0, flagCertainActual)
+}
+
+// evalExtension computes est(r.itemset ∪ {it}) into scratch and records the
+// slice positions the item adds over the current path. The default path
+// reuses the parent's residual vector and ANDs only the new positions, with
+// an early exit once the count falls below τ; the two ablation knobs
+// (Config.NoIncrementalAnd, Config.NoEarlyExit) fall back to the naive
+// evaluations the benchmarks compare against.
+func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it txdb.Item, newPos *[]int) int {
+	r.m.stats.AddCountCall()
+	for _, p := range r.idx.Hasher().Positions(it) {
+		if !r.applied[p] {
+			*newPos = append(*newPos, p)
+		}
+	}
+	if r.cfg.NoIncrementalAnd {
+		// Recompute the whole intersection: every member's slices, then the
+		// new item's. Duplicate positions re-AND harmlessly; that waste is
+		// what the ablation measures.
+		scratch.CopyFrom(r.rootVec)
+		est := r.rootEst
+		for _, member := range append(r.itemset, it) {
+			for _, p := range r.idx.Hasher().Positions(member) {
+				est = r.idx.AndSlice(scratch, p)
+				if est < r.tau && !r.cfg.NoEarlyExit {
+					return est
+				}
+			}
+		}
+		return est
+	}
+	scratch.CopyFrom(parentVec)
+	est := parentEst
+	for _, p := range *newPos {
+		est = r.idx.AndSlice(scratch, p)
+		if est < r.tau && !r.cfg.NoEarlyExit {
+			break
+		}
+	}
+	return est
+}
+
+// node processes one itemset (the current r.itemset): evaluate every
+// alphabet extension, record candidates per the scheme, then recurse into
+// the extensions that survived, each seeing the later extensions as its
+// alphabet (paper Figs. 2/4: I ← I − {i}, recurse on the remaining I).
+func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCount, parentFlag int) {
+	if len(alphabet) == 0 {
+		return
+	}
+	if r.cfg.MaxLen > 0 && len(r.itemset) >= r.cfg.MaxLen {
+		return
+	}
+	depth := len(r.itemset)
+	for len(r.scratch) <= depth {
+		r.scratch = append(r.scratch, bitvec.New(r.idx.Len()))
+	}
+	scratch := r.scratch[depth]
+
+	exts := make([]ext, 0, len(alphabet))
+	var newPos []int
+	for _, gi := range alphabet {
+		it := r.items[gi]
+		newPos = newPos[:0]
+		est := r.evalExtension(scratch, parentVec, parentEst, it, &newPos)
+		if est < r.tau {
+			continue // filtered out; gone from every subtree (monotonicity)
+		}
+		r.candidates++
+		r.m.stats.AddCandidate()
+
+		e := ext{gi: gi, est: est, newPos: append([]int(nil), newPos...)}
+		r.evaluateCandidate(&e, scratch, parentEst, parentCount, parentFlag, depth)
+		if e.descend {
+			e.vec = scratch.Clone()
+		}
+		exts = append(exts, e)
+	}
+
+	for si := range exts {
+		e := &exts[si]
+		if !e.descend {
+			continue
+		}
+		childAlphabet := make([]int, 0, len(exts)-si-1)
+		for _, later := range exts[si+1:] {
+			childAlphabet = append(childAlphabet, later.gi)
+		}
+		for _, p := range e.newPos {
+			r.applied[p] = true
+		}
+		r.itemset = append(r.itemset, r.items[e.gi])
+		r.node(childAlphabet, e.vec, e.est, e.count, e.flag)
+		r.itemset = r.itemset[:len(r.itemset)-1]
+		for _, p := range e.newPos {
+			r.applied[p] = false
+		}
+		e.vec = nil // release before the next sibling's subtree
+	}
+}
+
+// evaluateCandidate applies the scheme-specific handling to one candidate
+// (r.itemset ∪ alphabet item), deciding acceptance and descent.
+func (r *run) evaluateCandidate(e *ext, vec *bitvec.Vector, parentEst, parentCount, parentFlag, depth int) {
+	itemset := append(r.itemset, r.items[e.gi])
+	probing := r.cfg.Scheme.probes() && !r.disableProbing
+
+	switch {
+	case !r.cfg.Scheme.dualFilter() && !probing:
+		// SFS: accept provisionally (estimate as support); SequentialScan
+		// verifies later. The chain effect runs free.
+		r.uncertain = append(r.uncertain, Pattern{Items: snapshot(itemset), Support: e.est})
+		e.descend = true
+
+	case !r.cfg.Scheme.dualFilter():
+		// SFP: probe immediately; a failed probe stops the chain here.
+		exact := r.probeExact(vec, itemset)
+		if exact >= r.tau {
+			r.accepted = append(r.accepted, Pattern{Items: snapshot(itemset), Support: exact, Exact: true})
+			e.descend = true
+		} else {
+			r.falseDrops++
+			r.m.stats.AddFalseDrop()
+		}
+
+	default:
+		// DFS / DFP: consult CheckCount (paper Fig. 3).
+		flag, count := r.checkCount(e.gi, parentEst, parentCount, parentFlag, e.est, depth)
+		e.flag, e.count = flag, count
+		switch {
+		case flag == flagNonFrequent:
+			// Exact knowledge: not frequent. The chain stops; the item
+			// still appears in sibling alphabets, as in the paper.
+
+		case flag == flagCertainActual || flag == flagCertainEst:
+			r.certain++
+			r.accepted = append(r.accepted, Pattern{
+				Items:   snapshot(itemset),
+				Support: count,
+				Exact:   flag == flagCertainActual,
+			})
+			e.descend = true
+
+		case probing:
+			// DFP: probe the uncertain node now; its exact count re-enters
+			// CheckCount for the whole subtree.
+			exact := r.probeExact(vec, itemset)
+			if exact >= r.tau {
+				r.accepted = append(r.accepted, Pattern{Items: snapshot(itemset), Support: exact, Exact: true})
+				e.flag, e.count = flagCertainActual, exact
+				e.descend = true
+			} else {
+				r.falseDrops++
+				r.m.stats.AddFalseDrop()
+			}
+
+		default:
+			// DFS: keep as uncertain, refine later, but keep exploring.
+			r.uncertain = append(r.uncertain, Pattern{Items: snapshot(itemset), Support: e.est})
+			e.descend = true
+		}
+	}
+}
+
+// checkCount implements algorithm CheckCount (paper Fig. 3) for
+// I1 = {items[gi]} and I2 = the current itemset.
+//
+//	flag -1: itemset ∪ {i} is not frequent (exact)
+//	flag  0: frequent per estimate, uncertain
+//	flag  1: frequent with 100% guarantee, count is actual
+//	flag  2: frequent with 100% guarantee, count is an estimate
+func (r *run) checkCount(gi, parentEst, parentCount, parentFlag, childEst, depth int) (int, int) {
+	est1, act1 := r.est1[gi], r.act1[gi]
+	if depth == 0 { // I2 = NULL: exact 1-itemset knowledge decides alone.
+		if act1 < r.tau {
+			return flagNonFrequent, act1
+		}
+		return flagCertainActual, act1
+	}
+	if parentFlag == flagCertainActual {
+		switch {
+		case est1 == act1 && parentCount == parentEst:
+			// Corollary 1: both sides exact ⇒ the union's estimate is exact.
+			return flagCertainActual, childEst
+		case est1 == act1 && childEst-(parentEst-parentCount) >= r.tau:
+			// Lemma 5 lower bound with I1 exact.
+			return flagCertainEst, childEst
+		case parentEst == parentCount && childEst-(est1-act1) >= r.tau:
+			// Lemma 5 lower bound with I2 exact.
+			return flagCertainEst, childEst
+		}
+	}
+	return flagUncertain, childEst
+}
+
+// probeExact fetches the transactions marked in vec and counts those that
+// actually contain the itemset (algorithm Probe, Section 3.2).
+func (r *run) probeExact(vec *bitvec.Vector, itemset []txdb.Item) int {
+	r.probedPatterns++
+	exact := 0
+	vec.ForEachSet(func(pos int) bool {
+		tx, err := r.m.store.Get(pos)
+		r.m.stats.AddProbe()
+		if err == nil && tx.Contains(itemset) {
+			exact++
+		}
+		return true
+	})
+	return exact
+}
+
+func snapshot(items []txdb.Item) []txdb.Item {
+	return append([]txdb.Item(nil), items...)
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"bbsmine/internal/apriori"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// aprioriMine is the cross-check oracle used by the scheme tests.
+func aprioriMine(store txdb.Store, tau int) ([]mining.Frequent, error) {
+	return apriori.Mine(store, apriori.Config{MinSupport: tau})
+}

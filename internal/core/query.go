@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/sighash"
+	"bbsmine/internal/txdb"
+)
+
+// Count answers the paper's first ad-hoc query (Section 4.9): the number of
+// occurrences of an arbitrary itemset — frequent or not. The estimate comes
+// from one CountItemSet over the BBS; the exact count probes only the
+// transactions whose bits survive. Apriori must rescan the database for
+// this; FP-tree cannot answer it at all (it stores no information about
+// non-frequent patterns).
+func (m *Miner) Count(itemset []txdb.Item) (est, exact int, err error) {
+	return m.CountConstrained(itemset, nil)
+}
+
+// CountConstrained answers the paper's second ad-hoc query: the count of an
+// itemset among the transactions marked in the constraint slice (e.g. "TIDs
+// divisible by 7"). A nil constraint means no restriction.
+func (m *Miner) CountConstrained(itemset []txdb.Item, constraint *bitvec.Vector) (est, exact int, err error) {
+	sorted := append([]txdb.Item(nil), itemset...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// An ad-hoc query touches only the slices of the itemset's signature
+	// (plus the constraint slice); charge those reads — this is exactly the
+	// I/O advantage over Apriori's full database scan (Figure 13).
+	m.idx.ChargeSliceReads(len(sighash.SignatureBits(m.idx.Hasher(), sorted)))
+	var vec *bitvec.Vector
+	if constraint != nil {
+		if constraint.Len() != m.idx.Len() {
+			return 0, 0, fmt.Errorf("core: constraint length %d != index length %d", constraint.Len(), m.idx.Len())
+		}
+		m.idx.ChargeSliceReads(1)
+		est, vec = m.idx.CountConstrained(sorted, constraint)
+	} else {
+		est, vec = m.idx.CountItemSet(sorted)
+	}
+	if est == 0 {
+		return 0, 0, nil
+	}
+	exact = 0
+	var getErr error
+	vec.ForEachSet(func(pos int) bool {
+		tx, err := m.store.Get(pos)
+		m.stats.AddProbe()
+		if err != nil {
+			getErr = err
+			return false
+		}
+		if tx.Contains(sorted) {
+			exact++
+		}
+		return true
+	})
+	if getErr != nil {
+		return 0, 0, fmt.Errorf("core: probing: %w", getErr)
+	}
+	return est, exact, nil
+}
+
+// BuildConstraint materializes a constraint slice from a predicate over the
+// stored transactions, e.g. "TID divisible by 7". It costs one sequential
+// pass; the paper's Section 3.4 notes that constructing slices for
+// arbitrary constraints is outside its scope, so this helper keeps it
+// explicit and reusable — build once, query many times.
+func BuildConstraint(store txdb.Store, pred func(pos int, tx txdb.Transaction) bool) (*bitvec.Vector, error) {
+	v := bitvec.New(store.Len())
+	err := store.Scan(func(pos int, tx txdb.Transaction) bool {
+		if pred(pos, tx) {
+			v.Set(pos)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building constraint: %w", err)
+	}
+	return v, nil
+}
+
+// MineApprox is the paper's future-work extension (Section 5): filtering
+// with no refinement phase at all. The result is a superset of the frequent
+// patterns whose supports are BBS estimates (never undercounts); callers
+// trade false drops for the shortest possible running time. The single
+// filter is used so the answer depends only on the index.
+func (m *Miner) MineApprox(minSupport int, maxLen int) ([]Pattern, error) {
+	if minSupport <= 0 {
+		return nil, fmt.Errorf("core: MinSupport must be positive, got %d", minSupport)
+	}
+	r := newRun(m, m.idx, Config{MinSupport: minSupport, Scheme: SFS, MaxLen: maxLen})
+	r.filter()
+	out := r.uncertain // SFS filtering stores the estimate as the support
+	sortPatterns(out)
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// sequentialScan verifies candidate patterns by scanning the database
+// (algorithm SequentialScan, Section 3.2): as many candidates as fit in
+// memory are loaded, one pass counts them, and the process repeats until
+// every candidate is verified. It returns the surviving patterns with exact
+// supports and the number of false drops.
+func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int, error) {
+	var verified []Pattern
+	drops := 0
+	for start := 0; start < len(candidates); {
+		end, counter := m.fillBatch(candidates, start, cfg.MemoryBudget)
+		err := m.store.Scan(func(pos int, tx txdb.Transaction) bool {
+			if m.idx.IsLive(pos) {
+				counter.CountTransaction(tx.Items)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: verification scan: %w", err)
+		}
+		for _, c := range candidates[start:end] {
+			sup := counter.Support(c.Items)
+			if sup >= cfg.MinSupport {
+				verified = append(verified, Pattern{Items: c.Items, Support: sup, Exact: true})
+			} else {
+				drops++
+				m.stats.AddFalseDrop()
+			}
+		}
+		start = end
+	}
+	return verified, drops, nil
+}
+
+// fillBatch loads candidates[start:end] into a fresh counter such that the
+// batch stays within the memory budget (at least one candidate is always
+// taken so progress is guaranteed). It returns end and the counter.
+func (m *Miner) fillBatch(candidates []Pattern, start int, budget int64) (int, *mining.Counter) {
+	counter := mining.NewCounter()
+	var resident int64
+	end := start
+	for end < len(candidates) {
+		c := candidates[end]
+		size := int64(4*len(c.Items) + 48)
+		if budget > 0 && resident+size > budget && end > start {
+			break
+		}
+		counter.Add(c.Items)
+		resident += size
+		end++
+	}
+	return end, counter
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func TestFalseDropRatio(t *testing.T) {
+	r := Result{}
+	if got := r.FalseDropRatio(); got != 0 {
+		t.Errorf("empty result FDR = %f", got)
+	}
+	r = Result{
+		Patterns:   []Pattern{{Items: []txdb.Item{1}}, {Items: []txdb.Item{2}}},
+		FalseDrops: 1,
+	}
+	if got := r.FalseDropRatio(); got != 0.5 {
+		t.Errorf("FDR = %f, want 0.5", got)
+	}
+}
+
+func TestResultFrequents(t *testing.T) {
+	r := Result{Patterns: []Pattern{
+		{Items: []txdb.Item{1, 2}, Support: 7, Exact: true},
+	}}
+	fs := r.Frequents()
+	if len(fs) != 1 || fs[0].Support != 7 || len(fs[0].Items) != 2 {
+		t.Errorf("Frequents = %v", fs)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	cases := map[Scheme]string{SFS: "SFS", SFP: "SFP", DFS: "DFS", DFP: "DFP", Scheme(42): "Scheme(42)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestMinerAccessors(t *testing.T) {
+	miner, stats := buildMiner(t, randomDB(91, 10, 4, 8), 64, 2)
+	if miner.Stats() != stats {
+		t.Error("Stats() does not return the construction sink")
+	}
+	if miner.Index() == nil || miner.Store() == nil {
+		t.Error("Index/Store accessors returned nil")
+	}
+	if miner.Index().Len() != miner.Store().Len() {
+		t.Error("index/store out of sync")
+	}
+}

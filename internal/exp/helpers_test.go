@@ -1,0 +1,9 @@
+package exp
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan so the test file reads without the fmt import
+// fighting the package's own formatting helpers.
+func fmtSscan(s string, args ...any) (int, error) {
+	return fmt.Sscan(s, args...)
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"testing"
+)
+
+// Shape tests: cheap, scaled-down instances of the figure drivers asserting
+// the qualitative relationships the paper reports — the same checks
+// EXPERIMENTS.md makes against the full-scale runs.
+
+func TestFig8LinearScalability(t *testing.T) {
+	p := tinyParams()
+	tables, err := Fig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+	// Every scheme must grow with D, and sub-quadratically: time(10x data)
+	// is allowed at most ~30x time(1x), a loose linearity band.
+	for col := 1; col < len(tables[0].Header); col++ {
+		first := parseF(t, rows[0][col])
+		last := parseF(t, rows[len(rows)-1][col])
+		if last < first*0.8 {
+			t.Errorf("%s: time fell from %.1f to %.1f as D grew 10x",
+				tables[0].Header[col], first, last)
+		}
+		if last > first*40 {
+			t.Errorf("%s: time grew %.1fx over a 10x data increase — super-linear",
+				tables[0].Header[col], last/first)
+		}
+	}
+}
+
+func TestFig10TimesGrowWithT(t *testing.T) {
+	p := tinyParams()
+	p.TauFrac = 0.05 // larger T inflates pattern counts; keep them sane
+	tables, err := Fig10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("fig10 rows = %d", len(rows))
+	}
+	// Denser transactions cannot make any scheme *much* cheaper.
+	for col := 1; col < len(tables[0].Header); col++ {
+		first := parseF(t, rows[0][col])
+		last := parseF(t, rows[len(rows)-1][col])
+		if last < first/2 {
+			t.Errorf("%s: time fell from %.1f to %.1f as T tripled",
+				tables[0].Header[col], first, last)
+		}
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	p := tinyParams()
+	tables, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Fatalf("fig9 rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig11MemoryPressureOrdering(t *testing.T) {
+	p := tinyParams()
+	tables, err := Fig11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("fig11 rows = %d", len(rows))
+	}
+	// APS under the tightest budget must not be cheaper than under the
+	// loosest (chunked candidate counting costs scans).
+	tightest := parseF(t, rows[0][2])
+	loosest := parseF(t, rows[len(rows)-1][2])
+	if tightest < loosest*0.8 {
+		t.Errorf("APS: %.1f at tightest budget vs %.1f at loosest", tightest, loosest)
+	}
+}
+
+func TestFig12DFPGapGrows(t *testing.T) {
+	p := tinyParams()
+	tables, err := Fig12(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 3 {
+		t.Fatalf("fig12 rows = %d", len(rows))
+	}
+	// From day 1 on (index warm), DFP must beat the APS rescan.
+	for _, row := range rows[1:] {
+		dfp, aps := parseF(t, row[2]), parseF(t, row[3])
+		if dfp >= aps {
+			t.Errorf("day %s: DFP %.1f >= APS %.1f", row[0], dfp, aps)
+		}
+	}
+}
+
+func TestFig13DFPBeatsAPS(t *testing.T) {
+	// A slightly larger instance than tinyParams: at ~300 transactions the
+	// whole table fits two pages and both engines tie at the accounting
+	// granularity.
+	p := Defaults(0.2)
+	p.V = 2000
+	p.M = 400
+	p.TauFrac = 0.01
+	tables, err := Fig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		dfp, aps := parseF(t, row[1]), parseF(t, row[2])
+		if dfp >= aps {
+			t.Errorf("%s: DFP %.1f >= APS %.1f", row[0], dfp, aps)
+		}
+		if row[3] != "n/a" {
+			t.Errorf("%s: FPS column = %q, want n/a", row[0], row[3])
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package fptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/apriori"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/quest"
+	"bbsmine/internal/txdb"
+)
+
+// hanPeiYinExample is the worked example from the FP-growth paper.
+func hanPeiYinExample() []txdb.Transaction {
+	return []txdb.Transaction{
+		txdb.NewTransaction(100, []int32{1, 2, 5}),
+		txdb.NewTransaction(200, []int32{2, 4}),
+		txdb.NewTransaction(300, []int32{2, 3}),
+		txdb.NewTransaction(400, []int32{1, 2, 4}),
+		txdb.NewTransaction(500, []int32{1, 3}),
+		txdb.NewTransaction(600, []int32{2, 3}),
+		txdb.NewTransaction(700, []int32{1, 3}),
+		txdb.NewTransaction(800, []int32{1, 2, 3, 5}),
+		txdb.NewTransaction(900, []int32{1, 2, 3}),
+	}
+}
+
+func TestMineHanPeiYinExample(t *testing.T) {
+	store, err := txdb.NewMemStoreFrom(nil, hanPeiYinExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(store, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mining.BruteForce(hanPeiYinExample(), 2)
+	if diffs := mining.Diff("fpgrowth", got, "bruteforce", want); len(diffs) > 0 {
+		t.Errorf("mismatch:\n%v", diffs)
+	}
+	m := mining.ToMap(got)
+	// Known answers from the FP-growth paper's example.
+	if m[mining.Key([]txdb.Item{1, 2, 5})] != 2 {
+		t.Errorf("{1,2,5} support = %d, want 2", m[mining.Key([]txdb.Item{1, 2, 5})])
+	}
+	if m[mining.Key([]txdb.Item{2})] != 7 {
+		t.Errorf("{2} support = %d, want 7", m[mining.Key([]txdb.Item{2})])
+	}
+}
+
+func TestBuildTwoScans(t *testing.T) {
+	var stats iostat.Stats
+	store, err := txdb.NewMemStoreFrom(&stats, hanPeiYinExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(store, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.DBScans(); got != 2 {
+		t.Errorf("Build used %d scans, want exactly 2", got)
+	}
+}
+
+func TestBuildRejectsBadSupport(t *testing.T) {
+	store := txdb.NewMemStore(nil)
+	if _, err := Build(store, 0); err == nil {
+		t.Error("MinSupport 0 accepted")
+	}
+}
+
+func TestTreeCompression(t *testing.T) {
+	// Identical transactions must share a single path.
+	txs := make([]txdb.Transaction, 50)
+	for i := range txs {
+		txs[i] = txdb.NewTransaction(int64(i), []int32{1, 2, 3})
+	}
+	store, _ := txdb.NewMemStoreFrom(nil, txs)
+	tree, err := Build(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 3 {
+		t.Errorf("tree has %d nodes, want 3 (one shared path)", tree.Nodes())
+	}
+	items, counts := tree.singlePath()
+	if len(items) != 3 {
+		t.Fatalf("singlePath items = %v", items)
+	}
+	for _, c := range counts {
+		if c != 50 {
+			t.Errorf("path count = %d, want 50", c)
+		}
+	}
+}
+
+func TestSinglePathCombos(t *testing.T) {
+	txs := make([]txdb.Transaction, 10)
+	for i := range txs {
+		txs[i] = txdb.NewTransaction(int64(i), []int32{7, 8, 9})
+	}
+	store, _ := txdb.NewMemStoreFrom(nil, txs)
+	got, err := Mine(store, Config{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 { // 2^3 - 1 combinations
+		t.Errorf("mined %d patterns, want 7: %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.Support != 10 {
+			t.Errorf("pattern %v support %d, want 10", f.Items, f.Support)
+		}
+	}
+}
+
+func TestMineMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		txs := make([]txdb.Transaction, 80)
+		for i := range txs {
+			n := 1 + rng.Intn(8)
+			items := make([]int32, n)
+			for j := range items {
+				items[j] = int32(rng.Intn(15))
+			}
+			txs[i] = txdb.NewTransaction(int64(i), items)
+		}
+		store, _ := txdb.NewMemStoreFrom(nil, txs)
+		minSup := 2 + rng.Intn(8)
+		got, err := Mine(store, Config{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mining.BruteForce(txs, minSup)
+		if diffs := mining.Diff("fpgrowth", got, "bruteforce", want); len(diffs) > 0 {
+			t.Fatalf("trial %d (minSup %d):\n%v", trial, minSup, diffs)
+		}
+	}
+}
+
+func TestMineMatchesAprioriOnQuest(t *testing.T) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 1500
+	cfg.N = 400
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := txdb.NewMemStore(nil)
+	if err := g.GenerateInto(store); err != nil {
+		t.Fatal(err)
+	}
+	minSup := mining.MinSupportCount(0.01, store.Len())
+	fp, err := Mine(store, Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := apriori.Mine(store, apriori.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if diffs := mining.Diff("fpgrowth", fp, "apriori", ap); len(diffs) > 0 {
+		t.Errorf("baselines disagree:\n%v", diffs)
+	}
+}
+
+func TestMemoryBudgetForcesExtraScans(t *testing.T) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 500
+	cfg.N = 200
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Generate()
+
+	var statsBig iostat.Stats
+	storeBig, _ := txdb.NewMemStoreFrom(&statsBig, txs)
+	big, err := Mine(storeBig, Config{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var statsSmall iostat.Stats
+	storeSmall, _ := txdb.NewMemStoreFrom(&statsSmall, txs)
+	small, err := Mine(storeSmall, Config{MinSupport: 5, MemoryBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if diffs := mining.Diff("big", big, "small", small); len(diffs) > 0 {
+		t.Errorf("budget changed results:\n%v", diffs)
+	}
+	if statsSmall.DBScans() <= statsBig.DBScans() {
+		t.Errorf("budgeted: %d scans, unlimited: %d; want more under pressure",
+			statsSmall.DBScans(), statsBig.DBScans())
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	store := txdb.NewMemStore(nil)
+	got, err := Mine(store, Config{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("mined %d patterns from empty DB", len(got))
+	}
+}
+
+func TestSizeBytesGrowsWithNodes(t *testing.T) {
+	txs := []txdb.Transaction{
+		txdb.NewTransaction(1, []int32{1, 2}),
+		txdb.NewTransaction(2, []int32{3, 4}),
+		txdb.NewTransaction(3, []int32{5, 6}),
+		txdb.NewTransaction(4, []int32{1, 2}),
+		txdb.NewTransaction(5, []int32{3, 4}),
+		txdb.NewTransaction(6, []int32{5, 6}),
+	}
+	store, _ := txdb.NewMemStoreFrom(nil, txs)
+	tree, err := Build(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 6 {
+		t.Errorf("Nodes = %d, want 6", tree.Nodes())
+	}
+	if tree.SizeBytes() != int64(6*nodeBytes) {
+		t.Errorf("SizeBytes = %d", tree.SizeBytes())
+	}
+}
+
+func BenchmarkMineQuestSmall(b *testing.B) {
+	cfg := quest.DefaultConfig()
+	cfg.D = 2000
+	cfg.N = 1000
+	g, err := quest.NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := txdb.NewMemStore(nil)
+	if err := g.GenerateInto(store); err != nil {
+		b.Fatal(err)
+	}
+	minSup := mining.MinSupportCount(0.005, store.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(store, Config{MinSupport: minSup}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

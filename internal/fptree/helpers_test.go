@@ -1,0 +1,12 @@
+package fptree
+
+import (
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// Aliases so internal_test.go reads without stutter.
+
+type miningFrequent = mining.Frequent
+
+func keyOf(items []txdb.Item) string { return mining.Key(items) }

@@ -1,0 +1,99 @@
+package fptree
+
+import (
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func TestNewTreeFromCountsHeaderOrder(t *testing.T) {
+	counts := map[txdb.Item]int{1: 5, 2: 9, 3: 9, 4: 2, 5: 1}
+	tr := newTreeFromCounts(counts, 2)
+	// Frequent: 1,2,3,4. Descending count, ties by item: 2,3,1,4.
+	want := []txdb.Item{2, 3, 1, 4}
+	var got []txdb.Item
+	for _, h := range tr.headers {
+		got = append(got, h.item)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("header order = %v, want %v", got, want)
+	}
+	if _, ok := tr.index[5]; ok {
+		t.Error("infrequent item 5 present in index")
+	}
+}
+
+func TestProjectAndOrder(t *testing.T) {
+	counts := map[txdb.Item]int{10: 9, 20: 5, 30: 3}
+	tr := newTreeFromCounts(counts, 3)
+	got := tr.projectAndOrder([]txdb.Item{5, 30, 10, 40, 20}, nil)
+	want := []txdb.Item{10, 20, 30} // frequency order, infrequent dropped
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("projectAndOrder = %v, want %v", got, want)
+	}
+	// Buffer reuse must not leak previous contents.
+	got = tr.projectAndOrder([]txdb.Item{20}, got[:0])
+	if !reflect.DeepEqual(got, []txdb.Item{20}) {
+		t.Errorf("reused buffer = %v", got)
+	}
+}
+
+func TestInsertSharesPrefixes(t *testing.T) {
+	counts := map[txdb.Item]int{1: 10, 2: 8, 3: 6}
+	tr := newTreeFromCounts(counts, 2)
+	tr.insert([]txdb.Item{1, 2, 3}, 1)
+	tr.insert([]txdb.Item{1, 2}, 1)
+	tr.insert([]txdb.Item{1, 3}, 1)
+	// Nodes: 1, 1-2, 1-2-3, 1-3 → 4 nodes.
+	if tr.Nodes() != 4 {
+		t.Errorf("Nodes = %d, want 4", tr.Nodes())
+	}
+	items, counts2 := tr.singlePath()
+	if items != nil || counts2 != nil {
+		t.Error("branching tree reported as single path")
+	}
+}
+
+func TestNodeLinksCoverAllOccurrences(t *testing.T) {
+	counts := map[txdb.Item]int{1: 10, 2: 8, 3: 6}
+	tr := newTreeFromCounts(counts, 2)
+	tr.insert([]txdb.Item{1, 2, 3}, 2)
+	tr.insert([]txdb.Item{2, 3}, 1)
+	tr.insert([]txdb.Item{1, 3}, 4)
+	// Walk item 3's node links; total count must equal 2+1+4.
+	hi := tr.index[3]
+	total := 0
+	for n := tr.headers[hi].head; n != nil; n = n.next {
+		total += n.count
+	}
+	if total != 7 {
+		t.Errorf("node-link total for item 3 = %d, want 7", total)
+	}
+}
+
+func TestEmitSinglePathCombos(t *testing.T) {
+	var out []miningFrequent
+	emitSinglePathCombos(
+		[]txdb.Item{5, 7}, []int{4, 2},
+		[]txdb.Item{9},
+		&out,
+	)
+	if len(out) != 3 {
+		t.Fatalf("emitted %d combos, want 3", len(out))
+	}
+	supports := map[string]int{}
+	for _, f := range out {
+		supports[keyOf(f.Items)] = f.Support
+	}
+	// {5,9} keeps count of 5 (4); {7,9} and {5,7,9} bottom out at 7 (2).
+	if supports[keyOf([]txdb.Item{5, 9})] != 4 {
+		t.Errorf("{5,9} support = %d, want 4", supports[keyOf([]txdb.Item{5, 9})])
+	}
+	if supports[keyOf([]txdb.Item{7, 9})] != 2 {
+		t.Errorf("{7,9} support = %d, want 2", supports[keyOf([]txdb.Item{7, 9})])
+	}
+	if supports[keyOf([]txdb.Item{5, 7, 9})] != 2 {
+		t.Errorf("{5,7,9} support = %d, want 2", supports[keyOf([]txdb.Item{5, 7, 9})])
+	}
+}

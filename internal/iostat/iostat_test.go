@@ -1,0 +1,101 @@
+package iostat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var s Stats
+	s.AddDBSeqPages(10)
+	s.AddDBSeqPages(5)
+	s.AddDBRandPages(4)
+	s.AddDBScan()
+	s.AddProbe()
+	s.AddProbe()
+	s.AddSlicePages(3)
+	s.AddSliceAnd()
+	s.AddCountCall()
+	s.AddCandidate()
+	s.AddFalseDrop()
+
+	snap := s.Snapshot()
+	if snap.DBSeqPages != 15 || snap.DBRandPages != 4 || snap.DBScans != 1 || snap.Probes != 2 ||
+		snap.SlicePageReads != 3 || snap.SliceAnds != 1 || snap.CountCalls != 1 ||
+		snap.Candidates != 1 || snap.FalseDrops != 1 {
+		t.Errorf("unexpected snapshot: %+v", snap)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Stats
+	s.AddDBSeqPages(100)
+	s.AddDBRandPages(3)
+	s.AddProbe()
+	s.Reset()
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("Reset left non-zero counters: %+v", snap)
+	}
+}
+
+func TestSub(t *testing.T) {
+	var s Stats
+	s.AddDBSeqPages(10)
+	base := s.Snapshot()
+	s.AddDBSeqPages(7)
+	s.AddDBRandPages(2)
+	s.AddProbe()
+	delta := s.Snapshot().Sub(base)
+	if delta.DBSeqPages != 7 || delta.DBRandPages != 2 || delta.Probes != 1 {
+		t.Errorf("Sub: %+v", delta)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.AddDBSeqPages(1)
+				s.AddProbe()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.DBSeqPages(); got != 8000 {
+		t.Errorf("DBSeqPages = %d, want 8000", got)
+	}
+	if got := s.Probes(); got != 8000 {
+		t.Errorf("Probes = %d, want 8000", got)
+	}
+}
+
+func TestCostModelCharge(t *testing.T) {
+	snap := Snapshot{DBSeqPages: 10, DBRandPages: 2, SlicePageReads: 5}
+	m := CostModel{SeqPageCost: time.Millisecond, RandPageCost: 10 * time.Millisecond}
+	// 10 sequential DB pages + 5 slice pages at 1 ms, 2 misses at 10 ms.
+	want := 15*time.Millisecond + 20*time.Millisecond
+	if got := m.Charge(snap); got != want {
+		t.Errorf("Charge = %v, want %v", got, want)
+	}
+}
+
+func TestZeroCostModel(t *testing.T) {
+	snap := Snapshot{DBSeqPages: 100, DBRandPages: 10, SlicePageReads: 50}
+	if got := ZeroCostModel.Charge(snap); got != 0 {
+		t.Errorf("ZeroCostModel.Charge = %v, want 0", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{DBSeqPages: 3, FalseDrops: 2}
+	str := s.String()
+	if !strings.Contains(str, "seqPages=3") || !strings.Contains(str, "falseDrops=2") {
+		t.Errorf("String missing fields: %s", str)
+	}
+}

@@ -1,0 +1,86 @@
+package mining
+
+import "bbsmine/internal/txdb"
+
+// Condensed representations. Frequent-pattern sets are heavily redundant
+// (every subset of a frequent itemset is frequent); closed and maximal
+// subsets are the standard lossless/lossy condensations downstream
+// consumers ask for.
+
+// Closed returns the closed patterns: those with no proper superset of the
+// same support. The closed set determines every pattern's support exactly.
+// Input must be a complete (downward-closed) result; order is preserved.
+func Closed(fs []Frequent) []Frequent {
+	return filterCondensed(fs, func(sup, superSup int) bool { return superSup == sup })
+}
+
+// Maximal returns the maximal patterns: those with no frequent proper
+// superset at all. The maximal set determines which itemsets are frequent
+// but loses the supports of non-maximal ones.
+func Maximal(fs []Frequent) []Frequent {
+	return filterCondensed(fs, func(sup, superSup int) bool { return true })
+}
+
+// filterCondensed keeps patterns for which no one-item-larger frequent
+// superset satisfies dominates(support, superset support). Checking only
+// the +1 supersets suffices: closure and maximality are both determined by
+// immediate supersets on a downward-closed input.
+func filterCondensed(fs []Frequent, dominates func(sup, superSup int) bool) []Frequent {
+	// Group supersets by length for +1 lookups.
+	byKey := make(map[string]int, len(fs))
+	for _, f := range fs {
+		byKey[Key(f.Items)] = f.Support
+	}
+	// Collect the item alphabet to enumerate +1 supersets.
+	alphabet := map[txdb.Item]struct{}{}
+	for _, f := range fs {
+		for _, it := range f.Items {
+			alphabet[it] = struct{}{}
+		}
+	}
+
+	var out []Frequent
+	buf := make([]txdb.Item, 0, 16)
+	for _, f := range fs {
+		dominated := false
+		for it := range alphabet {
+			if containsItem(f.Items, it) {
+				continue
+			}
+			buf = insertSorted(buf[:0], f.Items, it)
+			if superSup, ok := byKey[Key(buf)]; ok && dominates(f.Support, superSup) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func containsItem(items []txdb.Item, it txdb.Item) bool {
+	for _, x := range items {
+		if x == it {
+			return true
+		}
+	}
+	return false
+}
+
+// insertSorted writes items with it inserted in order into dst.
+func insertSorted(dst, items []txdb.Item, it txdb.Item) []txdb.Item {
+	placed := false
+	for _, x := range items {
+		if !placed && it < x {
+			dst = append(dst, it)
+			placed = true
+		}
+		dst = append(dst, x)
+	}
+	if !placed {
+		dst = append(dst, it)
+	}
+	return dst
+}

@@ -1,0 +1,138 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func condenseFixture() []Frequent {
+	// Database: {1,2,3} ×3, {1,2} ×1, {4} ×2.
+	// Frequent at τ=2: {1}:4 {2}:4 {3}:3 {4}:2 {1,2}:4 {1,3}:3 {2,3}:3 {1,2,3}:3.
+	return []Frequent{
+		{Items: []txdb.Item{1}, Support: 4},
+		{Items: []txdb.Item{2}, Support: 4},
+		{Items: []txdb.Item{3}, Support: 3},
+		{Items: []txdb.Item{4}, Support: 2},
+		{Items: []txdb.Item{1, 2}, Support: 4},
+		{Items: []txdb.Item{1, 3}, Support: 3},
+		{Items: []txdb.Item{2, 3}, Support: 3},
+		{Items: []txdb.Item{1, 2, 3}, Support: 3},
+	}
+}
+
+func TestClosed(t *testing.T) {
+	got := Closed(condenseFixture())
+	// {1}: superset {1,2} has same support 4 → not closed.
+	// {2}: same → not closed. {3}: {1,3} support 3 == 3 → not closed.
+	// {4}: no superset → closed. {1,2}: supersets have support 3 < 4 → closed.
+	// {1,3},{2,3}: {1,2,3} has equal support → not closed. {1,2,3}: closed.
+	want := map[string]bool{
+		Key([]txdb.Item{4}):       true,
+		Key([]txdb.Item{1, 2}):    true,
+		Key([]txdb.Item{1, 2, 3}): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Closed = %v, want 3 patterns", got)
+	}
+	for _, f := range got {
+		if !want[Key(f.Items)] {
+			t.Errorf("unexpected closed pattern %v", f)
+		}
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	got := Maximal(condenseFixture())
+	want := map[string]bool{
+		Key([]txdb.Item{4}):       true,
+		Key([]txdb.Item{1, 2, 3}): true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Maximal = %v, want 2 patterns", got)
+	}
+	for _, f := range got {
+		if !want[Key(f.Items)] {
+			t.Errorf("unexpected maximal pattern %v", f)
+		}
+	}
+}
+
+func TestCondenseEmptyAndSingleton(t *testing.T) {
+	if got := Closed(nil); len(got) != 0 {
+		t.Errorf("Closed(nil) = %v", got)
+	}
+	single := []Frequent{{Items: []txdb.Item{7}, Support: 5}}
+	if got := Maximal(single); len(got) != 1 {
+		t.Errorf("Maximal(singleton) = %v", got)
+	}
+}
+
+// Properties on random data: maximal ⊆ closed ⊆ all; every pattern has a
+// maximal superset; closed set preserves all supports via subset-maximum.
+func TestCondenseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	txs := make([]txdb.Transaction, 80)
+	for i := range txs {
+		items := make([]int32, 1+rng.Intn(6))
+		for j := range items {
+			items[j] = int32(rng.Intn(12))
+		}
+		txs[i] = txdb.NewTransaction(int64(i), items)
+	}
+	all := BruteForce(txs, 4)
+	if len(all) < 10 {
+		t.Fatal("fixture too sparse")
+	}
+	closed := Closed(all)
+	maximal := Maximal(all)
+
+	closedKeys := ToMap(closed)
+	for _, f := range maximal {
+		if _, ok := closedKeys[Key(f.Items)]; !ok {
+			t.Errorf("maximal pattern %v not closed", f)
+		}
+	}
+	if len(maximal) > len(closed) || len(closed) > len(all) {
+		t.Errorf("sizes: all=%d closed=%d maximal=%d", len(all), len(closed), len(maximal))
+	}
+
+	// Every pattern is a subset of some maximal pattern.
+	for _, f := range all {
+		found := false
+		for _, m := range maximal {
+			if isSubset(f.Items, m.Items) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("pattern %v has no maximal superset", f)
+		}
+	}
+
+	// Closure property: each pattern's support equals the max support of a
+	// closed superset.
+	for _, f := range all {
+		best := -1
+		for _, c := range closed {
+			if isSubset(f.Items, c.Items) && c.Support > best {
+				best = c.Support
+			}
+		}
+		if best != f.Support {
+			t.Errorf("pattern %v support %d, closed-superset max %d", f.Items, f.Support, best)
+		}
+	}
+}
+
+func isSubset(sub, super []txdb.Item) bool {
+	i := 0
+	for _, x := range super {
+		if i < len(sub) && sub[i] == x {
+			i++
+		}
+	}
+	return i == len(sub)
+}

@@ -1,0 +1,96 @@
+package mining
+
+import (
+	"bbsmine/internal/txdb"
+)
+
+// Counter counts the exact supports of a batch of candidate itemsets in one
+// database pass. Candidates of different lengths share a single prefix trie
+// whose nodes may be terminal at any depth; because transactions keep their
+// items sorted and unique, every candidate is embedded in a transaction by
+// exactly one ordered subsequence, so descent counts each candidate at most
+// once per transaction.
+//
+// This is the engine of the SequentialScan refinement (and the ground-truth
+// side of the tests).
+type Counter struct {
+	root *cnode
+	n    int
+}
+
+type cnode struct {
+	children map[txdb.Item]*cnode
+	terminal bool
+	count    int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{root: &cnode{children: map[txdb.Item]*cnode{}}}
+}
+
+// Len returns the number of candidates added.
+func (c *Counter) Len() int { return c.n }
+
+// Add registers a candidate itemset (sorted ascending). Adding the same
+// itemset twice is idempotent.
+func (c *Counter) Add(items []txdb.Item) {
+	n := c.root
+	for _, it := range items {
+		child, ok := n.children[it]
+		if !ok {
+			child = &cnode{children: map[txdb.Item]*cnode{}}
+			n.children[it] = child
+		}
+		n = child
+	}
+	if !n.terminal {
+		n.terminal = true
+		c.n++
+	}
+}
+
+// CountTransaction bumps every candidate contained in the transaction.
+// Items must be sorted strictly ascending (the txdb invariant).
+func (c *Counter) CountTransaction(items []txdb.Item) {
+	descend(c.root, items)
+}
+
+func descend(n *cnode, items []txdb.Item) {
+	for i, it := range items {
+		child, ok := n.children[it]
+		if !ok {
+			continue
+		}
+		if child.terminal {
+			child.count++
+		}
+		if len(child.children) > 0 {
+			descend(child, items[i+1:])
+		}
+	}
+}
+
+// Support returns the counted support of a candidate, or 0 if it was never
+// added or never matched.
+func (c *Counter) Support(items []txdb.Item) int {
+	n := c.root
+	for _, it := range items {
+		n = n.children[it]
+		if n == nil {
+			return 0
+		}
+	}
+	if !n.terminal {
+		return 0
+	}
+	return n.count
+}
+
+// CountStore runs one full scan of the store, counting every candidate.
+func (c *Counter) CountStore(store txdb.Store) error {
+	return store.Scan(func(_ int, tx txdb.Transaction) bool {
+		c.CountTransaction(tx.Items)
+		return true
+	})
+}

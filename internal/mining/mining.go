@@ -1,0 +1,160 @@
+// Package mining defines the result types shared by every frequent-pattern
+// miner in this repository (Apriori, FP-growth, and the four BBS-based
+// filter-and-refine algorithms), plus helpers for comparing result sets —
+// the cross-checking backbone of the test suite.
+package mining
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bbsmine/internal/txdb"
+)
+
+// Frequent is one mined pattern: an itemset (sorted ascending) and its exact
+// support count.
+type Frequent struct {
+	Items   []txdb.Item
+	Support int
+}
+
+// String renders the pattern as "{1,2,3}:42".
+func (f Frequent) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, it := range f.Items {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", it)
+	}
+	fmt.Fprintf(&sb, "}:%d", f.Support)
+	return sb.String()
+}
+
+// Key encodes the itemset as a comparable map key (supports excluded).
+func Key(items []txdb.Item) string {
+	buf := make([]byte, 4*len(items))
+	for i, it := range items {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(it))
+	}
+	return string(buf)
+}
+
+// Less orders itemsets by length, then lexicographically — the canonical
+// order for result sets.
+func Less(a, b Frequent) bool {
+	if len(a.Items) != len(b.Items) {
+		return len(a.Items) < len(b.Items)
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return a.Items[i] < b.Items[i]
+		}
+	}
+	return false
+}
+
+// Sort puts a result set into canonical order in place.
+func Sort(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool { return Less(fs[i], fs[j]) })
+}
+
+// ToMap indexes a result set by itemset key → support.
+func ToMap(fs []Frequent) map[string]int {
+	m := make(map[string]int, len(fs))
+	for _, f := range fs {
+		m[Key(f.Items)] = f.Support
+	}
+	return m
+}
+
+// Diff compares two result sets and returns a human-readable list of
+// discrepancies (missing itemsets, extra itemsets, support mismatches),
+// empty when the sets agree. The names label the two sides in messages.
+func Diff(nameA string, a []Frequent, nameB string, b []Frequent) []string {
+	ma, mb := ToMap(a), ToMap(b)
+	var out []string
+	for k, sa := range ma {
+		sb, ok := mb[k]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s has %s (support %d), %s lacks it", nameA, decodeKey(k), sa, nameB))
+		case sa != sb:
+			out = append(out, fmt.Sprintf("support mismatch on %s: %s=%d %s=%d", decodeKey(k), nameA, sa, nameB, sb))
+		}
+	}
+	for k, sb := range mb {
+		if _, ok := ma[k]; !ok {
+			out = append(out, fmt.Sprintf("%s has %s (support %d), %s lacks it", nameB, decodeKey(k), sb, nameA))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func decodeKey(k string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i+4 <= len(k); i += 4 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", int32(binary.BigEndian.Uint32([]byte(k[i:i+4]))))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// MinSupportCount converts a fractional minimum support (e.g. the paper's
+// 0.3%) into an absolute count over n transactions, rounding up and never
+// below 1.
+func MinSupportCount(fraction float64, n int) int {
+	c := int(fraction*float64(n) + 0.999999)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// BruteForce mines frequent itemsets by exhaustive DFS over the exact
+// transaction list. It is exponential and exists only as the ground-truth
+// oracle for tests on small databases.
+func BruteForce(txs []txdb.Transaction, minSupport int) []Frequent {
+	counts := map[txdb.Item]int{}
+	for _, tx := range txs {
+		for _, it := range tx.Items {
+			counts[it]++
+		}
+	}
+	var items []txdb.Item
+	for it, c := range counts {
+		if c >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var out []Frequent
+	var rec func(start int, cur []txdb.Item)
+	rec = func(start int, cur []txdb.Item) {
+		for i := start; i < len(items); i++ {
+			next := append(cur, items[i])
+			sup := 0
+			for _, tx := range txs {
+				if tx.Contains(next) {
+					sup++
+				}
+			}
+			if sup >= minSupport {
+				out = append(out, Frequent{Items: append([]txdb.Item(nil), next...), Support: sup})
+				rec(i+1, next)
+			}
+		}
+	}
+	rec(0, nil)
+	Sort(out)
+	return out
+}

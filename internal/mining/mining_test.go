@@ -1,0 +1,268 @@
+package mining
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bbsmine/internal/txdb"
+)
+
+func TestFrequentString(t *testing.T) {
+	f := Frequent{Items: []txdb.Item{1, 2, 3}, Support: 42}
+	if got := f.String(); got != "{1,2,3}:42" {
+		t.Errorf("String = %q", got)
+	}
+	empty := Frequent{Support: 7}
+	if got := empty.String(); got != "{}:7" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Distinct itemsets must get distinct keys, including tricky cases
+	// where concatenations could collide under naive encodings.
+	sets := [][]txdb.Item{
+		{}, {0}, {1}, {0, 0x100}, {0x100, 0}, {1, 2}, {1, 2, 3}, {258}, {1, 258},
+	}
+	seen := map[string][]txdb.Item{}
+	for _, s := range sets {
+		k := Key(s)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("Key collision between %v and %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestLessAndSort(t *testing.T) {
+	fs := []Frequent{
+		{Items: []txdb.Item{2, 3}},
+		{Items: []txdb.Item{5}},
+		{Items: []txdb.Item{1, 9}},
+		{Items: []txdb.Item{1}},
+		{Items: []txdb.Item{1, 2, 3}},
+	}
+	Sort(fs)
+	want := []string{"{1}:0", "{5}:0", "{1,9}:0", "{2,3}:0", "{1,2,3}:0"}
+	for i, w := range want {
+		if fs[i].String() != w {
+			t.Fatalf("Sort[%d] = %s, want %s", i, fs[i], w)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := []Frequent{
+		{Items: []txdb.Item{1}, Support: 5},
+		{Items: []txdb.Item{2}, Support: 3},
+	}
+	b := []Frequent{
+		{Items: []txdb.Item{1}, Support: 5},
+		{Items: []txdb.Item{3}, Support: 2},
+	}
+	diffs := Diff("A", a, "B", b)
+	if len(diffs) != 2 {
+		t.Fatalf("Diff = %v, want 2 entries", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "{2}") || !strings.Contains(joined, "{3}") {
+		t.Errorf("Diff missing itemsets: %v", diffs)
+	}
+	if got := Diff("A", a, "A2", a); len(got) != 0 {
+		t.Errorf("Diff of identical sets = %v", got)
+	}
+	// Support mismatch.
+	c := []Frequent{
+		{Items: []txdb.Item{1}, Support: 6},
+		{Items: []txdb.Item{2}, Support: 3},
+	}
+	diffs = Diff("A", a, "C", c)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "support mismatch") {
+		t.Errorf("Diff = %v", diffs)
+	}
+}
+
+func TestMinSupportCount(t *testing.T) {
+	cases := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.003, 10000, 30},
+		{0.003, 1000, 3},
+		{0.003, 100, 1},
+		{0.0001, 10, 1}, // never below 1
+		{0.5, 7, 4},     // rounds up: 3.5 -> 4
+		{1, 5, 5},
+	}
+	for _, c := range cases {
+		if got := MinSupportCount(c.frac, c.n); got != c.want {
+			t.Errorf("MinSupportCount(%v, %d) = %d, want %d", c.frac, c.n, got, c.want)
+		}
+	}
+}
+
+func TestBruteForceKnownAnswer(t *testing.T) {
+	txs := []txdb.Transaction{
+		txdb.NewTransaction(1, []int32{1, 3, 4}),
+		txdb.NewTransaction(2, []int32{2, 3, 5}),
+		txdb.NewTransaction(3, []int32{1, 2, 3, 5}),
+		txdb.NewTransaction(4, []int32{2, 5}),
+	}
+	fs := BruteForce(txs, 2)
+	m := ToMap(fs)
+	want := map[string]int{
+		Key([]txdb.Item{1}):       2,
+		Key([]txdb.Item{2}):       3,
+		Key([]txdb.Item{3}):       3,
+		Key([]txdb.Item{5}):       3,
+		Key([]txdb.Item{1, 3}):    2,
+		Key([]txdb.Item{2, 3}):    2,
+		Key([]txdb.Item{2, 5}):    3,
+		Key([]txdb.Item{3, 5}):    2,
+		Key([]txdb.Item{2, 3, 5}): 2,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("BruteForce found %d itemsets, want %d: %v", len(m), len(want), fs)
+	}
+	for k, sup := range want {
+		if m[k] != sup {
+			t.Errorf("support mismatch for %s: %d, want %d", decodeKey(k), m[k], sup)
+		}
+	}
+}
+
+func TestBruteForceDownwardClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	txs := make([]txdb.Transaction, 40)
+	for i := range txs {
+		items := make([]int32, 1+rng.Intn(6))
+		for j := range items {
+			items[j] = int32(rng.Intn(12))
+		}
+		txs[i] = txdb.NewTransaction(int64(i), items)
+	}
+	fs := BruteForce(txs, 3)
+	m := ToMap(fs)
+	for _, f := range fs {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop := 0; drop < len(f.Items); drop++ {
+			sub := append(append([]txdb.Item{}, f.Items[:drop]...), f.Items[drop+1:]...)
+			subSup, ok := m[Key(sub)]
+			if !ok {
+				t.Fatalf("subset %v of %v missing", sub, f.Items)
+			}
+			if subSup < f.Support {
+				t.Fatalf("subset %v support %d < superset %v support %d", sub, subSup, f.Items, f.Support)
+			}
+		}
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Add([]txdb.Item{1, 2})
+	c.Add([]txdb.Item{1, 2}) // idempotent
+	c.Add([]txdb.Item{1})    // prefix of another candidate
+	c.Add([]txdb.Item{2, 3, 4})
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+	c.CountTransaction([]txdb.Item{1, 2, 3, 4}) // contains all three
+	c.CountTransaction([]txdb.Item{1, 2})       // contains {1},{1,2}
+	c.CountTransaction([]txdb.Item{2, 3, 4})    // contains {2,3,4}
+	c.CountTransaction([]txdb.Item{5})          // contains none
+	if got := c.Support([]txdb.Item{1, 2}); got != 2 {
+		t.Errorf("Support({1,2}) = %d, want 2", got)
+	}
+	if got := c.Support([]txdb.Item{1}); got != 2 {
+		t.Errorf("Support({1}) = %d, want 2", got)
+	}
+	if got := c.Support([]txdb.Item{2, 3, 4}); got != 2 {
+		t.Errorf("Support({2,3,4}) = %d, want 2", got)
+	}
+	if got := c.Support([]txdb.Item{9}); got != 0 {
+		t.Errorf("Support of unknown = %d, want 0", got)
+	}
+	if got := c.Support([]txdb.Item{2, 3}); got != 0 {
+		t.Errorf("Support of non-terminal path = %d, want 0", got)
+	}
+}
+
+func TestCounterMatchesContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var cands [][]txdb.Item
+	c := NewCounter()
+	for i := 0; i < 50; i++ {
+		tx := txdb.NewTransaction(0, randomItems(rng, 4, 15))
+		cands = append(cands, tx.Items)
+		c.Add(tx.Items)
+	}
+	txs := make([]txdb.Transaction, 200)
+	for i := range txs {
+		txs[i] = txdb.NewTransaction(int64(i), randomItems(rng, 8, 15))
+		c.CountTransaction(txs[i].Items)
+	}
+	for _, cand := range cands {
+		want := 0
+		for _, tx := range txs {
+			if tx.Contains(cand) {
+				want++
+			}
+		}
+		if got := c.Support(cand); got != want {
+			t.Fatalf("Support(%v) = %d, want %d", cand, got, want)
+		}
+	}
+}
+
+func TestCounterCountStore(t *testing.T) {
+	store := txdb.NewMemStore(nil)
+	store.Append(txdb.NewTransaction(1, []int32{1, 2}))
+	store.Append(txdb.NewTransaction(2, []int32{1, 2, 3}))
+	c := NewCounter()
+	c.Add([]txdb.Item{1, 2})
+	if err := c.CountStore(store); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Support([]txdb.Item{1, 2}); got != 2 {
+		t.Errorf("Support = %d, want 2", got)
+	}
+}
+
+// Property: Diff(a, b) is empty iff ToMap(a) == ToMap(b).
+func TestQuickDiffConsistent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var fs []Frequent
+		for i, r := range raw {
+			fs = append(fs, Frequent{Items: []txdb.Item{txdb.Item(r)}, Support: i + 1})
+		}
+		// Deduplicate by item to make supports deterministic.
+		m := map[string]Frequent{}
+		for _, f := range fs {
+			m[Key(f.Items)] = f
+		}
+		var dedup []Frequent
+		for _, f := range m {
+			dedup = append(dedup, f)
+		}
+		return len(Diff("x", dedup, "y", dedup)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomItems(rng *rand.Rand, maxLen, alphabet int) []int32 {
+	n := 1 + rng.Intn(maxLen)
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(rng.Intn(alphabet))
+	}
+	tx := txdb.NewTransaction(0, items)
+	return tx.Items
+}

@@ -1,0 +1,327 @@
+// Package quest implements the IBM Quest synthetic transaction generator of
+// Agrawal & Srikant ("Fast Algorithms for Mining Association Rules", VLDB
+// 1994), which the paper uses for all of its synthetic datasets ("The
+// synthetic data sets which we used for our experiments were generated using
+// the procedure described in [1]").
+//
+// Dataset names follow the paper's convention: T10.I10.D10K with V = 10K
+// means average transaction size 10, average maximal potentially-frequent
+// itemset size 10, 10,000 transactions, 10,000 distinct items.
+//
+// The generator is deterministic for a given Config.Seed, so every
+// experiment in this repository is reproducible bit for bit.
+package quest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bbsmine/internal/txdb"
+)
+
+// Config holds the Quest parameters. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// D is the number of transactions to generate (|D|).
+	D int
+	// T is the average transaction size (Poisson mean).
+	T int
+	// I is the average size of the maximal potentially large itemsets.
+	I int
+	// N is the number of distinct items (the paper's V).
+	N int
+	// L is the number of maximal potentially large itemsets.
+	L int
+	// CorrelationLevel controls how much consecutive potentially large
+	// itemsets overlap (exponential mean of the shared fraction).
+	CorrelationLevel float64
+	// CorruptionMean and CorruptionDev parameterize the per-itemset
+	// corruption level (normal distribution, clamped to [0,1]).
+	CorruptionMean float64
+	CorruptionDev  float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// FirstTID numbers transactions starting at this TID.
+	FirstTID int64
+}
+
+// DefaultConfig is the paper's default workload: T10.I10.D10K with 10K
+// items (Section 4).
+//
+// L (the number of maximal potentially large itemsets) is not reported in
+// the paper. Agrawal–Srikant's default was 2000 with N=1000 items; with
+// this paper's N=10000, L=2000 concentrates co-occurrence so heavily that
+// τ=0.3% yields >300K frequent patterns — a population whose integrated
+// probing alone would have taken the paper's hardware hours, contradicting
+// its reported response times. L=3000 yields a few thousand patterns with
+// maximal length ≈ 12, consistent with the paper's figures, and is the
+// default here (see DESIGN.md's substitution table).
+func DefaultConfig() Config {
+	return Config{
+		D:                10000,
+		T:                10,
+		I:                10,
+		N:                10000,
+		L:                3000,
+		CorrelationLevel: 0.5,
+		CorruptionMean:   0.5,
+		CorruptionDev:    0.1,
+		Seed:             1,
+		FirstTID:         1,
+	}
+}
+
+// Name renders the paper's dataset naming convention, e.g. "T10.I10.D10K".
+func (c Config) Name() string {
+	return fmt.Sprintf("T%d.I%d.D%s", c.T, c.I, compact(c.D))
+}
+
+func compact(n int) string {
+	switch {
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("%dM", n/1000000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dK", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Validate checks the parameters for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.D < 0:
+		return fmt.Errorf("quest: negative D %d", c.D)
+	case c.T <= 0:
+		return fmt.Errorf("quest: T must be positive, got %d", c.T)
+	case c.I <= 0:
+		return fmt.Errorf("quest: I must be positive, got %d", c.I)
+	case c.N <= 0:
+		return fmt.Errorf("quest: N must be positive, got %d", c.N)
+	case c.L <= 0:
+		return fmt.Errorf("quest: L must be positive, got %d", c.L)
+	case c.CorruptionMean < 0 || c.CorruptionMean > 1:
+		return fmt.Errorf("quest: corruption mean %f outside [0,1]", c.CorruptionMean)
+	}
+	return nil
+}
+
+// Generator produces transactions from a fixed table of potentially large
+// itemsets, following the Quest recipe:
+//
+//  1. Build L potentially large itemsets. Sizes are Poisson(I) (minimum 1).
+//     A fraction of each itemset's items (exponentially distributed with
+//     mean CorrelationLevel) is drawn from the previous itemset; the rest
+//     are drawn uniformly from the alphabet.
+//  2. Each itemset receives an exponentially distributed weight
+//     (normalized to 1) and a corruption level ~ N(mean, dev) in [0,1].
+//  3. Each transaction has Poisson(T) items (minimum 1) and is filled by
+//     repeatedly picking weighted itemsets, corrupting them (items are
+//     dropped while a uniform draw stays below the corruption level), and
+//     inserting the survivors. An itemset that does not fit is kept in half
+//     the cases and deferred to the next transaction otherwise.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	itemsets [][]txdb.Item
+	cum      []float64 // cumulative weights for roulette selection
+	corrupt  []float64
+	pending  []txdb.Item // itemset deferred to the next transaction
+	nextTID  int64
+}
+
+// NewGenerator builds a generator (including its itemset table) for cfg.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nextTID: cfg.FirstTID,
+	}
+	g.buildItemsetTable()
+	return g, nil
+}
+
+func (g *Generator) buildItemsetTable() {
+	cfg := g.cfg
+	g.itemsets = make([][]txdb.Item, cfg.L)
+	weights := make([]float64, cfg.L)
+	g.corrupt = make([]float64, cfg.L)
+
+	var prev []txdb.Item
+	for i := 0; i < cfg.L; i++ {
+		size := g.poisson(float64(cfg.I))
+		if size < 1 {
+			size = 1
+		}
+		set := make(map[txdb.Item]struct{}, size)
+		// Correlated fraction from the previous itemset.
+		if len(prev) > 0 {
+			frac := g.rng.ExpFloat64() * cfg.CorrelationLevel
+			if frac > 1 {
+				frac = 1
+			}
+			take := int(frac * float64(size))
+			for j := 0; j < take && j < len(prev); j++ {
+				set[prev[g.rng.Intn(len(prev))]] = struct{}{}
+			}
+		}
+		for len(set) < size {
+			set[txdb.Item(g.rng.Intn(cfg.N))] = struct{}{}
+		}
+		items := make([]txdb.Item, 0, len(set))
+		for it := range set {
+			items = append(items, it)
+		}
+		sortItems(items)
+		g.itemsets[i] = items
+		prev = items
+
+		weights[i] = g.rng.ExpFloat64()
+		c := g.cfg.CorruptionMean + g.cfg.CorruptionDev*g.rng.NormFloat64()
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		g.corrupt[i] = c
+	}
+
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	g.cum = make([]float64, cfg.L)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		g.cum[i] = acc
+	}
+	g.cum[cfg.L-1] = 1.0 // guard against rounding
+}
+
+// pickItemset selects an itemset index by roulette-wheel over the weights.
+func (g *Generator) pickItemset() int {
+	u := g.rng.Float64()
+	// Binary search the cumulative weights.
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// corruptItemset returns a corrupted copy of itemset i: items are removed
+// one at a time while a uniform draw stays below the corruption level.
+func (g *Generator) corruptItemset(i int) []txdb.Item {
+	src := g.itemsets[i]
+	out := make([]txdb.Item, len(src))
+	copy(out, src)
+	c := g.corrupt[i]
+	for len(out) > 0 && g.rng.Float64() < c {
+		j := g.rng.Intn(len(out))
+		out[j] = out[len(out)-1]
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// Next generates the next transaction.
+func (g *Generator) Next() txdb.Transaction {
+	size := g.poisson(float64(g.cfg.T))
+	if size < 1 {
+		size = 1
+	}
+	set := make(map[txdb.Item]struct{}, size)
+
+	add := func(items []txdb.Item) {
+		for _, it := range items {
+			set[it] = struct{}{}
+		}
+	}
+	if g.pending != nil {
+		add(g.pending)
+		g.pending = nil
+	}
+	for len(set) < size {
+		picked := g.corruptItemset(g.pickItemset())
+		if len(picked) == 0 {
+			continue
+		}
+		if len(set)+len(picked) > size && len(set) > 0 {
+			// Does not fit: keep anyway in half the cases, defer otherwise.
+			if g.rng.Intn(2) == 0 {
+				add(picked)
+			} else {
+				g.pending = picked
+			}
+			break
+		}
+		add(picked)
+	}
+
+	items := make([]txdb.Item, 0, len(set))
+	for it := range set {
+		items = append(items, it)
+	}
+	tid := g.nextTID
+	g.nextTID++
+	return txdb.NewTransaction(tid, items)
+}
+
+// Generate produces cfg.D transactions.
+func (g *Generator) Generate() []txdb.Transaction {
+	out := make([]txdb.Transaction, g.cfg.D)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// GenerateInto appends cfg.D transactions to the store and inserts each into
+// every provided index-insert callback (used to build DB and BBS in one
+// pass).
+func (g *Generator) GenerateInto(store txdb.Store, insert ...func(items []txdb.Item)) error {
+	for i := 0; i < g.cfg.D; i++ {
+		tx := g.Next()
+		if err := store.Append(tx); err != nil {
+			return fmt.Errorf("quest: appending transaction %d: %w", i, err)
+		}
+		for _, fn := range insert {
+			fn(tx.Items)
+		}
+	}
+	return nil
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product method, adequate for the means used here (<= ~50).
+func (g *Generator) poisson(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func sortItems(items []txdb.Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package quest
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/txdb"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.D != 10000 || c.T != 10 || c.I != 10 || c.N != 10000 {
+		t.Errorf("default config %+v does not match the paper's T10.I10.D10K/V=10K", c)
+	}
+	if got := c.Name(); got != "T10.I10.D10K" {
+		t.Errorf("Name = %q, want T10.I10.D10K", got)
+	}
+}
+
+func TestNameFormats(t *testing.T) {
+	c := DefaultConfig()
+	c.D = 1500
+	if got := c.Name(); got != "T10.I10.D1500" {
+		t.Errorf("Name = %q", got)
+	}
+	c.D = 2000000
+	if got := c.Name(); got != "T10.I10.D2M" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.D = -1 },
+		func(c *Config) { c.T = 0 },
+		func(c *Config) { c.I = 0 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.L = 0 },
+		func(c *Config) { c.CorruptionMean = 1.5 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate rejected the default config: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.D = 200
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.Generate(), g2.Generate()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different data")
+	}
+	cfg.Seed = 2
+	g3, _ := NewGenerator(cfg)
+	if reflect.DeepEqual(a, g3.Generate()) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestTransactionInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.D = 1000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Generate()
+	if len(txs) != 1000 {
+		t.Fatalf("generated %d transactions", len(txs))
+	}
+	var prevTID int64
+	for i, tx := range txs {
+		if err := tx.Validate(); err != nil {
+			t.Fatalf("transaction %d invalid: %v", i, err)
+		}
+		if len(tx.Items) == 0 {
+			t.Fatalf("transaction %d is empty", i)
+		}
+		if i > 0 && tx.TID <= prevTID {
+			t.Fatalf("TIDs not increasing at %d", i)
+		}
+		prevTID = tx.TID
+		for _, it := range tx.Items {
+			if int(it) >= cfg.N {
+				t.Fatalf("item %d out of alphabet (N=%d)", it, cfg.N)
+			}
+		}
+	}
+}
+
+func TestAverageTransactionSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.D = 5000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tx := range g.Generate() {
+		total += len(tx.Items)
+	}
+	avg := float64(total) / 5000
+	// Corruption and the fit rule push the realized mean around the nominal
+	// T; accept a generous band.
+	if math.Abs(avg-float64(cfg.T)) > 4 {
+		t.Errorf("average transaction size %.2f too far from T=%d", avg, cfg.T)
+	}
+}
+
+func TestSkewedItemPopularity(t *testing.T) {
+	// Quest data must be skewed: the most popular items appear far more
+	// often than the median, otherwise no itemset is ever frequent at the
+	// paper's thresholds.
+	cfg := DefaultConfig()
+	cfg.D = 3000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[txdb.Item]int{}
+	for _, tx := range g.Generate() {
+		for _, it := range tx.Items {
+			freq[it]++
+		}
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	// minSupport 0.3% of 3000 = 9 occurrences; the hottest item should be
+	// well above that or the workload would mine nothing.
+	if max < 20 {
+		t.Errorf("hottest item occurs %d times; data not skewed enough", max)
+	}
+}
+
+func TestFrequentPatternsExist(t *testing.T) {
+	// At the paper's default threshold (0.3%) the dataset must contain
+	// frequent 2-itemsets, otherwise the figures are degenerate.
+	cfg := DefaultConfig()
+	cfg.D = 2000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Generate()
+	tau := 6 // 0.3% of 2000
+	single := map[txdb.Item]int{}
+	for _, tx := range txs {
+		for _, it := range tx.Items {
+			single[it]++
+		}
+	}
+	var frequent []txdb.Item
+	for it, c := range single {
+		if c >= tau {
+			frequent = append(frequent, it)
+		}
+	}
+	if len(frequent) < 10 {
+		t.Fatalf("only %d frequent 1-itemsets at tau=%d", len(frequent), tau)
+	}
+	pairs := 0
+	for i := 0; i < len(frequent) && pairs == 0; i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			count := 0
+			set := []txdb.Item{frequent[i], frequent[j]}
+			if set[0] > set[1] {
+				set[0], set[1] = set[1], set[0]
+			}
+			for _, tx := range txs {
+				if tx.Contains(set) {
+					count++
+				}
+			}
+			if count >= tau {
+				pairs++
+				break
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Error("no frequent 2-itemset found; generator lacks co-occurrence structure")
+	}
+}
+
+func TestGenerateInto(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.D = 100
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats iostat.Stats
+	store := txdb.NewMemStore(&stats)
+	inserted := 0
+	if err := g.GenerateInto(store, func(items []txdb.Item) { inserted++ }); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 100 || inserted != 100 {
+		t.Errorf("store.Len=%d inserted=%d, want 100/100", store.Len(), inserted)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	cfg := DefaultConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.poisson(10)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("Poisson(10) sample mean = %.3f", mean)
+	}
+}
+
+func TestPendingItemsetCarriesOver(t *testing.T) {
+	// With tiny transactions and large itemsets the "does not fit" path
+	// must trigger and defer itemsets without losing generator progress.
+	cfg := DefaultConfig()
+	cfg.D = 500
+	cfg.T = 2
+	cfg.I = 8
+	cfg.N = 100
+	cfg.L = 20
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Generate()
+	if len(txs) != 500 {
+		t.Fatalf("generated %d", len(txs))
+	}
+	for _, tx := range txs {
+		if len(tx.Items) == 0 {
+			t.Fatal("empty transaction generated")
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.D = 1
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

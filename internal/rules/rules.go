@@ -1,0 +1,124 @@
+// Package rules generates association rules from mined frequent itemsets —
+// the downstream task that motivates frequent-pattern mining (the paper's
+// introduction: "association rule mining, correlations and causality,
+// require frequent patterns to be mined first").
+//
+// The generator is the classic Agrawal–Srikant procedure: for every
+// frequent itemset Z and every non-empty proper subset X ⊂ Z, emit
+// X ⇒ Z∖X when confidence(X ⇒ Z∖X) = support(Z)/support(X) clears the
+// threshold; subsets are enumerated largest-antecedent-first so the
+// anti-monotonicity of confidence in the consequent prunes the lattice.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// Rule is one association rule X ⇒ Y with its quality measures.
+type Rule struct {
+	Antecedent []txdb.Item // X, sorted ascending
+	Consequent []txdb.Item // Y, sorted ascending, disjoint from X
+	Support    int         // support(X ∪ Y), absolute count
+	Confidence float64     // support(X ∪ Y) / support(X)
+	Lift       float64     // confidence / (support(Y)/n)
+}
+
+// String renders the rule as "{1,2} => {3} (sup=10, conf=0.83, lift=1.91)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (sup=%d, conf=%.2f, lift=%.2f)",
+		renderItems(r.Antecedent), renderItems(r.Consequent), r.Support, r.Confidence, r.Lift)
+}
+
+func renderItems(items []txdb.Item) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", it)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Generate derives all rules meeting minConfidence from the frequent
+// itemsets. Supports must be exact (as produced by Apriori, FP-growth,
+// SFS/SFP, or DFP's exact patterns); n is the database size, used for lift.
+// Itemsets whose subsets are missing from the input (which cannot happen
+// with a complete mining result) yield an error rather than wrong numbers.
+func Generate(frequent []mining.Frequent, minConfidence float64, n int) ([]Rule, error) {
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("rules: confidence %f outside [0,1]", minConfidence)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("rules: database size must be positive, got %d", n)
+	}
+	support := mining.ToMap(frequent)
+
+	var out []Rule
+	for _, f := range frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		rules, err := rulesFrom(f, support, minConfidence, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rules...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Support > out[j].Support
+	})
+	return out, nil
+}
+
+// rulesFrom enumerates the antecedent subsets of one frequent itemset.
+func rulesFrom(f mining.Frequent, support map[string]int, minConfidence float64, n int) ([]Rule, error) {
+	k := len(f.Items)
+	var out []Rule
+	// Enumerate non-empty proper subsets as antecedents via bitmask; k is
+	// small (itemsets beyond ~15 items are unheard of at sane thresholds).
+	if k > 20 {
+		return nil, fmt.Errorf("rules: itemset of %d items is implausibly large", k)
+	}
+	for mask := 1; mask < (1<<k)-1; mask++ {
+		ante := make([]txdb.Item, 0, k)
+		cons := make([]txdb.Item, 0, k)
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				ante = append(ante, f.Items[b])
+			} else {
+				cons = append(cons, f.Items[b])
+			}
+		}
+		supAnte, ok := support[mining.Key(ante)]
+		if !ok {
+			return nil, fmt.Errorf("rules: input is not downward closed: missing subset %v of %v", ante, f.Items)
+		}
+		conf := float64(f.Support) / float64(supAnte)
+		if conf < minConfidence {
+			continue
+		}
+		supCons, ok := support[mining.Key(cons)]
+		if !ok {
+			return nil, fmt.Errorf("rules: input is not downward closed: missing subset %v of %v", cons, f.Items)
+		}
+		out = append(out, Rule{
+			Antecedent: ante,
+			Consequent: cons,
+			Support:    f.Support,
+			Confidence: conf,
+			Lift:       conf / (float64(supCons) / float64(n)),
+		})
+	}
+	return out, nil
+}

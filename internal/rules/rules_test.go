@@ -1,0 +1,170 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"bbsmine/internal/apriori"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// marketBasket is a small database with an obvious rule: bread ⇒ butter.
+func marketBasket() []txdb.Transaction {
+	const bread, butter, milk, beer = 1, 2, 3, 4
+	return []txdb.Transaction{
+		txdb.NewTransaction(1, []int32{bread, butter}),
+		txdb.NewTransaction(2, []int32{bread, butter, milk}),
+		txdb.NewTransaction(3, []int32{bread, butter}),
+		txdb.NewTransaction(4, []int32{bread, milk}),
+		txdb.NewTransaction(5, []int32{beer}),
+		txdb.NewTransaction(6, []int32{beer, milk}),
+	}
+}
+
+func mineAll(t *testing.T, txs []txdb.Transaction, minSup int) []mining.Frequent {
+	t.Helper()
+	store, err := txdb.NewMemStoreFrom(nil, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := apriori.Mine(store, apriori.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestGenerateBreadButter(t *testing.T) {
+	txs := marketBasket()
+	rules, err := Generate(mineAll(t, txs, 2), 0.7, len(txs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Rule
+	for i, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 2 && len(r.Consequent) == 1 && r.Consequent[0] == 1 {
+			found = &rules[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("rule {butter} => {bread} not generated")
+	}
+	// butter appears 3 times, always with bread: confidence 1.0.
+	if found.Confidence != 1.0 {
+		t.Errorf("confidence = %f, want 1.0", found.Confidence)
+	}
+	if found.Support != 3 {
+		t.Errorf("support = %d, want 3", found.Support)
+	}
+	// lift = 1.0 / (4/6) = 1.5 (bread appears in 4 of 6 transactions).
+	if math.Abs(found.Lift-1.5) > 1e-9 {
+		t.Errorf("lift = %f, want 1.5", found.Lift)
+	}
+}
+
+func TestConfidenceThresholdFilters(t *testing.T) {
+	txs := marketBasket()
+	loose, err := Generate(mineAll(t, txs, 2), 0.0, len(txs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Generate(mineAll(t, txs, 2), 0.99, len(txs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) >= len(loose) {
+		t.Errorf("tight threshold kept %d rules, loose %d", len(tight), len(loose))
+	}
+	for _, r := range tight {
+		if r.Confidence < 0.99 {
+			t.Errorf("rule %v below threshold", r)
+		}
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	rules, err := Generate(mineAll(t, marketBasket(), 2), 0.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Errorf("rules not sorted by confidence at %d", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	fs := mineAll(t, marketBasket(), 2)
+	if _, err := Generate(fs, -0.1, 6); err == nil {
+		t.Error("negative confidence accepted")
+	}
+	if _, err := Generate(fs, 1.1, 6); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+	if _, err := Generate(fs, 0.5, 0); err == nil {
+		t.Error("zero database size accepted")
+	}
+}
+
+func TestGenerateRejectsIncompleteInput(t *testing.T) {
+	// An itemset without its subsets cannot yield confidences.
+	broken := []mining.Frequent{
+		{Items: []txdb.Item{1, 2}, Support: 3},
+		{Items: []txdb.Item{1}, Support: 4},
+		// {2} missing
+	}
+	if _, err := Generate(broken, 0.1, 6); err == nil {
+		t.Error("non-downward-closed input accepted")
+	}
+}
+
+func TestAntecedentConsequentDisjointAndComplete(t *testing.T) {
+	rules, err := Generate(mineAll(t, marketBasket(), 2), 0.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+	for _, r := range rules {
+		seen := map[txdb.Item]bool{}
+		for _, it := range r.Antecedent {
+			seen[it] = true
+		}
+		for _, it := range r.Consequent {
+			if seen[it] {
+				t.Errorf("rule %v: item %d on both sides", r, it)
+			}
+		}
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			t.Errorf("rule %v has an empty side", r)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: []txdb.Item{1, 2},
+		Consequent: []txdb.Item{3},
+		Support:    10,
+		Confidence: 0.834,
+		Lift:       1.909,
+	}
+	want := "{1,2} => {3} (sup=10, conf=0.83, lift=1.91)"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSingletonItemsetsYieldNoRules(t *testing.T) {
+	fs := []mining.Frequent{{Items: []txdb.Item{1}, Support: 5}}
+	rules, err := Generate(fs, 0.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("singletons produced %d rules", len(rules))
+	}
+}

@@ -1,0 +1,214 @@
+package sigfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/sighash"
+)
+
+// On-disk layout of a persisted BBS ("the structure is persistent — there is
+// no need to reconstruct the BBS upon every update"):
+//
+//	magic(8) | m uint32 | k uint32 | n uint64
+//	| numItems uint32 | (item int32, count uint64)*    exact 1-itemset counts
+//	| liveFlag byte | [deleted uint64 | ceil(n/64) uint64]   live-row mask
+//	| m × ceil(n/64) uint64                            the bit slices
+//
+// All integers little-endian. Items are written in ascending order so the
+// file is deterministic for a given index state. The live-row section is
+// present only when liveFlag is 1 (some transaction has been deleted).
+
+var sigMagic = [8]byte{'B', 'B', 'S', 'S', 'I', 'G', '0', '2'}
+
+// Save writes the index to path atomically (write to temp file, rename).
+func (b *BBS) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("sigfile: create %s: %w", tmp, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := b.writeTo(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sigfile: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sigfile: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sigfile: rename: %w", err)
+	}
+	return nil
+}
+
+func (b *BBS) writeTo(w io.Writer) error {
+	if _, err := w.Write(sigMagic[:]); err != nil {
+		return fmt.Errorf("sigfile: write magic: %w", err)
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.M()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(b.hasher.K()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(b.n))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("sigfile: write header: %w", err)
+	}
+
+	items := b.Items()
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(items)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return fmt.Errorf("sigfile: write item count: %w", err)
+	}
+	pair := make([]byte, 12)
+	for _, it := range items {
+		binary.LittleEndian.PutUint32(pair[0:4], uint32(it))
+		binary.LittleEndian.PutUint64(pair[4:12], uint64(b.itemCounts[it]))
+		if _, err := w.Write(pair); err != nil {
+			return fmt.Errorf("sigfile: write item entry: %w", err)
+		}
+	}
+
+	wordBuf := make([]byte, 8)
+	if b.live == nil {
+		if _, err := w.Write([]byte{0}); err != nil {
+			return fmt.Errorf("sigfile: write live flag: %w", err)
+		}
+	} else {
+		if _, err := w.Write([]byte{1}); err != nil {
+			return fmt.Errorf("sigfile: write live flag: %w", err)
+		}
+		binary.LittleEndian.PutUint64(wordBuf, uint64(b.deleted))
+		if _, err := w.Write(wordBuf); err != nil {
+			return fmt.Errorf("sigfile: write deleted count: %w", err)
+		}
+		for _, word := range b.live.Words() {
+			binary.LittleEndian.PutUint64(wordBuf, word)
+			if _, err := w.Write(wordBuf); err != nil {
+				return fmt.Errorf("sigfile: write live mask: %w", err)
+			}
+		}
+	}
+
+	for _, s := range b.slices {
+		for _, word := range s.Words() {
+			binary.LittleEndian.PutUint64(wordBuf, word)
+			if _, err := w.Write(wordBuf); err != nil {
+				return fmt.Errorf("sigfile: write slice: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a persisted BBS from path. The supplied hasher must match the
+// parameters the file was built with (same m and k); the mapping itself is
+// the caller's responsibility — a BBS file is only meaningful together with
+// the hash scheme that produced it.
+func Load(path string, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sigfile: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("sigfile: read magic: %w", err)
+	}
+	if magic != sigMagic {
+		return nil, fmt.Errorf("sigfile: %s is not a BBS file", path)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("sigfile: read header: %w", err)
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	k := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	if m != h.M() || k != h.K() {
+		return nil, fmt.Errorf("sigfile: file has m=%d k=%d, hasher has m=%d k=%d", m, k, h.M(), h.K())
+	}
+
+	b := New(h, stats)
+	b.n = n
+
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("sigfile: read item count: %w", err)
+	}
+	numItems := int(binary.LittleEndian.Uint32(cnt[:]))
+	pair := make([]byte, 12)
+	for i := 0; i < numItems; i++ {
+		if _, err := io.ReadFull(r, pair); err != nil {
+			return nil, fmt.Errorf("sigfile: read item entry %d: %w", i, err)
+		}
+		item := int32(binary.LittleEndian.Uint32(pair[0:4]))
+		b.itemCounts[item] = int(binary.LittleEndian.Uint64(pair[4:12]))
+	}
+
+	words := (n + 63) / 64
+	buf := make([]byte, 8)
+
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, fmt.Errorf("sigfile: read live flag: %w", err)
+	}
+	switch flag[0] {
+	case 0:
+	case 1:
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("sigfile: read deleted count: %w", err)
+		}
+		b.deleted = int(binary.LittleEndian.Uint64(buf))
+		ws := make([]uint64, words)
+		for wi := 0; wi < words; wi++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("sigfile: read live mask word %d: %w", wi, err)
+			}
+			ws[wi] = binary.LittleEndian.Uint64(buf)
+		}
+		var lv bitvec.Vector
+		if err := lv.SetWords(ws, n); err != nil {
+			return nil, fmt.Errorf("sigfile: live mask: %w", err)
+		}
+		b.live = &lv
+	default:
+		return nil, fmt.Errorf("sigfile: bad live flag %d", flag[0])
+	}
+
+	for p := 0; p < m; p++ {
+		ws := make([]uint64, words)
+		for wi := 0; wi < words; wi++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("sigfile: read slice %d word %d: %w", p, wi, err)
+			}
+			ws[wi] = binary.LittleEndian.Uint64(buf)
+		}
+		var v bitvec.Vector
+		if err := v.SetWords(ws, n); err != nil {
+			return nil, fmt.Errorf("sigfile: slice %d: %w", p, err)
+		}
+		b.slices[p] = &v
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sigfile: trailing data in %s", path)
+	}
+	return b, nil
+}

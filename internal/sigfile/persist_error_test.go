@@ -1,0 +1,71 @@
+package sigfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/sighash"
+)
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	b, _ := runningExample(nil)
+	if err := b.Save(filepath.Join(t.TempDir(), "missing-dir", "index.bbs")); err == nil {
+		t.Error("Save into a missing directory succeeded")
+	}
+}
+
+func TestSaveLeavesNoTempFileOnError(t *testing.T) {
+	b, _ := runningExample(nil)
+	dir := t.TempDir()
+	target := filepath.Join(dir, "no", "index.bbs")
+	b.Save(target) // fails
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("leftover file %s after failed save", e.Name())
+	}
+}
+
+func TestLoadTruncatedFile(t *testing.T) {
+	b, _ := runningExample(nil)
+	path := filepath.Join(t.TempDir(), "index.bbs")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at several byte offsets; Load must fail cleanly each time.
+	for _, cut := range []int{4, 10, 25, len(data) - 3} {
+		if cut <= 0 || cut >= len(data) {
+			continue
+		}
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path, sighash.NewMod(8), nil); err == nil {
+			t.Errorf("Load of file truncated at %d succeeded", cut)
+		}
+	}
+}
+
+func TestLoadTrailingGarbage(t *testing.T) {
+	b, _ := runningExample(nil)
+	path := filepath.Join(t.TempDir(), "index.bbs")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("extra"))
+	f.Close()
+	if _, err := Load(path, sighash.NewMod(8), nil); err == nil {
+		t.Error("Load with trailing garbage succeeded")
+	}
+}

@@ -1,0 +1,54 @@
+package sigfile
+
+import (
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/sighash"
+)
+
+// RowMajor is the ablation counterpart of BBS: the same Bloom signatures
+// stored one vector per transaction (the classic signature-file layout)
+// instead of bit-sliced. Counting an itemset must test every transaction's
+// signature against the query signature — O(n · |signature bits|) bit
+// probes — whereas the bit-sliced layout ANDs whole 64-transaction words.
+// The BenchmarkAblationLayout benchmark quantifies why the paper transposes
+// the file.
+type RowMajor struct {
+	hasher sighash.Hasher
+	rows   []*bitvec.Vector // one m-bit signature per transaction
+}
+
+// NewRowMajor returns an empty row-major signature file.
+func NewRowMajor(h sighash.Hasher) *RowMajor {
+	return &RowMajor{hasher: h}
+}
+
+// Len returns the number of transactions indexed.
+func (r *RowMajor) Len() int { return len(r.rows) }
+
+// Insert indexes one transaction's items.
+func (r *RowMajor) Insert(items []int32) {
+	v := bitvec.New(r.hasher.M())
+	for _, p := range sighash.SignatureBits(r.hasher, items) {
+		v.Set(p)
+	}
+	r.rows = append(r.rows, v)
+}
+
+// CountItemSet estimates the number of transactions containing the itemset
+// by testing each row against the itemset's signature. The estimate is
+// identical to the bit-sliced BBS built with the same hasher — only the
+// access pattern differs.
+func (r *RowMajor) CountItemSet(items []int32) int {
+	bits := sighash.SignatureBits(r.hasher, items)
+	count := 0
+rows:
+	for _, row := range r.rows {
+		for _, p := range bits {
+			if !row.Get(p) {
+				continue rows
+			}
+		}
+		count++
+	}
+	return count
+}

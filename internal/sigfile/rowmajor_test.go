@@ -1,0 +1,60 @@
+package sigfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/sighash"
+)
+
+func TestRowMajorMatchesBitSliced(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	h := sighash.NewMD5(256, 4)
+	sliced := New(h, nil)
+	rows := NewRowMajor(h)
+	var txs [][]int32
+	for i := 0; i < 300; i++ {
+		tx := randomItems(rng, 10, 200)
+		txs = append(txs, tx)
+		sliced.Insert(tx)
+		rows.Insert(tx)
+	}
+	if rows.Len() != sliced.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", rows.Len(), sliced.Len())
+	}
+	for trial := 0; trial < 100; trial++ {
+		src := txs[rng.Intn(len(txs))]
+		itemset := []int32{src[0]}
+		if len(src) > 3 {
+			itemset = append(itemset, src[3])
+		}
+		a, _ := sliced.CountItemSet(itemset)
+		b := rows.CountItemSet(itemset)
+		if a != b {
+			t.Fatalf("layouts disagree on %v: sliced %d, row-major %d", itemset, a, b)
+		}
+	}
+}
+
+func TestRowMajorRunningExample(t *testing.T) {
+	h := sighash.NewMod(8)
+	r := NewRowMajor(h)
+	for _, items := range [][]int32{
+		{0, 1, 2, 3, 4, 5, 14, 15},
+		{1, 2, 3, 5, 6, 7},
+		{1, 5, 14, 15},
+		{0, 1, 2, 7},
+		{1, 2, 5, 6, 11, 15},
+	} {
+		r.Insert(items)
+	}
+	if got := r.CountItemSet([]int32{0, 1}); got != 2 {
+		t.Errorf("CountItemSet({0,1}) = %d, want 2", got)
+	}
+	if got := r.CountItemSet([]int32{1, 3}); got != 3 {
+		t.Errorf("CountItemSet({1,3}) = %d, want 3 (overestimate, as in the paper)", got)
+	}
+	if got := r.CountItemSet(nil); got != 5 {
+		t.Errorf("CountItemSet(nil) = %d, want 5", got)
+	}
+}

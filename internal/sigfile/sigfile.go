@@ -1,0 +1,339 @@
+// Package sigfile implements the paper's indexing structure: the Bit-Sliced
+// Bloom-Filtered Signature File (BBS).
+//
+// Every transaction is mapped to an m-bit Bloom signature (k hash positions
+// per item, via a sighash.Hasher). The file is stored transposed: slice j
+// holds bit j of every transaction's signature, so the estimated number of
+// transactions containing an itemset is obtained by AND-ing the slices
+// selected by the itemset's signature and popcounting the result — algorithm
+// CountItemSet (paper Fig. 1). The structure is dynamic and persistent:
+// appending a transaction sets at most |items|·k bits and never rewrites
+// existing data.
+//
+// Alongside the slices, a BBS keeps the exact support of every 1-itemset,
+// the "additional information" that powers the paper's DualFilter
+// (Lemma 5 / Corollary 1).
+package sigfile
+
+import (
+	"fmt"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/sighash"
+)
+
+// BBS is a bit-sliced Bloom-filtered signature file over n transactions.
+type BBS struct {
+	hasher sighash.Hasher
+	slices []*bitvec.Vector // len == hasher.M(); each slice has n bits
+	n      int              // transactions indexed so far
+
+	itemCounts map[int32]int // exact 1-itemset supports
+
+	live    *bitvec.Vector // live-row mask; nil while nothing is deleted
+	deleted int
+
+	coldPages int64 // index pages already faulted into the buffer pool
+
+	maxTxnItems int // largest distinct-item count among inserted transactions
+
+	stats *iostat.Stats
+}
+
+// New returns an empty BBS using the given hasher. A nil stats disables
+// accounting.
+func New(h sighash.Hasher, stats *iostat.Stats) *BBS {
+	if stats == nil {
+		stats = &iostat.Stats{}
+	}
+	m := h.M()
+	slices := make([]*bitvec.Vector, m)
+	for i := range slices {
+		slices[i] = bitvec.New(0)
+	}
+	return &BBS{
+		hasher:     h,
+		slices:     slices,
+		itemCounts: make(map[int32]int),
+		stats:      stats,
+	}
+}
+
+// Hasher returns the hasher the index was built with.
+func (b *BBS) Hasher() sighash.Hasher { return b.hasher }
+
+// M returns the signature width in bits (the number of slices).
+func (b *BBS) M() int { return len(b.slices) }
+
+// Len returns the number of transactions indexed.
+func (b *BBS) Len() int { return b.n }
+
+// Stats returns the accounting sink.
+func (b *BBS) Stats() *iostat.Stats { return b.stats }
+
+// Insert indexes one transaction's items at the next ordinal position.
+// Position i of every slice corresponds to the i-th inserted transaction,
+// which must equal its ordinal position in the backing txdb.Store.
+// Items need not be sorted; duplicates contribute once to the exact
+// 1-itemset counters.
+func (b *BBS) Insert(items []int32) {
+	pos := b.n
+	b.n++
+	for _, s := range b.slices {
+		s.Grow(b.n)
+	}
+	if b.live != nil {
+		b.live.Append(true)
+	}
+	// Fast path: txdb transactions arrive strictly ascending, so every item
+	// is distinct and counts can be bumped directly.
+	sorted := true
+	for i := 1; i < len(items); i++ {
+		if items[i] <= items[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		if len(items) > b.maxTxnItems {
+			b.maxTxnItems = len(items)
+		}
+		for _, it := range items {
+			b.itemCounts[it]++
+			for _, p := range b.hasher.Positions(it) {
+				b.slices[p].Set(pos)
+			}
+		}
+		return
+	}
+	seen := make(map[int32]struct{}, len(items))
+	for _, it := range items {
+		if _, dup := seen[it]; dup {
+			continue
+		}
+		seen[it] = struct{}{}
+		b.itemCounts[it]++
+		for _, p := range b.hasher.Positions(it) {
+			b.slices[p].Set(pos)
+		}
+	}
+	if len(seen) > b.maxTxnItems {
+		b.maxTxnItems = len(seen)
+	}
+}
+
+// ExactCount returns the exact support of the 1-itemset {item}, maintained
+// incrementally at insert time. This is the DualFilter's side information.
+func (b *BBS) ExactCount(item int32) int { return b.itemCounts[item] }
+
+// Items returns every item that appears in at least one indexed transaction.
+// The order is unspecified. Allocates a fresh slice.
+func (b *BBS) Items() []int32 {
+	out := make([]int32, 0, len(b.itemCounts))
+	for it := range b.itemCounts {
+		out = append(out, it)
+	}
+	return out
+}
+
+// AverageSignatureBits returns the mean number of set bits per transaction
+// signature (total set bits across all slices divided by the number of
+// transactions). It characterizes the index's density, which the adaptive
+// filtering uses to pick a sane fold width. Costs one pass over the slices.
+func (b *BBS) AverageSignatureBits() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range b.slices {
+		total += s.Count()
+	}
+	return float64(total) / float64(b.n)
+}
+
+// MaxTransactionItems returns the largest distinct-item count among the
+// inserted transactions — the adaptive filtering keys its fold-width floor
+// to it, because the heaviest transaction's signature saturates a
+// too-narrow fold and destroys all pruning power.
+func (b *BBS) MaxTransactionItems() int { return b.maxTxnItems }
+
+// SliceBytes returns the size of one slice in bytes (for memory budgeting).
+func (b *BBS) SliceBytes() int64 { return int64((b.n + 7) / 8) }
+
+// TotalBytes returns the total size of all slices in bytes.
+func (b *BBS) TotalBytes() int64 { return b.SliceBytes() * int64(len(b.slices)) }
+
+// pagesForBytes converts a contiguous byte extent into whole pages, at
+// least one. Slices are stored back to back, so several short slices share
+// a page.
+func pagesForBytes(n int64) int64 {
+	p := (n + iostat.PageSize - 1) / iostat.PageSize
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// AndSlice ANDs slice p into dst and returns the popcount of the result.
+// dst must have length Len(). This is the primitive the miners use for
+// incremental filtering: a child itemset reuses its parent's residual
+// vector and only ANDs the new item's slices. It is an in-memory operation;
+// reading the slices from storage is charged separately (ChargeFullRead /
+// ChargeSliceReads) once per pass, matching the paper's model where the BBS
+// is loaded and then operated on with bitwise instructions.
+func (b *BBS) AndSlice(dst *bitvec.Vector, p int) int {
+	b.stats.AddSliceAnd()
+	return dst.AndCount(b.slices[p])
+}
+
+// ChargeFullRead charges one sequential pass over every slice — the cost of
+// streaming through the whole index once. Slices are stored contiguously,
+// so the pass costs ceil(TotalBytes / PageSize) pages. Used by the adaptive
+// mode, whose passes cannot be cached by definition (memory is scarce).
+func (b *BBS) ChargeFullRead() {
+	b.stats.AddSlicePages(pagesForBytes(b.TotalBytes()))
+}
+
+// ChargeColdRead charges only the index pages not yet faulted into the
+// buffer pool. A persistent index in a steady-state system stays resident
+// (index pages go through the buffer pool, unlike sequential table scans,
+// which use bypass rings), so a re-mine after an append pays only for the
+// grown tail. The first call charges the whole index.
+func (b *BBS) ChargeColdRead() {
+	pages := pagesForBytes(b.TotalBytes())
+	if pages > b.coldPages {
+		b.stats.AddSlicePages(pages - b.coldPages)
+		b.coldPages = pages
+	}
+}
+
+// EvictCache forgets buffer-pool residency, so the next ChargeColdRead
+// pays for the whole index again (used when a memory budget evicts it).
+func (b *BBS) EvictCache() { b.coldPages = 0 }
+
+// ChargeSliceReads charges n individual slice reads — the cost of an ad-hoc
+// query that touches only the slices of one itemset's signature.
+func (b *BBS) ChargeSliceReads(n int) {
+	b.stats.AddSlicePages(pagesForBytes(int64(n) * b.SliceBytes()))
+}
+
+// NewResult returns a fresh vector of length Len() marking every live
+// transaction — the identity for slice AND-ing. With no deletions this is
+// all ones; after deletions it is the live-row mask, so every estimate and
+// probe automatically excludes tombstoned rows.
+func (b *BBS) NewResult() *bitvec.Vector {
+	if b.live != nil {
+		return b.live.Clone()
+	}
+	v := bitvec.New(b.n)
+	v.SetAll()
+	return v
+}
+
+// CountItemSet estimates the number of transactions containing the itemset,
+// per paper Fig. 1: AND the slices selected by the itemset's signature and
+// count the surviving bits. The returned vector marks the candidate
+// transactions (its set bits are the ordinal positions Probe fetches); it is
+// freshly allocated. By Lemma 4 the estimate never undercounts.
+func (b *BBS) CountItemSet(items []int32) (int, *bitvec.Vector) {
+	v := b.NewResult()
+	n := b.CountInto(v, items)
+	return n, v
+}
+
+// CountInto is CountItemSet with a caller-provided result vector: dst is
+// overwritten with the slice intersection and the estimate is returned.
+func (b *BBS) CountInto(dst *bitvec.Vector, items []int32) int {
+	b.stats.AddCountCall()
+	dst.Grow(b.n)
+	est := b.n
+	if b.live != nil {
+		dst.CopyFrom(b.live)
+		est = b.Live()
+	} else {
+		dst.SetAll()
+	}
+	for _, p := range sighash.SignatureBits(b.hasher, items) {
+		est = b.AndSlice(dst, p)
+		if est == 0 {
+			break
+		}
+	}
+	return est
+}
+
+// CountConstrained is CountItemSet with an additional constraint slice (an
+// n-bit vector marking the transactions satisfying an ad-hoc predicate, per
+// paper Section 3.4). The constraint is AND-ed after the item slices and
+// charged as one slice read.
+func (b *BBS) CountConstrained(items []int32, constraint *bitvec.Vector) (int, *bitvec.Vector) {
+	if constraint.Len() != b.n {
+		panic(fmt.Sprintf("sigfile: constraint length %d != index length %d", constraint.Len(), b.n))
+	}
+	est, v := b.CountItemSet(items)
+	if est > 0 {
+		b.stats.AddSliceAnd()
+		est = v.AndCount(constraint)
+	}
+	return est, v
+}
+
+// Fold builds the memory-resident MemBBS of the paper's adaptive filtering
+// (Section 3.1, preprocessing phase): the first keep slices are retained and
+// every slice p >= keep is "rehashed" onto slice p mod keep. The fold ORs
+// slices together, which preserves the no-false-miss property (a folded
+// query bit is set whenever any contributing original bit was set).
+// The returned index shares no storage with the original and uses a hasher
+// whose positions are reduced mod keep.
+func (b *BBS) Fold(keep int) (*BBS, error) {
+	if keep <= 0 || keep > len(b.slices) {
+		return nil, fmt.Errorf("sigfile: fold width %d out of range (1..%d)", keep, len(b.slices))
+	}
+	// Reading every original slice once is the preprocessing pass; charge it.
+	b.ChargeFullRead()
+
+	fh := &foldedHasher{base: b.hasher, m: keep}
+	nb := New(fh, b.stats)
+	nb.n = b.n
+	nb.slices = make([]*bitvec.Vector, keep)
+	for j := 0; j < keep; j++ {
+		nb.slices[j] = b.slices[j].Clone()
+	}
+	for p := keep; p < len(b.slices); p++ {
+		nb.slices[p%keep].Or(b.slices[p])
+	}
+	for it, c := range b.itemCounts {
+		nb.itemCounts[it] = c
+	}
+	if b.live != nil {
+		nb.live = b.live.Clone()
+		nb.deleted = b.deleted
+	}
+	return nb, nil
+}
+
+// foldedHasher reduces a base hasher's positions modulo a smaller m.
+type foldedHasher struct {
+	base sighash.Hasher
+	m    int
+}
+
+func (f *foldedHasher) M() int { return f.m }
+func (f *foldedHasher) K() int { return f.base.K() }
+
+func (f *foldedHasher) Positions(item int32) []int {
+	base := f.base.Positions(item)
+	out := make([]int, len(base))
+	for i, p := range base {
+		out[i] = p % f.m
+	}
+	return out
+}
+
+// ResultSlice exposes slice p read-only for verification passes; the caller
+// must not modify it. Reading it is charged as one slice read.
+func (b *BBS) ResultSlice(p int) *bitvec.Vector {
+	b.ChargeSliceReads(1)
+	return b.slices[p]
+}

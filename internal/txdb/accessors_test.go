@@ -1,0 +1,68 @@
+package txdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bbsmine/internal/iostat"
+)
+
+func TestFileStoreAccessors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.txdb")
+	var stats iostat.Stats
+	s, err := CreateFileStore(path, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Path() != path {
+		t.Errorf("Path = %q, want %q", s.Path(), path)
+	}
+	if s.Stats() != &stats {
+		t.Error("Stats() does not return the construction sink")
+	}
+	if err := s.Append(NewTransaction(1, []Item{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+}
+
+func TestFileStoreCacheLimit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.txdb")
+	var stats iostat.Stats
+	s, err := WriteAll(path, &stats, makeTxs(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetCacheLimit(1) // thrash: every Get misses
+	s.Get(7)
+	first := stats.DBRandPages()
+	if first == 0 {
+		t.Fatal("no misses under tiny cache")
+	}
+	s.Get(7)
+	if stats.DBRandPages() != 2*first {
+		t.Errorf("second Get: %d misses total, want %d", stats.DBRandPages(), 2*first)
+	}
+}
+
+func TestMemStoreStatsAccessor(t *testing.T) {
+	var stats iostat.Stats
+	s := NewMemStore(&stats)
+	if s.Stats() != &stats {
+		t.Error("Stats() does not return the construction sink")
+	}
+	// Nil stats gets a private sink, never nil.
+	if NewMemStore(nil).Stats() == nil {
+		t.Error("nil-stats store has nil sink")
+	}
+}
+
+func TestCreateFileStoreBadPath(t *testing.T) {
+	if _, err := CreateFileStore(filepath.Join(t.TempDir(), "missing-dir", "x"), nil); err == nil {
+		t.Error("create under a missing directory succeeded")
+	}
+}

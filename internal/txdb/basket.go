@@ -1,0 +1,105 @@
+package txdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Basket format: the de-facto interchange format of the frequent-itemset
+// mining community (the FIMI repository's retail.dat, kosarak.dat, etc.) —
+// one transaction per line, items as whitespace-separated non-negative
+// integers. TIDs are not part of the format; ReadBasket assigns 1-based
+// line numbers.
+
+// ReadBasket parses basket-format transactions from r. Blank lines and
+// lines starting with '#' are skipped. Items within a line are normalized
+// (sorted, deduplicated).
+func ReadBasket(r io.Reader) ([]Transaction, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Transaction
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		items, err := parseBasketLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("txdb: basket line %d: %w", lineNo, err)
+		}
+		if items == nil {
+			continue // blank or comment
+		}
+		out = append(out, NewTransaction(int64(len(out)+1), items))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("txdb: reading basket input: %w", err)
+	}
+	return out, nil
+}
+
+// parseBasketLine returns the items on one line, nil for blank/comment
+// lines, or an error for malformed input.
+func parseBasketLine(line []byte) ([]Item, error) {
+	var items []Item
+	i := 0
+	for i < len(line) {
+		// Skip whitespace.
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '#' && items == nil {
+			return nil, nil // comment line
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+			i++
+		}
+		tok := string(line[start:i])
+		v, err := strconv.ParseInt(tok, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q", tok)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative item %d", v)
+		}
+		items = append(items, Item(v))
+	}
+	return items, nil
+}
+
+// WriteBasket writes the store's transactions in basket format.
+func WriteBasket(w io.Writer, store Store) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scanErr error
+	err := store.Scan(func(_ int, tx Transaction) bool {
+		for i, it := range tx.Items {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(int64(it), 10)); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("txdb: scanning for basket export: %w", err)
+	}
+	if scanErr != nil {
+		return fmt.Errorf("txdb: writing basket output: %w", scanErr)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,95 @@
+package txdb
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadBasket(t *testing.T) {
+	in := strings.Join([]string{
+		"1 2 3",
+		"",
+		"# a comment",
+		"5\t7  5", // tabs, double spaces, duplicate item
+		"  9 ",
+	}, "\n")
+	txs, err := ReadBasket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 3 {
+		t.Fatalf("parsed %d transactions, want 3", len(txs))
+	}
+	if !reflect.DeepEqual(txs[0].Items, []Item{1, 2, 3}) || txs[0].TID != 1 {
+		t.Errorf("tx0 = %+v", txs[0])
+	}
+	if !reflect.DeepEqual(txs[1].Items, []Item{5, 7}) || txs[1].TID != 2 {
+		t.Errorf("tx1 = %+v", txs[1])
+	}
+	if !reflect.DeepEqual(txs[2].Items, []Item{9}) || txs[2].TID != 3 {
+		t.Errorf("tx2 = %+v", txs[2])
+	}
+}
+
+func TestReadBasketErrors(t *testing.T) {
+	for _, bad := range []string{"1 x 3", "-5", "99999999999999999999"} {
+		if _, err := ReadBasket(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadBasket(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestReadBasketEmpty(t *testing.T) {
+	txs, err := ReadBasket(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 0 {
+		t.Errorf("parsed %d transactions from empty input", len(txs))
+	}
+}
+
+func TestBasketRoundTrip(t *testing.T) {
+	txs := makeTxs(100)
+	store, err := NewMemStoreFrom(nil, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBasket(&buf, store); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBasket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(txs) {
+		t.Fatalf("round trip: %d transactions, want %d", len(back), len(txs))
+	}
+	for i := range txs {
+		// TIDs are re-assigned; items must survive exactly.
+		if !reflect.DeepEqual(back[i].Items, txs[i].Items) {
+			t.Fatalf("transaction %d items: %v, want %v", i, back[i].Items, txs[i].Items)
+		}
+	}
+}
+
+func FuzzParseBasketLine(f *testing.F) {
+	f.Add([]byte("1 2 3"))
+	f.Add([]byte("# comment"))
+	f.Add([]byte("  7\t8 "))
+	f.Add([]byte("nonsense"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		items, err := parseBasketLine(line) // must never panic
+		if err != nil {
+			return
+		}
+		for _, it := range items {
+			if it < 0 {
+				t.Fatalf("negative item %d accepted", it)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package txdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// On-disk record format, chosen for compactness and append-only growth:
+//
+//	record := uvarint(TID) uvarint(len(items)) uvarint(items[0]) uvarint(items[i]-items[i-1])...
+//
+// Items are stored delta-encoded, which is valid because transactions keep
+// their items sorted strictly ascending. The file as a whole is:
+//
+//	file := magic(8 bytes) record*
+//
+// There is no embedded index: the positional index the Probe refinement
+// needs is rebuilt by one sequential scan at open time and maintained in
+// memory on append, exactly as cheap for the paper's workloads.
+
+// fileMagic identifies a transaction database file (8 bytes).
+var fileMagic = [8]byte{'B', 'B', 'S', 'T', 'X', 'D', 'B', '1'}
+
+// uvarintLen returns the encoded length of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendRecord appends the encoded record for tx to buf and returns it.
+func appendRecord(buf []byte, tx Transaction) []byte {
+	buf = binary.AppendUvarint(buf, uint64(tx.TID))
+	buf = binary.AppendUvarint(buf, uint64(len(tx.Items)))
+	prev := Item(0)
+	for i, it := range tx.Items {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(it))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(it-prev))
+		}
+		prev = it
+	}
+	return buf
+}
+
+// readRecord decodes one record from r. It returns io.EOF (untouched) when
+// the reader is exhausted exactly at a record boundary, and wraps any other
+// failure, including a truncated record, in a descriptive error.
+func readRecord(r *bufio.Reader) (Transaction, error) {
+	tid, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return Transaction{}, io.EOF
+		}
+		return Transaction{}, fmt.Errorf("txdb: reading TID: %w", err)
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Transaction{}, fmt.Errorf("txdb: reading item count for TID %d: %w", tid, err)
+	}
+	const maxItems = 1 << 24 // sanity bound against corrupt files
+	if n > maxItems {
+		return Transaction{}, fmt.Errorf("txdb: implausible item count %d for TID %d", n, tid)
+	}
+	items := make([]Item, n)
+	var prev uint64
+	for i := range items {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Transaction{}, fmt.Errorf("txdb: reading item %d of TID %d: %w", i, tid, err)
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			if d == 0 {
+				return Transaction{}, fmt.Errorf("txdb: zero delta (duplicate item) in TID %d", tid)
+			}
+			prev += d
+		}
+		if prev > 1<<31-1 {
+			return Transaction{}, fmt.Errorf("txdb: item overflow in TID %d", tid)
+		}
+		items[i] = Item(prev)
+	}
+	return Transaction{TID: int64(tid), Items: items}, nil
+}

@@ -1,0 +1,13 @@
+package txdb
+
+import "os"
+
+// Small indirections so the main test file reads cleanly.
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readFileBytes(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,53 @@
+package txdb
+
+import "bbsmine/internal/iostat"
+
+// pageCache models the buffer pool for random (probe) accesses, per the
+// cost model in iostat: sequential scans stream through a ring buffer and
+// never populate the cache, while point fetches stay resident after their
+// first touch — as long as the whole file fits the configured limit. When
+// the data outgrows the limit, the model degrades to "every random access
+// misses", the pessimistic but simple end state of a thrashing pool.
+type pageCache struct {
+	limit    int64 // bytes; 0 = unlimited
+	resident map[int64]struct{}
+}
+
+// misses returns the number of page faults for a random access to the byte
+// range [start, end) of a file currently size bytes long, updating
+// residency.
+func (c *pageCache) misses(start, end, size int64) int64 {
+	if end <= start {
+		end = start + 1 // a record read always touches its header page
+	}
+	first := start / iostat.PageSize
+	last := (end - 1) / iostat.PageSize
+	if c.limit > 0 && size > c.limit {
+		return last - first + 1 // thrashing: nothing stays resident
+	}
+	if c.resident == nil {
+		c.resident = make(map[int64]struct{})
+	}
+	var n int64
+	for p := first; p <= last; p++ {
+		if _, ok := c.resident[p]; !ok {
+			c.resident[p] = struct{}{}
+			n++
+		}
+	}
+	return n
+}
+
+// setLimit reconfigures the cache size and drops residency.
+func (c *pageCache) setLimit(bytes int64) {
+	c.limit = bytes
+	c.resident = nil
+}
+
+// CacheLimiter is implemented by stores whose buffer-cache model can be
+// bounded; mining runs propagate their memory budget through it.
+type CacheLimiter interface {
+	// SetCacheLimit bounds the modeled buffer pool to the given bytes and
+	// resets residency. Zero removes the bound.
+	SetCacheLimit(bytes int64)
+}

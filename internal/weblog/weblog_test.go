@@ -1,0 +1,208 @@
+package weblog
+
+import (
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.BaseTransactions = 500
+	c.IncrementTransactions = 100
+	c.Days = 3
+	c.Files = 200
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Files = 0 },
+		func(c *Config) { c.HotFraction = 0 },
+		func(c *Config) { c.HotFraction = 1.5 },
+		func(c *Config) { c.ChurnFraction = -0.1 },
+		func(c *Config) { c.SessionSize = 0 },
+		func(c *Config) { c.HotBias = 2 },
+		func(c *Config) { c.Days = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Base) != cfg.BaseTransactions {
+		t.Errorf("base = %d, want %d", len(w.Base), cfg.BaseTransactions)
+	}
+	if len(w.Increments) != cfg.Days {
+		t.Fatalf("increments = %d, want %d", len(w.Increments), cfg.Days)
+	}
+	for d, inc := range w.Increments {
+		if len(inc) != cfg.IncrementTransactions {
+			t.Errorf("day %d: %d transactions, want %d", d, len(inc), cfg.IncrementTransactions)
+		}
+	}
+	if got := w.TotalTransactions(); got != cfg.BaseTransactions+cfg.Days*cfg.IncrementTransactions {
+		t.Errorf("TotalTransactions = %d", got)
+	}
+}
+
+func TestTransactionsValid(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(txs []txdb.Transaction) {
+		for _, tx := range txs {
+			if err := tx.Validate(); err != nil {
+				t.Fatalf("invalid transaction: %v", err)
+			}
+			if len(tx.Items) == 0 {
+				t.Fatal("empty transaction")
+			}
+			for _, it := range tx.Items {
+				if int(it) >= 200 {
+					t.Fatalf("item %d outside alphabet", it)
+				}
+			}
+		}
+	}
+	check(w.Base)
+	for _, inc := range w.Increments {
+		check(inc)
+	}
+}
+
+func TestTIDsGloballyIncreasing(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	walk := func(txs []txdb.Transaction) {
+		for _, tx := range txs {
+			if tx.TID <= prev {
+				t.Fatalf("TID %d not increasing (prev %d)", tx.TID, prev)
+			}
+			prev = tx.TID
+		}
+	}
+	walk(w.Base)
+	for _, inc := range w.Increments {
+		walk(inc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different workloads")
+	}
+	cfg := smallConfig()
+	cfg.Seed = 99
+	c, _ := Generate(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestHotSetSkew(t *testing.T) {
+	// Accesses must concentrate: the top decile of files should receive the
+	// majority of accesses given HotBias=0.8.
+	cfg := smallConfig()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[txdb.Item]int{}
+	total := 0
+	for _, tx := range w.Base {
+		for _, it := range tx.Items {
+			freq[it]++
+			total++
+		}
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	// Selection-sort the top 10% counts.
+	top := cfg.Files / 10
+	sum := 0
+	for i := 0; i < top && i < len(counts); i++ {
+		maxJ := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxJ] {
+				maxJ = j
+			}
+		}
+		counts[i], counts[maxJ] = counts[maxJ], counts[i]
+		sum += counts[i]
+	}
+	if float64(sum)/float64(total) < 0.5 {
+		t.Errorf("top decile receives %.0f%% of accesses, want majority", 100*float64(sum)/float64(total))
+	}
+}
+
+func TestHotSetRotates(t *testing.T) {
+	// The hottest items of day 0 and the last day must differ somewhat:
+	// churn is 10%/day over several days.
+	cfg := smallConfig()
+	cfg.Days = 8
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topSet := func(txs []txdb.Transaction) map[txdb.Item]bool {
+		freq := map[txdb.Item]int{}
+		for _, tx := range txs {
+			for _, it := range tx.Items {
+				freq[it]++
+			}
+		}
+		out := map[txdb.Item]bool{}
+		for n := 0; n < 10; n++ {
+			best, bestC := txdb.Item(-1), -1
+			for it, c := range freq {
+				if c > bestC && !out[it] {
+					best, bestC = it, c
+				}
+			}
+			if best >= 0 {
+				out[best] = true
+			}
+		}
+		return out
+	}
+	first := topSet(w.Increments[0])
+	last := topSet(w.Increments[len(w.Increments)-1])
+	same := 0
+	for it := range first {
+		if last[it] {
+			same++
+		}
+	}
+	if same == len(first) {
+		t.Error("hot set did not rotate at all over 8 days of 10% churn")
+	}
+}

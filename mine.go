@@ -1,0 +1,188 @@
+package bbsmine
+
+import (
+	"fmt"
+
+	"bbsmine/internal/core"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/rules"
+)
+
+// Scheme selects one of the paper's four filter-and-refine algorithms.
+type Scheme = core.Scheme
+
+// The four mining algorithms of the paper's Section 3.3. DFP (dual filter +
+// probe) is the paper's best performer across every workload it evaluates.
+const (
+	SFS = core.SFS // SingleFilter + SequentialScan
+	SFP = core.SFP // SingleFilter + Probe
+	DFS = core.DFS // DualFilter + SequentialScan
+	DFP = core.DFP // DualFilter + Probe
+)
+
+// Pattern is one mined itemset. When Exact is false the support is the
+// index's estimate, which never undercounts the true support.
+type Pattern = core.Pattern
+
+// Result carries the mined patterns plus the run's bookkeeping (candidate
+// count, false drops, how many patterns the dual filter certified without
+// touching the database).
+type Result = core.Result
+
+// MineOptions parameterizes a mining run.
+type MineOptions struct {
+	// MinSupportFrac is the minimum support as a fraction of the database
+	// size (the paper's default is 0.003, i.e. 0.3%). Ignored when
+	// MinSupportCount is set.
+	MinSupportFrac float64
+	// MinSupportCount is the absolute support threshold; takes precedence
+	// over MinSupportFrac when positive.
+	MinSupportCount int
+	// Scheme selects the algorithm; the zero value is SFS. Use DFP unless
+	// you are comparing schemes.
+	Scheme Scheme
+	// MemoryBudget, in bytes, triggers the adaptive three-phase filtering
+	// when the index exceeds it, and batches sequential verification.
+	// Zero means unconstrained.
+	MemoryBudget int64
+	// MaxLen bounds pattern length; 0 means unbounded.
+	MaxLen int
+}
+
+func (o MineOptions) threshold(n int) (int, error) {
+	if o.MinSupportCount > 0 {
+		return o.MinSupportCount, nil
+	}
+	if o.MinSupportFrac <= 0 || o.MinSupportFrac > 1 {
+		return 0, fmt.Errorf("bbsmine: need MinSupportCount > 0 or MinSupportFrac in (0,1], got %v / %v",
+			o.MinSupportCount, o.MinSupportFrac)
+	}
+	return mining.MinSupportCount(o.MinSupportFrac, n), nil
+}
+
+// Mine returns the frequent patterns of the database under the options.
+func (db *Database) Mine(opts MineOptions) (*Result, error) {
+	tau, err := opts.threshold(db.Len())
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.miner()
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine(core.Config{
+		MinSupport:   tau,
+		Scheme:       opts.Scheme,
+		MemoryBudget: opts.MemoryBudget,
+		MaxLen:       opts.MaxLen,
+	})
+}
+
+// MineApprox runs filtering with no refinement phase (the paper's future-
+// work extension): fastest possible answer, supports are estimates, the
+// pattern set is a superset of the true frequent patterns.
+func (db *Database) MineApprox(opts MineOptions) ([]Pattern, error) {
+	tau, err := opts.threshold(db.Len())
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.miner()
+	if err != nil {
+		return nil, err
+	}
+	return m.MineApprox(tau, opts.MaxLen)
+}
+
+// Count estimates and exactly counts the occurrences of an arbitrary
+// itemset — frequent or not — using one index lookup plus targeted probes.
+func (db *Database) Count(items []int32) (estimate, exact int, err error) {
+	m, err := db.miner()
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Count(items)
+}
+
+// CountWhere counts itemset occurrences among the transactions satisfying
+// the predicate (the paper's constrained ad-hoc queries, e.g. "TIDs
+// divisible by 7"). Building the constraint slice costs one sequential
+// pass; see NewConstraint to build once and reuse.
+func (db *Database) CountWhere(items []int32, pred func(tid int64) bool) (estimate, exact int, err error) {
+	c, err := db.NewConstraint(pred)
+	if err != nil {
+		return 0, 0, err
+	}
+	return db.CountConstrained(items, c)
+}
+
+// Constraint marks a subset of the database's transactions for constrained
+// queries and constrained mining. It is bound to the database state at
+// creation time: appending transactions invalidates it.
+type Constraint struct {
+	vec *bitvecVector
+	n   int
+}
+
+// NewConstraint materializes a constraint from a predicate over TIDs.
+func (db *Database) NewConstraint(pred func(tid int64) bool) (*Constraint, error) {
+	v, err := core.BuildConstraint(db.store, func(_ int, tx txdbTransaction) bool {
+		return pred(tx.TID)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Constraint{vec: v, n: db.Len()}, nil
+}
+
+// CountConstrained counts itemset occurrences under a previously built
+// constraint.
+func (db *Database) CountConstrained(items []int32, c *Constraint) (estimate, exact int, err error) {
+	if c.n != db.Len() {
+		return 0, 0, fmt.Errorf("bbsmine: constraint built over %d transactions, database now has %d", c.n, db.Len())
+	}
+	m, err := db.miner()
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.CountConstrained(items, c.vec)
+}
+
+// MineConstrained mines frequent patterns restricted to the constrained
+// transactions. Only the single-filter schemes (SFS, SFP) are valid: the
+// dual filter's exact 1-itemset counts are unconstrained, so DFS and DFP
+// are rejected.
+func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, error) {
+	if c.n != db.Len() {
+		return nil, fmt.Errorf("bbsmine: constraint built over %d transactions, database now has %d", c.n, db.Len())
+	}
+	tau, err := opts.threshold(db.Len())
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.miner()
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine(core.Config{
+		MinSupport:   tau,
+		Scheme:       opts.Scheme,
+		MemoryBudget: opts.MemoryBudget,
+		MaxLen:       opts.MaxLen,
+		Constraint:   c.vec,
+	})
+}
+
+// Rule re-exports the association-rule type.
+type Rule = rules.Rule
+
+// Rules mines frequent patterns with exact supports (scheme SFP, so every
+// support is exact) and derives the association rules meeting the
+// confidence threshold.
+func (db *Database) Rules(opts MineOptions, minConfidence float64) ([]Rule, error) {
+	opts.Scheme = SFP
+	res, err := db.Mine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return rules.Generate(res.Frequents(), minConfidence, db.Len())
+}
