@@ -1,0 +1,33 @@
+# Development entry points. Everything is plain `go` underneath — the
+# targets just pin the invocations CI and the docs refer to.
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector (the parallel
+## mining engine's concurrency tests are only meaningful here)
+race:
+	$(GO) test -race ./...
+
+## vet: static analysis over every package
+vet:
+	$(GO) vet ./...
+
+## bench: the paper-figure benchmarks plus the workers sweep (quick form;
+## see bench_results_full.txt for a full bbsbench run)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## check: everything the driver gates on — build, vet, tests, race
+check: build vet test race

@@ -130,6 +130,29 @@ func BenchmarkFig6(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkersSweep — the parallel engine at 1/2/4/8 workers, every BBS
+// scheme, on the default workload. The Result is identical at every worker
+// count (the engine is deterministic); the benchmark measures pure wall
+// scaling, so speedups only appear on hosts with GOMAXPROCS > 1.
+func BenchmarkWorkersSweep(b *testing.B) {
+	txs := benchDataset(b, benchD, benchV, 10)
+	tau := benchTauCount(len(txs))
+
+	for _, scheme := range []core.Scheme{core.SFS, core.DFS, core.SFP, core.DFP} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", scheme, workers), func(b *testing.B) {
+				miner := benchMiner(b, txs, benchM, benchK)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig7 — effect of the minimum support threshold on DFP and APS.
 func BenchmarkFig7(b *testing.B) {
 	txs := benchDataset(b, benchD, benchV, 10)

@@ -35,13 +35,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bbsbench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", `figure to regenerate: 5..13 or "all"`)
-		scale  = fs.Float64("scale", 1.0, "scale factor on transaction counts (use <1 for quick runs)")
-		repeat = fs.Int("repeat", 1, "timing repetitions per point (best is reported)")
-		seed   = fs.Int64("seed", 1, "dataset seed")
-		tau    = fs.Float64("tau", 0, "override the minimum-support fraction (default: the paper's 0.003; raise it for scaled-down runs)")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		outdir = fs.String("outdir", "", "also write each table as <outdir>/<id>.csv for plotting")
+		fig     = fs.String("fig", "all", `figure to regenerate: 5..13, 14 (workers sweep, not in the paper) or "all"`)
+		scale   = fs.Float64("scale", 1.0, "scale factor on transaction counts (use <1 for quick runs)")
+		repeat  = fs.Int("repeat", 1, "timing repetitions per point (best is reported)")
+		seed    = fs.Int64("seed", 1, "dataset seed")
+		tau     = fs.Float64("tau", 0, "override the minimum-support fraction (default: the paper's 0.003; raise it for scaled-down runs)")
+		workers = fs.Int("workers", 1, "mining worker pool size for figures 5..13 (default 1 keeps paper timings single-threaded; figure 14 sweeps its own)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		outdir  = fs.String("outdir", "", "also write each table as <outdir>/<id>.csv for plotting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,7 @@ func run(args []string) error {
 	p := exp.Defaults(*scale)
 	p.Seed = *seed
 	p.Repeat = *repeat
+	p.Workers = *workers
 	if *tau > 0 {
 		p.TauFrac = *tau
 	}
@@ -63,7 +65,7 @@ func run(args []string) error {
 	} else {
 		f, err := strconv.Atoi(*fig)
 		if err != nil || exp.Figures[f] == nil {
-			return fmt.Errorf("unknown figure %q (want 5..13 or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 5..14 or all)", *fig)
 		}
 		figures = []int{f}
 	}

@@ -40,11 +40,12 @@ func run(args []string) error {
 		m            = fs.Int("m", 1600, "signature bits")
 		k            = fs.Int("k", 4, "hash functions per item")
 
-		minsup = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
-		scheme = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
-		maxLen = fs.Int("maxlen", 0, "maximum pattern length (0 = unbounded)")
-		memory = fs.Int64("memory", 0, "memory budget in bytes (0 = unconstrained)")
-		top    = fs.Int("top", 20, "print at most this many patterns (0 = all)")
+		minsup  = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
+		scheme  = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
+		maxLen  = fs.Int("maxlen", 0, "maximum pattern length (0 = unbounded)")
+		memory  = fs.Int64("memory", 0, "memory budget in bytes (0 = unconstrained)")
+		workers = fs.Int("workers", 0, "mining worker pool size (0 = one per CPU, 1 = sequential)")
+		top     = fs.Int("top", 20, "print at most this many patterns (0 = all)")
 
 		count    = fs.String("count", "", "comma-separated itemset to count instead of mining")
 		whereMod = fs.Int64("where-tid-mod", 0, "restrict -count to TIDs divisible by this value")
@@ -140,6 +141,7 @@ func run(args []string) error {
 			Scheme:         sch,
 			MaxLen:         *maxLen,
 			MemoryBudget:   *memory,
+			Workers:        *workers,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,44 @@
+package bitvec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a concurrency-safe free list of equal-length Vectors. The parallel
+// mining engine hands residual and scratch vectors between workers through a
+// Pool so the slice-AND hot path stays allocation-free after warm-up: a
+// subtree's residual vector is taken from the pool when the subtree is
+// scheduled and returned as soon as it has been mined.
+//
+// Vectors returned by Get have the pool's fixed length but unspecified
+// contents; callers overwrite them (CopyFrom, SetAll) before use.
+type Pool struct {
+	n int
+	p sync.Pool
+}
+
+// NewPool returns a pool of n-bit vectors.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative pool length %d", n))
+	}
+	pl := &Pool{n: n}
+	pl.p.New = func() any { return New(n) }
+	return pl
+}
+
+// Len returns the length, in bits, of the vectors the pool hands out.
+func (p *Pool) Len() int { return p.n }
+
+// Get returns a vector of length Len() with unspecified contents.
+func (p *Pool) Get() *Vector { return p.p.Get().(*Vector) }
+
+// Put returns a vector to the pool. Vectors of the wrong length (or nil) are
+// dropped rather than recycled, so callers may Put unconditionally.
+func (p *Pool) Put(v *Vector) {
+	if v == nil || v.Len() != p.n {
+		return
+	}
+	p.p.Put(v)
+}

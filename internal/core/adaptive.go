@@ -66,27 +66,37 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	// the second (and last) pass over the original index. Probe schemes
 	// refine each survivor immediately (holding one residual vector at a
 	// time); scan schemes batch the survivors for sequential verification.
+	// With workers > 1 the per-candidate re-estimates (and probes) run on
+	// the pool; the outcomes are merged in candidate order.
 	m.idx.ChargeFullRead()
 	var survivors []Pattern
-	buf := bitvec.New(m.idx.Len())
-	for _, c := range r.uncertain {
-		est := m.idx.CountInto(buf, c.Items)
-		if cfg.Constraint != nil && est > 0 {
-			est = buf.AndCount(cfg.Constraint)
-		}
-		if est < cfg.MinSupport {
-			continue
-		}
-		if cfg.Scheme.probes() {
-			exact := r.probeExact(buf, c.Items)
-			if exact >= cfg.MinSupport {
-				accepted = append(accepted, Pattern{Items: c.Items, Support: exact, Exact: true})
-			} else {
-				res.FalseDrops++
-				m.stats.AddFalseDrop()
+	if workers := cfg.workerCount(); workers > 1 && len(r.uncertain) > 1 {
+		acc, surv, drops, probed := m.reverifyParallel(r, r.uncertain, cfg, workers)
+		accepted = append(accepted, acc...)
+		survivors = surv
+		res.FalseDrops += drops
+		r.probedPatterns += probed
+	} else {
+		buf := bitvec.New(m.idx.Len())
+		for _, c := range r.uncertain {
+			est := m.idx.CountInto(buf, c.Items)
+			if cfg.Constraint != nil && est > 0 {
+				est = buf.AndCount(cfg.Constraint)
 			}
-		} else {
-			survivors = append(survivors, c)
+			if est < cfg.MinSupport {
+				continue
+			}
+			if cfg.Scheme.probes() {
+				exact := r.probeExact(buf, c.Items)
+				if exact >= cfg.MinSupport {
+					accepted = append(accepted, Pattern{Items: c.Items, Support: exact, Exact: true})
+				} else {
+					res.FalseDrops++
+					m.stats.AddFalseDrop()
+				}
+			} else {
+				survivors = append(survivors, c)
+			}
 		}
 	}
 	if cfg.Scheme.probes() {

@@ -170,7 +170,7 @@ func TestMineApproxSuperset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := miner.MineApprox(tau, 0)
+	approx, err := miner.MineApprox(tau, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestMineApproxSuperset(t *testing.T) {
 			t.Errorf("approx pattern %v support %d under τ", p.Items, p.Support)
 		}
 	}
-	if _, err := miner.MineApprox(0, 0); err == nil {
+	if _, err := miner.MineApprox(0, 0, 1); err == nil {
 		t.Error("MineApprox accepted MinSupport 0")
 	}
 }

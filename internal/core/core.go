@@ -25,6 +25,25 @@
 // integrate refinement into filtering, stopping chains of false drops
 // early; when a probe answers a DualFilter-uncertain node, its exact count
 // re-enters the CheckCount machinery, which is why DFP probes so rarely.
+//
+// # Concurrency model
+//
+// Mining runs on a bounded worker pool sized by Config.Workers (default:
+// one worker per CPU). The enumeration fans out at the root — every
+// surviving level-1 extension's subtree is an independent task, since a
+// subtree depends only on its own residual vector and the read-only level-1
+// alphabet — and refinement fans out with it: probe fetches split by
+// position range, SequentialScan verification sharded over per-worker
+// counters. Workers share nothing mutable except the concurrency-safe
+// vector pool and the atomic iostat counters; each keeps private scratch
+// vectors so the slice-AND hot path stays allocation-free.
+//
+// The engine is deterministic: partial results merge in the sequential
+// enumeration order and every Result counter is a sum over independent
+// subtrees, so a run with Workers: N returns a Result identical — byte for
+// byte — to the same run with Workers: 1, for all four schemes. A Miner
+// serves one Mine call at a time; the parallelism is inside the call, not
+// across calls.
 package core
 
 import (
@@ -89,6 +108,11 @@ type Config struct {
 	Constraint *bitvec.Vector
 	// MaxLen bounds pattern length; 0 means unbounded.
 	MaxLen int
+	// Workers bounds the mining worker pool. 0 (the default) uses one
+	// worker per available CPU (runtime.GOMAXPROCS(0)); 1 forces the
+	// sequential engine. The Result is identical for every value — see the
+	// package documentation's determinism guarantee.
+	Workers int
 
 	// NoEarlyExit disables the below-τ early exit while AND-ing an item's
 	// slices, so every slice of every evaluated extension is processed.

@@ -16,12 +16,18 @@ const (
 	flagCertainEst    = 2  // frequent with 100% guarantee, count is estimate
 )
 
-// run carries the state of one filtering pass.
+// run carries the state of one filtering pass. A run is single-goroutine:
+// the parallel engine (parallel.go) gives every worker its own run via
+// workerRun, sharing only the read-only fields (miner, index, config, the
+// level-1 alphabet arrays) and the concurrency-safe vector pool.
 type run struct {
 	m   *Miner
 	idx *sigfile.BBS // the index filtered against (the full BBS or a MemBBS)
 	cfg Config
 	tau int
+
+	workers int          // resolved parallelism; 1 = the seed's sequential path
+	vecs    *bitvec.Pool // residual-vector pool shared across workers
 
 	items []txdb.Item // level-1 est-survivors, ascending; the global alphabet
 	est1  []int       // BBS estimate of each alphabet item's support
@@ -40,6 +46,11 @@ type run struct {
 	// its filtering phase against the coarse MemBBS.
 	disableProbing bool
 
+	// inWorker marks worker clones; it disables the nested fan-out of
+	// probeExact (a worker's probes run sequentially — the concurrency
+	// already comes from the other workers).
+	inWorker bool
+
 	accepted  []Pattern
 	uncertain []Pattern // two-phase schemes: needs refinement
 
@@ -55,6 +66,8 @@ func newRun(m *Miner, idx *sigfile.BBS, cfg Config) *run {
 		idx:     idx,
 		cfg:     cfg,
 		tau:     cfg.MinSupport,
+		workers: cfg.workerCount(),
+		vecs:    bitvec.NewPool(idx.Len()),
 		applied: make([]bool, idx.M()),
 	}
 }
@@ -92,6 +105,9 @@ func (r *run) root() (*bitvec.Vector, int) {
 // of paper Figs. 2/4 proceeds over conditional alphabets: the extensions of
 // an itemset are exactly its parent's surviving extensions, which is the
 // same enumeration with the guaranteed-failing evaluations skipped.
+//
+// With workers > 1 the enumeration below level 1 fans out across the worker
+// pool (filterParallel); the result is identical to the sequential pass.
 func (r *run) filter() {
 	r.rootVec, r.rootEst = r.root()
 
@@ -100,7 +116,7 @@ func (r *run) filter() {
 
 	// Level-1 sweep. The alphabet arrays (items/est1/act1) are what
 	// CheckCount consults for I1 = {i} at any depth.
-	buf := bitvec.New(r.idx.Len())
+	buf := r.vecs.Get()
 	var newPos []int
 	for _, it := range all {
 		newPos = newPos[:0]
@@ -111,10 +127,15 @@ func (r *run) filter() {
 			r.act1 = append(r.act1, r.idx.ExactCount(it))
 		}
 	}
+	r.vecs.Put(buf)
 
 	alphabet := make([]int, len(r.items))
 	for i := range alphabet {
 		alphabet[i] = i
+	}
+	if r.workers > 1 {
+		r.filterParallel(alphabet)
+		return
 	}
 	r.node(alphabet, r.rootVec, r.rootEst, 0, flagCertainActual)
 }
@@ -174,27 +195,7 @@ func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCo
 	for len(r.scratch) <= depth {
 		r.scratch = append(r.scratch, bitvec.New(r.idx.Len()))
 	}
-	scratch := r.scratch[depth]
-
-	exts := make([]ext, 0, len(alphabet))
-	var newPos []int
-	for _, gi := range alphabet {
-		it := r.items[gi]
-		newPos = newPos[:0]
-		est := r.evalExtension(scratch, parentVec, parentEst, it, &newPos)
-		if est < r.tau {
-			continue // filtered out; gone from every subtree (monotonicity)
-		}
-		r.candidates++
-		r.m.stats.AddCandidate()
-
-		e := ext{gi: gi, est: est, newPos: append([]int(nil), newPos...)}
-		r.evaluateCandidate(&e, scratch, parentEst, parentCount, parentFlag, depth)
-		if e.descend {
-			e.vec = scratch.Clone()
-		}
-		exts = append(exts, e)
-	}
+	exts := r.expandNode(alphabet, r.scratch[depth], parentVec, parentEst, parentCount, parentFlag)
 
 	for si := range exts {
 		e := &exts[si]
@@ -214,8 +215,38 @@ func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCo
 		for _, p := range e.newPos {
 			r.applied[p] = false
 		}
-		e.vec = nil // release before the next sibling's subtree
+		r.vecs.Put(e.vec) // release before the next sibling's subtree
+		e.vec = nil
 	}
+}
+
+// expandNode evaluates every alphabet extension of the current itemset and
+// applies the scheme-specific candidate handling; it is the first half of
+// node, shared with the parallel engine, which turns the surviving
+// extensions of the root into subtree tasks instead of recursing.
+func (r *run) expandNode(alphabet []int, scratch, parentVec *bitvec.Vector, parentEst, parentCount, parentFlag int) []ext {
+	depth := len(r.itemset)
+	exts := make([]ext, 0, len(alphabet))
+	var newPos []int
+	for _, gi := range alphabet {
+		it := r.items[gi]
+		newPos = newPos[:0]
+		est := r.evalExtension(scratch, parentVec, parentEst, it, &newPos)
+		if est < r.tau {
+			continue // filtered out; gone from every subtree (monotonicity)
+		}
+		r.candidates++
+		r.m.stats.AddCandidate()
+
+		e := ext{gi: gi, est: est, newPos: append([]int(nil), newPos...)}
+		r.evaluateCandidate(&e, scratch, parentEst, parentCount, parentFlag, depth)
+		if e.descend {
+			e.vec = r.vecs.Get()
+			e.vec.CopyFrom(scratch)
+		}
+		exts = append(exts, e)
+	}
+	return exts
 }
 
 // evaluateCandidate applies the scheme-specific handling to one candidate
@@ -313,9 +344,15 @@ func (r *run) checkCount(gi, parentEst, parentCount, parentFlag, childEst, depth
 }
 
 // probeExact fetches the transactions marked in vec and counts those that
-// actually contain the itemset (algorithm Probe, Section 3.2).
+// actually contain the itemset (algorithm Probe, Section 3.2). Outside the
+// worker pool, a probe with enough surviving bits fans its fetches out
+// across the configured workers; inside a worker it stays sequential (the
+// concurrency already comes from the sibling subtrees).
 func (r *run) probeExact(vec *bitvec.Vector, itemset []txdb.Item) int {
 	r.probedPatterns++
+	if r.workers > 1 && !r.inWorker && vec.CountUpTo(probeFanOutMin) >= probeFanOutMin {
+		return probeParallel(r.m, vec, itemset, r.workers)
+	}
 	exact := 0
 	vec.ForEachSet(func(pos int) bool {
 		tx, err := r.m.store.Get(pos)

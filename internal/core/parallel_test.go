@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/txdb"
+)
+
+// mineWith runs one configuration and fails the test on error.
+func mineWith(t *testing.T, m *Miner, cfg Config) *Result {
+	t.Helper()
+	res, err := m.Mine(cfg)
+	if err != nil {
+		t.Fatalf("Mine(%+v): %v", cfg, err)
+	}
+	return res
+}
+
+// TestParallelDeterminism is the engine's core guarantee: for every scheme,
+// mining with a worker pool returns a Result identical — patterns, supports,
+// exactness flags, and every counter — to the sequential engine.
+func TestParallelDeterminism(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 400, 4)
+			seq := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 1})
+			for _, workers := range []int{2, 8} {
+				par := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: workers})
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("workers=%d diverged from sequential:\nseq: %d patterns %+v\npar: %d patterns %+v",
+						workers, len(seq.Patterns), counters(seq), len(par.Patterns), counters(par))
+				}
+			}
+			if len(seq.Patterns) == 0 {
+				t.Fatal("workload mined nothing; determinism test is vacuous")
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismAdaptive covers the three-phase adaptive path: a
+// memory budget small enough to force the MemBBS fold, so the parallel
+// phase-3 re-verification runs.
+func TestParallelDeterminismAdaptive(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	for _, scheme := range []Scheme{SFS, DFP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 1600, 4)
+			budget := miner.Index().TotalBytes() / 3
+			cfg := Config{MinSupport: tau, Scheme: scheme, MemoryBudget: budget}
+			cfg.Workers = 1
+			seq := mineWith(t, miner, cfg)
+			cfg.Workers = 8
+			par := mineWith(t, miner, cfg)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("adaptive workers=8 diverged:\nseq: %d patterns %+v\npar: %d patterns %+v",
+					len(seq.Patterns), counters(seq), len(par.Patterns), counters(par))
+			}
+			if len(seq.Patterns) == 0 {
+				t.Fatal("adaptive workload mined nothing; determinism test is vacuous")
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismConstrained covers constrained mining (single-filter
+// schemes only) under the worker pool.
+func TestParallelDeterminismConstrained(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.005, len(txs))
+	for _, scheme := range []Scheme{SFS, SFP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 400, 4)
+			constraint, err := BuildConstraint(miner.Store(), func(_ int, tx txdb.Transaction) bool {
+				return tx.TID%2 == 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{MinSupport: tau, Scheme: scheme, Constraint: constraint}
+			cfg.Workers = 1
+			seq := mineWith(t, miner, cfg)
+			cfg.Workers = 8
+			par := mineWith(t, miner, cfg)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("constrained workers=8 diverged: seq %d patterns, par %d patterns",
+					len(seq.Patterns), len(par.Patterns))
+			}
+		})
+	}
+}
+
+// TestParallelIostatTotals verifies the weaker accounting guarantee: the
+// interleaving of iostat charges differs under the pool, but the totals a
+// run accumulates do not.
+func TestParallelIostatTotals(t *testing.T) {
+	txs := questDB(t, 800, 300)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	for _, scheme := range []Scheme{SFS, DFP} {
+		miner, stats := buildMiner(t, txs, 400, 4)
+		stats.Reset()
+		mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 1})
+		seqSnap := stats.Snapshot()
+
+		miner2, stats2 := buildMiner(t, txs, 400, 4)
+		stats2.Reset()
+		mineWith(t, miner2, Config{MinSupport: tau, Scheme: scheme, Workers: 8})
+		parSnap := stats2.Snapshot()
+
+		if !reflect.DeepEqual(seqSnap, parSnap) {
+			t.Errorf("%s: iostat totals diverged\nseq: %+v\npar: %+v", scheme, seqSnap, parSnap)
+		}
+	}
+}
+
+// TestWorkerCountResolution pins the Config.Workers contract.
+func TestWorkerCountResolution(t *testing.T) {
+	if got := (Config{Workers: 3}).workerCount(); got != 3 {
+		t.Errorf("Workers:3 resolved to %d", got)
+	}
+	if got := (Config{}).workerCount(); got < 1 {
+		t.Errorf("Workers:0 resolved to %d, want >= 1", got)
+	}
+	if got := (Config{Workers: -2}).workerCount(); got < 1 {
+		t.Errorf("Workers:-2 resolved to %d, want >= 1", got)
+	}
+}
+
+// counters summarizes a Result's bookkeeping for failure messages.
+func counters(r *Result) string {
+	return fmt.Sprintf("cand=%d drops=%d certain=%d probed=%d",
+		r.Candidates, r.FalseDrops, r.Certain, r.ProbedPatterns)
+}

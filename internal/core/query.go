@@ -86,12 +86,14 @@ func BuildConstraint(store txdb.Store, pred func(pos int, tx txdb.Transaction) b
 // with no refinement phase at all. The result is a superset of the frequent
 // patterns whose supports are BBS estimates (never undercounts); callers
 // trade false drops for the shortest possible running time. The single
-// filter is used so the answer depends only on the index.
-func (m *Miner) MineApprox(minSupport int, maxLen int) ([]Pattern, error) {
+// filter is used so the answer depends only on the index. workers sizes the
+// worker pool as Config.Workers does (0 means one per CPU); the result is
+// the same for every value.
+func (m *Miner) MineApprox(minSupport, maxLen, workers int) ([]Pattern, error) {
 	if minSupport <= 0 {
 		return nil, fmt.Errorf("core: MinSupport must be positive, got %d", minSupport)
 	}
-	r := newRun(m, m.idx, Config{MinSupport: minSupport, Scheme: SFS, MaxLen: maxLen})
+	r := newRun(m, m.idx, Config{MinSupport: minSupport, Scheme: SFS, MaxLen: maxLen, Workers: workers})
 	r.filter()
 	out := r.uncertain // SFS filtering stores the estimate as the support
 	sortPatterns(out)

@@ -12,24 +12,26 @@ import (
 // memory are loaded, one pass counts them, and the process repeats until
 // every candidate is verified. It returns the surviving patterns with exact
 // supports and the number of false drops.
+//
+// With cfg.Workers resolving to more than one worker, each batch's counting
+// work is sharded: the scan stays a single sequential pass (one producer),
+// but the per-transaction candidate matching — the CPU cost of the batch —
+// is spread over per-worker counters whose supports are summed. Batch
+// boundaries and the returned patterns are identical either way.
 func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int, error) {
+	workers := cfg.workerCount()
 	var verified []Pattern
 	drops := 0
 	for start := 0; start < len(candidates); {
-		end, counter := m.fillBatch(candidates, start, cfg.MemoryBudget)
-		err := m.store.Scan(func(pos int, tx txdb.Transaction) bool {
-			if m.idx.IsLive(pos) {
-				counter.CountTransaction(tx.Items)
-			}
-			return true
-		})
+		end := m.batchEnd(candidates, start, cfg.MemoryBudget)
+		sup, err := m.countBatch(candidates[start:end], workers)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: verification scan: %w", err)
 		}
 		for _, c := range candidates[start:end] {
-			sup := counter.Support(c.Items)
-			if sup >= cfg.MinSupport {
-				verified = append(verified, Pattern{Items: c.Items, Support: sup, Exact: true})
+			s := sup.Support(c.Items)
+			if s >= cfg.MinSupport {
+				verified = append(verified, Pattern{Items: c.Items, Support: s, Exact: true})
 			} else {
 				drops++
 				m.stats.AddFalseDrop()
@@ -40,11 +42,32 @@ func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int
 	return verified, drops, nil
 }
 
-// fillBatch loads candidates[start:end] into a fresh counter such that the
-// batch stays within the memory budget (at least one candidate is always
-// taken so progress is guaranteed). It returns end and the counter.
-func (m *Miner) fillBatch(candidates []Pattern, start int, budget int64) (int, *mining.Counter) {
+// countBatch runs the verification pass over one batch of candidates and
+// returns the support lookup, sharding across workers when configured.
+func (m *Miner) countBatch(batch []Pattern, workers int) (*batchSupport, error) {
+	if workers > 1 && len(batch) > 1 {
+		return m.countBatchParallel(batch, workers)
+	}
 	counter := mining.NewCounter()
+	for _, c := range batch {
+		counter.Add(c.Items)
+	}
+	err := m.store.Scan(func(pos int, tx txdb.Transaction) bool {
+		if m.idx.IsLive(pos) {
+			counter.CountTransaction(tx.Items)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &batchSupport{counters: []*mining.Counter{counter}}, nil
+}
+
+// batchEnd returns the end of the batch starting at start such that the
+// batch stays within the memory budget (at least one candidate is always
+// taken so progress is guaranteed).
+func (m *Miner) batchEnd(candidates []Pattern, start int, budget int64) int {
 	var resident int64
 	end := start
 	for end < len(candidates) {
@@ -53,9 +76,8 @@ func (m *Miner) fillBatch(candidates []Pattern, start int, budget int64) (int, *
 		if budget > 0 && resident+size > budget && end > start {
 			break
 		}
-		counter.Add(c.Items)
 		resident += size
 		end++
 	}
-	return end, counter
+	return end
 }

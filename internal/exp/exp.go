@@ -47,6 +47,7 @@ type Params struct {
 	Seed    int64
 	Scale   float64 // multiplies D (and the web-log sizes) for quick runs
 	Repeat  int     // timing repetitions; the median is reported
+	Workers int     // mining worker pool size; 1 (the default) keeps figure timings single-threaded
 }
 
 // Defaults returns the paper's default parameters at the given scale.
@@ -65,6 +66,7 @@ func Defaults(scale float64) Params {
 		Seed:    1,
 		Scale:   scale,
 		Repeat:  1,
+		Workers: 1,
 	}
 }
 
@@ -129,14 +131,16 @@ func bbsScheme(name string) (core.Scheme, bool) {
 
 // RunScheme executes one scheme over the transactions and reports metrics.
 // memBudget <= 0 means unconstrained. m/k configure the BBS for the BBS
-// schemes and are ignored by APS/FPS.
-func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, repeat int) (Metrics, error) {
+// schemes and are ignored by APS/FPS. workers sizes the BBS schemes' mining
+// worker pool (0 means one per CPU; the figure drivers pass 1 so the paper
+// timings stay single-threaded).
+func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int) (Metrics, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -147,7 +151,7 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 	return best, nil
 }
 
-func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64) (Metrics, error) {
+func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int) (Metrics, error) {
 	var stats iostat.Stats
 	store, err := txdb.NewMemStoreFrom(&stats, txs)
 	if err != nil {
@@ -165,7 +169,7 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		}
 		stats.Reset() // index construction is not part of the mining run
 		start := time.Now()
-		res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget})
+		res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget, Workers: workers})
 		if err != nil {
 			return Metrics{}, err
 		}

@@ -38,7 +38,7 @@ func TestRunSchemeAllNames(t *testing.T) {
 	tau := p.Tau(len(txs))
 	patterns := -1
 	for _, scheme := range SchemeNames {
-		met, err := RunScheme(scheme, txs, tau, p.M, p.K, 0, 1)
+		met, err := RunScheme(scheme, txs, tau, p.M, p.K, 0, 1, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -63,7 +63,7 @@ func TestRunSchemeAllNames(t *testing.T) {
 func TestRunSchemeUnknown(t *testing.T) {
 	p := tinyParams()
 	txs, _ := p.dataset(p.D, p.V, p.T)
-	if _, err := RunScheme("XYZ", txs, 5, p.M, p.K, 0, 1); err == nil {
+	if _, err := RunScheme("XYZ", txs, 5, p.M, p.K, 0, 1, 1); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
@@ -71,7 +71,7 @@ func TestRunSchemeUnknown(t *testing.T) {
 func TestRunSchemeRepeatTakesBest(t *testing.T) {
 	p := tinyParams()
 	txs, _ := p.dataset(p.D, p.V, p.T)
-	met, err := RunScheme("DFP", txs, p.Tau(len(txs)), p.M, p.K, 0, 3)
+	met, err := RunScheme("DFP", txs, p.Tau(len(txs)), p.M, p.K, 0, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

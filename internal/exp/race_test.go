@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in. The
+// cross-engine wall-clock shape tests skip under it: instrumentation slows
+// CPU-bound code by ~10x, which inverts DFP-vs-APS timing comparisons.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package iostat
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentAdds drives every counter from many goroutines at once
+// and checks the totals. Run under -race this also proves the accounting
+// sink is safe to share across the parallel mining engine's workers.
+func TestStatsConcurrentAdds(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var s Stats
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.AddDBSeqPages(2)
+				s.AddDBRandPages(3)
+				s.AddDBScan()
+				s.AddProbe()
+				s.AddSlicePages(5)
+				s.AddSliceAnd()
+				s.AddCountCall()
+				s.AddCandidate()
+				s.AddFalseDrop()
+			}
+		}()
+	}
+	wg.Wait()
+
+	n := int64(goroutines * perG)
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"DBSeqPages", s.DBSeqPages(), 2 * n},
+		{"DBRandPages", s.DBRandPages(), 3 * n},
+		{"DBScans", s.DBScans(), n},
+		{"Probes", s.Probes(), n},
+		{"SlicePageReads", s.SlicePageReads(), 5 * n},
+		{"SliceAnds", s.SliceAnds(), n},
+		{"CountCalls", s.CountCalls(), n},
+		{"Candidates", s.Candidates(), n},
+		{"FalseDrops", s.FalseDrops(), n},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Probes != n {
+		t.Errorf("Snapshot().Probes = %d, want %d", snap.Probes, n)
+	}
+}
+
+// TestStatsConcurrentSnapshot reads snapshots while writers are running —
+// nothing to assert beyond "no race, no panic", which -race enforces.
+func TestStatsConcurrentSnapshot(t *testing.T) {
+	var s Stats
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.AddProbe()
+			s.AddSlicePages(1)
+		}
+		close(done)
+	}()
+	for {
+		_ = s.Snapshot()
+		select {
+		case <-done:
+			wg.Wait()
+			if s.Probes() != 500 {
+				t.Errorf("Probes = %d, want 500", s.Probes())
+			}
+			return
+		default:
+		}
+	}
+}

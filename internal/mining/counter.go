@@ -13,6 +13,11 @@ import (
 //
 // This is the engine of the SequentialScan refinement (and the ground-truth
 // side of the tests).
+//
+// A Counter is not safe for concurrent use. The parallel verification path
+// shards work by giving each worker its own Counter loaded with the full
+// candidate batch and a disjoint share of the transactions; per-worker
+// supports are summed, which equals the single-counter total exactly.
 type Counter struct {
 	root *cnode
 	n    int

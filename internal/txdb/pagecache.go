@@ -1,6 +1,10 @@
 package txdb
 
-import "bbsmine/internal/iostat"
+import (
+	"sync"
+
+	"bbsmine/internal/iostat"
+)
 
 // pageCache models the buffer pool for random (probe) accesses, per the
 // cost model in iostat: sequential scans stream through a ring buffer and
@@ -8,7 +12,13 @@ import "bbsmine/internal/iostat"
 // first touch — as long as the whole file fits the configured limit. When
 // the data outgrows the limit, the model degrades to "every random access
 // misses", the pessimistic but simple end state of a thrashing pool.
+//
+// The cache is safe for concurrent use: the parallel refinement engine
+// issues Probe fetches from several workers at once, and each page must
+// still be charged exactly once on first touch regardless of which worker
+// faults it in.
 type pageCache struct {
+	mu       sync.Mutex
 	limit    int64 // bytes; 0 = unlimited
 	resident map[int64]struct{}
 }
@@ -17,6 +27,8 @@ type pageCache struct {
 // range [start, end) of a file currently size bytes long, updating
 // residency.
 func (c *pageCache) misses(start, end, size int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if end <= start {
 		end = start + 1 // a record read always touches its header page
 	}
@@ -40,6 +52,8 @@ func (c *pageCache) misses(start, end, size int64) int64 {
 
 // setLimit reconfigures the cache size and drops residency.
 func (c *pageCache) setLimit(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.limit = bytes
 	c.resident = nil
 }

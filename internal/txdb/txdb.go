@@ -105,12 +105,17 @@ type Store interface {
 	// Scan calls fn for every transaction in ordinal order and charges one
 	// sequential pass to the stats. Iteration stops early if fn returns
 	// false; the full pass is still charged, matching a disk scan that
-	// cannot be abandoned page-precisely.
+	// cannot be abandoned page-precisely. The Transaction passed to fn may
+	// be retained by the callback: both stores hand out records whose item
+	// slices are never mutated afterwards.
 	Scan(fn func(pos int, tx Transaction) bool) error
 	// Get fetches the transaction at ordinal position pos, charging the
-	// page(s) the record spans.
+	// page(s) the record spans. Get is safe for concurrent use (the
+	// parallel Probe refinement fetches from several goroutines at once),
+	// as long as no Append or Scan runs concurrently.
 	Get(pos int) (Transaction, error)
-	// Append adds a transaction at the next ordinal position.
+	// Append adds a transaction at the next ordinal position. Append is not
+	// safe for concurrent use with any other method.
 	Append(tx Transaction) error
 }
 

@@ -47,6 +47,11 @@ type MineOptions struct {
 	MemoryBudget int64
 	// MaxLen bounds pattern length; 0 means unbounded.
 	MaxLen int
+	// Workers bounds the mining worker pool. 0 (the default) uses one
+	// worker per available CPU; 1 forces the sequential engine. Every value
+	// returns the identical Result — parallelism changes only the wall
+	// clock, never the answer or the accounting.
+	Workers int
 }
 
 func (o MineOptions) threshold(n int) (int, error) {
@@ -75,6 +80,7 @@ func (db *Database) Mine(opts MineOptions) (*Result, error) {
 		Scheme:       opts.Scheme,
 		MemoryBudget: opts.MemoryBudget,
 		MaxLen:       opts.MaxLen,
+		Workers:      opts.Workers,
 	})
 }
 
@@ -90,7 +96,7 @@ func (db *Database) MineApprox(opts MineOptions) ([]Pattern, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.MineApprox(tau, opts.MaxLen)
+	return m.MineApprox(tau, opts.MaxLen, opts.Workers)
 }
 
 // Count estimates and exactly counts the occurrences of an arbitrary
@@ -168,6 +174,7 @@ func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, e
 		Scheme:       opts.Scheme,
 		MemoryBudget: opts.MemoryBudget,
 		MaxLen:       opts.MaxLen,
+		Workers:      opts.Workers,
 		Constraint:   c.vec,
 	})
 }
