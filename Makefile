@@ -1,9 +1,19 @@
 # Development entry points. Everything is plain `go` underneath — the
 # targets just pin the invocations CI and the docs refer to.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite
+#   make race    test suite under the race detector
+#   make vet     go vet over every package
+#   make lint    bbslint, the project's own analyzers (see ARCHITECTURE.md)
+#   make bench   quick paper-figure benchmarks
+#   make fuzz    run every fuzz target briefly (FUZZTIME to adjust)
+#   make check   what the driver gates on: build + vet + lint + test + race
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet lint bench fuzz check
 
 all: build
 
@@ -24,10 +34,26 @@ race:
 vet:
 	$(GO) vet ./...
 
+## lint: the project-specific analyzers — concurrency and determinism
+## invariants of the mining engine (atomicfield, pooledvec, lockdiscipline,
+## determinism, errwrap). Exit 1 means findings; fix them or suppress with
+## //lint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/bbslint ./...
+
 ## bench: the paper-figure benchmarks plus the workers sweep (quick form;
 ## see bench_results_full.txt for a full bbsbench run)
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## check: everything the driver gates on — build, vet, tests, race
-check: build vet test race
+## fuzz: run each fuzz target for FUZZTIME (go fuzzing accepts one target
+## per invocation, hence the one-per-line form)
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzHasherPositions$$' -fuzztime $(FUZZTIME) ./internal/sighash
+	$(GO) test -run '^$$' -fuzz '^FuzzSignatureBits$$' -fuzztime $(FUZZTIME) ./internal/sighash
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBBS$$' -fuzztime $(FUZZTIME) ./internal/sigfile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) ./internal/txdb
+	$(GO) test -run '^$$' -fuzz '^FuzzSetWords$$' -fuzztime $(FUZZTIME) ./internal/bitvec
+
+## check: everything the driver gates on — build, vet, lint, tests, race
+check: build vet lint test race

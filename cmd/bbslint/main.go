@@ -1,0 +1,119 @@
+// Command bbslint runs the project's static-analysis suite (internal/lint)
+// over the module: five analyzers that enforce the concurrency and
+// determinism invariants of the parallel mining engine. It is built on the
+// standard library alone — no go/packages, no external deps — so the module
+// stays dependency-free.
+//
+// Usage:
+//
+//	bbslint [flags] [patterns]
+//
+// Patterns are package directories, optionally ending in /... for a whole
+// subtree; the default is ./... (the module of the current directory).
+//
+// Exit codes: 0 — no findings; 1 — findings reported; 2 — usage or load
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bbsmine/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Exit codes.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bbslint [flags] [patterns]\n")
+		fs.PrintDefaults()
+	}
+	var (
+		listFlag  = fs.Bool("list", false, "list the analyzers and exit")
+		testsFlag = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		enable    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+	if *enable != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*enable, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "bbslint: unknown analyzer %q\n", name)
+				return exitUsage
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "bbslint: %v\n", err)
+		return exitUsage
+	}
+	loader.IncludeTests = *testsFlag
+
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbslint: %v\n", err)
+		return exitUsage
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "bbslint: no packages match %v\n", patterns)
+		return exitUsage
+	}
+
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbslint: %v\n", err)
+			return exitUsage
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "bbslint: %d finding(s)\n", len(findings))
+		return exitFindings
+	}
+	return exitClean
+}

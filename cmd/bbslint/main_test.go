@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/lint/testdata/src/"
+
+// runLint invokes the driver exactly as main does and returns its exit
+// code and streams.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the driver contract: 0 clean, 1 findings, 2 usage or
+// load errors.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{fixtures + "pooledvec/good/internal/core"}, 0},
+		{"clean subtree", []string{fixtures + "errwrap/good/..."}, 0},
+		{"findings", []string{fixtures + "pooledvec/bad/internal/core"}, 1},
+		{"findings in subtree", []string{fixtures + "determinism/bad/..."}, 1},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"missing directory", []string{fixtures + "no/such/dir"}, 2},
+		{"unknown analyzer", []string{"-analyzers", "nope", fixtures + "pooledvec/good/..."}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, stderr := runLint(t, tt.args...)
+			if code != tt.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tt.want, stderr)
+			}
+		})
+	}
+}
+
+// TestFindingOutput checks the canonical rendering and the findings count
+// on stderr.
+func TestFindingOutput(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixtures+"pooledvec/bad/internal/core")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "alloc.go:9: ") || !strings.Contains(stdout, "[pooledvec]") {
+		t.Errorf("stdout %q lacks file:line: message [analyzer]", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr %q lacks findings count", stderr)
+	}
+}
+
+// TestSuppressions: a well-formed //lint:ignore (and file-ignore) silences
+// the finding; a reasonless one does not and is itself reported.
+func TestSuppressions(t *testing.T) {
+	if code, stdout, _ := runLint(t, fixtures+"suppress/..."); code != 0 {
+		t.Errorf("suppressed fixtures: exit %d, stdout %s", code, stdout)
+	}
+	code, stdout, _ := runLint(t, fixtures+"malformed/...")
+	if code != 1 {
+		t.Fatalf("malformed fixture: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "malformed suppression") || !strings.Contains(stdout, "[pooledvec]") {
+		t.Errorf("malformed fixture output %q: want both the directive report and the unsuppressed finding", stdout)
+	}
+}
+
+// TestDeterminismAllowlist: the same wall-clock call that is a finding in
+// internal/core is silent in the allowlisted internal/exp.
+func TestDeterminismAllowlist(t *testing.T) {
+	if code, _, _ := runLint(t, "-analyzers", "determinism", fixtures+"determinism/allow/..."); code != 0 {
+		t.Errorf("allowlisted exp package flagged, want clean")
+	}
+	if code, _, _ := runLint(t, "-analyzers", "determinism", fixtures+"determinism/bad/..."); code != 1 {
+		t.Errorf("core fixture not flagged, want findings")
+	}
+}
+
+// TestAnalyzerSubset: -analyzers restricts the run.
+func TestAnalyzerSubset(t *testing.T) {
+	// The determinism fixture violates nothing pooledvec checks.
+	if code, stdout, _ := runLint(t, "-analyzers", "pooledvec", fixtures+"determinism/bad/..."); code != 0 {
+		t.Errorf("pooledvec over determinism fixture: exit %d, stdout %s", code, stdout)
+	}
+}
+
+// TestList prints every analyzer with its doc line.
+func TestList(t *testing.T) {
+	_, stdout, _ := runLint(t, "-list")
+	for _, name := range []string{"atomicfield", "pooledvec", "lockdiscipline", "determinism", "errwrap"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output lacks %s", name)
+		}
+	}
+}
+
+// TestRepoClean is the gate `make lint` relies on: the repository at HEAD
+// carries no unsuppressed findings.
+func TestRepoClean(t *testing.T) {
+	code, stdout, stderr := runLint(t, "../../...")
+	if code != 0 {
+		t.Errorf("bbslint over the repo: exit %d\n%s%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the iostat counter invariant: the parallel mining
+// engine shares one Stats value between every worker, store, and index
+// without coordination, so the struct's fields must be sync/atomic types
+// and every touch must go through their Load/Store/Add/... methods. A
+// plain int field — or a direct read of an atomic field — is a data race
+// waiting for the next contributor.
+//
+// The analyzer applies to packages under internal/iostat and checks every
+// struct type whose name ends in "Stats":
+//
+//  1. each field's type must come from sync/atomic;
+//  2. each use of such a field must immediately invoke a method on it
+//     (s.counter.Add(1), s.counter.Load(), ...), never pass the field
+//     around, take its address, or assign over it.
+var AtomicField = &Analyzer{
+	Name:    "atomicfield",
+	Doc:     "fields of iostat stats structs must be sync/atomic types used only through their methods",
+	Applies: func(path string) bool { return pathHasSegment(path, "internal/iostat") },
+	Run:     runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: find the stats structs and their fields; report non-atomic
+	// field types.
+	tracked := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !hasSuffixStats(ts.Name.Name) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				atomicTyped := isAtomicType(pass.Info.Types[field.Type].Type)
+				for _, name := range field.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if atomicTyped {
+						tracked[obj] = true
+					} else {
+						pass.Reportf(name.Pos(),
+							"field %s of %s must be a sync/atomic type: the stats value is shared across mining workers without locks",
+							name.Name, ts.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: every selector that resolves to a tracked field must be the
+	// receiver of an immediate method call.
+	for _, f := range pass.Files {
+		calledOn := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if method, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if field, ok := method.X.(*ast.SelectorExpr); ok {
+					calledOn[field] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel := pass.Info.Selections[se]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			obj, ok := sel.Obj().(*types.Var)
+			if !ok || !tracked[obj] || calledOn[se] {
+				return true
+			}
+			pass.Reportf(se.Pos(),
+				"field %s used directly; stats counters may only be touched through their sync/atomic methods",
+				obj.Name())
+			return true
+		})
+	}
+}
+
+// hasSuffixStats matches the naming convention for shared counter structs.
+func hasSuffixStats(name string) bool {
+	return strings.HasSuffix(name, "Stats")
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

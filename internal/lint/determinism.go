@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism enforces the engine's reproducibility contract: a mining run
+// with Workers: N returns a Result byte-identical to Workers: 1, and two
+// runs over the same data return the same bytes, full stop. The contract
+// is what makes the parallel engine testable at all (TestParallelDeterminism
+// pins it), so the packages that compute results must not consult wall
+// clocks, random sources, or Go's randomized map iteration order:
+//
+//   - time.Now (and time.Since) — results must not depend on when they ran;
+//   - math/rand and math/rand/v2 — seeded or not, random draws do not
+//     belong in result computation;
+//   - range over a map — iteration order changes run to run; iterate a
+//     sorted key slice, or suppress with a reason the order provably cannot
+//     reach the output.
+//
+// The experiment harness (internal/exp) measures wall-clock time and the
+// dataset generators (internal/weblog, internal/quest) are seeded random by
+// design, so those packages are allowlisted, as are the cmd and examples
+// front-ends whose timing output is presentation, not result.
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Doc:     "result-computing packages must avoid time.Now, math/rand, and map iteration order",
+	Applies: determinismApplies,
+	Run:     runDeterminism,
+}
+
+// determinismAllowlist names the package subtrees whose nondeterminism is
+// by design.
+var determinismAllowlist = []string{
+	"internal/exp",    // benchmark harness: wall-clock measurement is its job
+	"internal/weblog", // synthetic dataset generator: seeded randomness
+	"internal/quest",  // synthetic dataset generator: seeded randomness
+	"cmd",             // CLI front-ends: timing is presentation
+	"examples",        // ditto
+}
+
+func determinismApplies(path string) bool {
+	for _, seg := range determinismAllowlist {
+		if pathHasSegment(path, seg) {
+			return false
+		}
+	}
+	return true
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a result-computing package; randomness breaks run reproducibility", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := pass.Info.Uses[n.Sel].(*types.Func); ok {
+					if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "time" &&
+						(fn.Name() == "Now" || fn.Name() == "Since") {
+						pass.Reportf(n.Pos(),
+							"time.%s in a result-computing package; results must not depend on when they ran", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				t := pass.Info.Types[n.X].Type
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"range over a map: iteration order is nondeterministic; iterate a sorted key slice, or suppress with a reason the order cannot affect results")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error-handling conventions of the storage layer:
+//
+//  1. Everywhere: a fmt.Errorf that formats an error value must use %w, so
+//     callers can errors.Is/As through the wrap. A %v silently severs the
+//     chain that the txdb/sigfile load paths rely on for error reporting.
+//  2. In internal/txdb and internal/sigfile — the packages that own file
+//     I/O — a call returning an error must not be discarded as a bare
+//     statement (including defer). Assigning to _ is allowed: an explicit
+//     discard is a reviewed decision, a bare one is usually an accident.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf wraps errors with %w; txdb/sigfile I/O paths never discard errors silently",
+	Run:  runErrWrap,
+}
+
+// errDiscardScope names the package subtrees where silently dropping an
+// error is an I/O bug rather than a style choice.
+var errDiscardScope = []string{"internal/txdb", "internal/sigfile"}
+
+func runErrWrap(pass *Pass) {
+	discardScoped := false
+	for _, seg := range errDiscardScope {
+		if pathHasSegment(pass.Pkg.Path(), seg) {
+			discardScoped = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.ExprStmt:
+				if discardScoped {
+					checkDiscard(pass, n.X, "")
+				}
+			case *ast.DeferStmt:
+				if discardScoped {
+					checkDiscard(pass, n.Call, "deferred ")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags error-typed arguments of fmt.Errorf formatted with
+// a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // non-literal format string: nothing to align verbs against
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if verb == 'w' || argIdx >= len(call.Args) {
+			continue
+		}
+		t := pass.Info.Types[call.Args[argIdx]].Type
+		if isErrorType(t) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error wrapped with %%%c; use %%w so the chain stays inspectable with errors.Is/As", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter for each argument-consuming verb in
+// a Printf-style format string, in order. Width/precision stars consume an
+// argument and are returned as '*'.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags, width, precision — '*' consumes an argument of its own.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.123456789[]", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+			i++
+		}
+	}
+	return verbs
+}
+
+// checkDiscard flags a statement-level call whose results include an error.
+func checkDiscard(pass *Pass, expr ast.Expr, qualifier string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	t := pass.Info.Types[call].Type
+	if t == nil {
+		return
+	}
+	returnsError := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = isErrorType(t)
+	}
+	if !returnsError {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%scall discards its error on an I/O path; handle it or assign to _ to make the discard explicit", qualifier)
+}

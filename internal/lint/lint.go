@@ -1,0 +1,144 @@
+// Package lint is the project's static-analysis suite: a small analyzer
+// framework plus the analyzers that encode the engine's concurrency and
+// determinism invariants — the unwritten rules the parallel mining engine
+// (internal/core) relies on and that ordinary tests only catch when they
+// happen to race.
+//
+// The framework deliberately uses nothing outside the standard library
+// (go/parser, go/types, go/importer), so go.mod stays dependency-free.
+// cmd/bbslint is the command-line driver; `make lint` runs it over ./...
+//
+// Findings can be suppressed at the reporting site:
+//
+//	//lint:ignore <analyzer> <reason>       on the finding's line or the line above
+//	//lint:file-ignore <analyzer> <reason>  anywhere in the file, silences the whole file
+//
+// The reason is mandatory: a suppression documents why the invariant holds
+// anyway, and the analyzers' value is exactly that the "why" is written down.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppression comments.
+	Name string
+	// Doc is a one-line description of the rule the analyzer enforces.
+	Doc string
+	// Applies reports whether the analyzer checks the package with the
+	// given import path. A nil Applies checks every package.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the suite's canonical
+// "file:line: message [analyzer]" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Message, f.Analyzer)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		PooledVec,
+		LockDiscipline,
+		Determinism,
+		ErrWrap,
+	}
+}
+
+// Run applies each analyzer to each package it covers and returns the
+// surviving findings (suppressions applied), sorted by position. Malformed
+// suppression directives are themselves reported, under the "bbslint" name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg.Fset, pkg.Files)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &findings,
+			}
+			before := len(findings)
+			a.Run(pass)
+			findings = applySuppressions(findings, before, dirs)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// pathHasSegment reports whether the slash-separated import path contains
+// seg as a consecutive run of path segments. It is how analyzers scope
+// themselves: the real package bbsmine/internal/core and a test fixture
+// .../testdata/src/pooledvec/internal/core both contain "internal/core".
+func pathHasSegment(path, seg string) bool {
+	return path == seg ||
+		strings.HasPrefix(path, seg+"/") ||
+		strings.HasSuffix(path, "/"+seg) ||
+		strings.Contains(path, "/"+seg+"/")
+}
+
+// errorType is the universe error interface, for implements-checks.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}

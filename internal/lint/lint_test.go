@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load("bbsmine/internal/lint/testdata/src/" + rel)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", rel, err)
+	}
+	return pkg
+}
+
+// TestAnalyzersOnFixtures runs the whole suite over each fixture package
+// and compares the surviving findings, as "line analyzer" pairs, against
+// the fixture's expectations. Every analyzer has at least one positive and
+// one negative fixture; the suppression fixtures pin the directive
+// machinery; the allow fixture pins the determinism allowlist.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	tests := []struct {
+		fixture string
+		want    []string
+	}{
+		{"atomicfield/bad/internal/iostat", []string{
+			"10 atomicfield", // plain int64 field in a Stats struct
+			"17 atomicfield", // atomic field read without Load
+		}},
+		{"atomicfield/good/internal/iostat", nil},
+		{"pooledvec/bad/internal/core", []string{
+			"9 pooledvec", // raw bitvec.New
+		}},
+		{"pooledvec/good/internal/core", nil},
+		{"lockdiscipline/bad/cache", []string{
+			"17 lockdiscipline", // map read with no lock anywhere
+			"23 lockdiscipline", // field write before the Lock call
+		}},
+		{"lockdiscipline/good/cache", nil},
+		{"determinism/bad/internal/core", []string{
+			"6 determinism",  // math/rand import
+			"13 determinism", // time.Now
+			"15 determinism", // range over a map
+		}},
+		{"determinism/good/internal/core", nil},
+		{"determinism/allow/internal/exp", nil}, // time.Now allowlisted in exp
+		{"errwrap/bad/internal/txdb", []string{
+			"14 errwrap", // %v on an error
+			"16 errwrap", // deferred silent discard
+			"22 errwrap", // bare statement discard
+		}},
+		{"errwrap/good/internal/txdb", nil},
+		{"errwrap/unscoped/other", nil}, // discard rule is scoped to txdb/sigfile
+		{"suppress/internal/core", nil}, // both violations suppressed with reasons
+		{"suppress/fileignore/internal/core", nil},
+		{"malformed/internal/core", []string{
+			"9 bbslint",    // reasonless directive is itself reported
+			"10 pooledvec", // and does not suppress
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tt.fixture)
+			var got []string
+			for _, f := range Run([]*Package{pkg}, Analyzers()) {
+				got = append(got, fmt.Sprintf("%d %s", f.Pos.Line, f.Analyzer))
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("findings = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestFindingString pins the canonical "file:line: message [analyzer]"
+// rendering the Makefile and editors rely on.
+func TestFindingString(t *testing.T) {
+	pkg := loadFixture(t, "pooledvec/bad/internal/core")
+	findings := Run([]*Package{pkg}, []*Analyzer{PooledVec})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "alloc.go:9: ") || !strings.HasSuffix(s, "[pooledvec]") {
+		t.Errorf("rendering %q, want file:line: message [analyzer]", s)
+	}
+}
+
+// TestAnalyzerScopes pins each analyzer's Applies predicate against the
+// real package paths it must (and must not) cover.
+func TestAnalyzerScopes(t *testing.T) {
+	tests := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{AtomicField, "bbsmine/internal/iostat", true},
+		{AtomicField, "bbsmine/internal/core", false},
+		{PooledVec, "bbsmine/internal/core", true},
+		{PooledVec, "bbsmine/internal/bitvec", false}, // the pool itself may call New
+		{Determinism, "bbsmine/internal/core", true},
+		{Determinism, "bbsmine/internal/mining", true},
+		{Determinism, "bbsmine/internal/lint", true}, // the linter eats its own dog food
+		{Determinism, "bbsmine/internal/exp", false},
+		{Determinism, "bbsmine/internal/weblog", false},
+		{Determinism, "bbsmine/internal/quest", false},
+		{Determinism, "bbsmine/cmd/bbsbench", false},
+		{Determinism, "bbsmine/examples/retail", false},
+	}
+	for _, tt := range tests {
+		applies := tt.analyzer.Applies == nil || tt.analyzer.Applies(tt.path)
+		if applies != tt.want {
+			t.Errorf("%s.Applies(%s) = %v, want %v", tt.analyzer.Name, tt.path, applies, tt.want)
+		}
+	}
+}
+
+// TestPathHasSegment exercises the segment matcher's edge cases.
+func TestPathHasSegment(t *testing.T) {
+	tests := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"bbsmine/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"internal/core/sub", "internal/core", true},
+		{"a/internal/core/b", "internal/core", true},
+		{"bbsmine/internal/coreutils", "internal/core", false},
+		{"bbsmine/xinternal/core", "internal/core", false},
+		{"bbsmine/internal/mining", "internal/core", false},
+	}
+	for _, tt := range tests {
+		if got := pathHasSegment(tt.path, tt.seg); got != tt.want {
+			t.Errorf("pathHasSegment(%q, %q) = %v, want %v", tt.path, tt.seg, got, tt.want)
+		}
+	}
+}
+
+// TestFormatVerbs pins the errwrap verb/argument alignment.
+func TestFormatVerbs(t *testing.T) {
+	tests := []struct {
+		format string
+		want   string
+	}{
+		{"plain", ""},
+		{"%s: %w", "sw"},
+		{"%d%%|%v", "dv"},
+		{"%+v %#x %6.2f", "vxf"},
+		{"%*d", "*d"},
+		{"%[1]s", "s"},
+	}
+	for _, tt := range tests {
+		got := string(formatVerbs(tt.format))
+		if got != tt.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", tt.format, got, tt.want)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata makes sure a recursive pattern never descends
+// into fixture trees — go build ignores testdata, and so must bbslint.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("Expand(./...) returned no packages")
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Expand(./...) descended into %s", p)
+		}
+	}
+}
+
+// TestLoadErrors covers the loader's failure modes.
+func TestLoadErrors(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.Load("bbsmine/internal/lint/no/such/dir"); err == nil {
+		t.Error("Load of a missing directory succeeded")
+	}
+	if _, err := loader.Expand([]string{"/no/such/dir"}); err == nil {
+		t.Error("Expand of a missing directory succeeded")
+	}
+}

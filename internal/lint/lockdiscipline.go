@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the mutex convention the txdb page cache (and the
+// sighash memo caches) rely on: in a struct that embeds a sync.Mutex or
+// sync.RWMutex field, the fields declared after the mutex are guarded by
+// it, and a method that touches a guarded field must acquire the mutex
+// first. The parallel refinement engine probes the page cache from many
+// workers at once; a method that slips in an unlocked map access works in
+// every single-threaded test and corrupts accounting the first time two
+// workers fault the same page.
+//
+// The check is structural, not flow-sensitive: within the method body there
+// must be a recv.mu.Lock() / RLock() call at a source position before the
+// first guarded access. That is exactly the lock-at-the-top shape all of
+// the repository's guarded methods use; anything cleverer deserves the
+// reviewer attention a suppression comment forces.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "methods touching fields declared below a sync.Mutex must lock it first",
+	Run:  runLockDiscipline,
+}
+
+// guardedStruct records one mutex-carrying struct type.
+type guardedStruct struct {
+	mutexName string              // name of the mutex field
+	guarded   map[*types.Var]bool // fields declared after the mutex
+}
+
+func runLockDiscipline(pass *Pass) {
+	structs := map[*types.TypeName]*guardedStruct{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := collectGuarded(pass, st)
+			if gs == nil {
+				return true
+			}
+			if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+				structs[tn] = gs
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvName, gs := receiverGuard(pass, fd, structs)
+			if gs == nil || recvName == nil {
+				continue
+			}
+			checkLockedAccesses(pass, fd, recvName, gs)
+		}
+	}
+}
+
+// collectGuarded returns the guard layout of a struct, or nil if it has no
+// sync mutex field. Fields after the first mutex field are guarded.
+func collectGuarded(pass *Pass, st *ast.StructType) *guardedStruct {
+	var gs *guardedStruct
+	for _, field := range st.Fields.List {
+		t := pass.Info.Types[field.Type].Type
+		if gs == nil {
+			if isSyncMutex(t) {
+				name := ""
+				if len(field.Names) > 0 {
+					name = field.Names[0].Name
+				} else if named, ok := t.(*types.Named); ok {
+					name = named.Obj().Name() // embedded sync.Mutex
+				}
+				gs = &guardedStruct{mutexName: name, guarded: map[*types.Var]bool{}}
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+				gs.guarded[v] = true
+			}
+		}
+	}
+	if gs == nil || len(gs.guarded) == 0 {
+		return nil
+	}
+	return gs
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverGuard resolves a method's receiver variable and the guard layout
+// of its type, if that type carries a mutex.
+func receiverGuard(pass *Pass, fd *ast.FuncDecl, structs map[*types.TypeName]*guardedStruct) (*types.Var, *guardedStruct) {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil, nil
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	recvObj, ok := pass.Info.Defs[recvIdent].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := recvObj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	gs := structs[named.Obj()]
+	return recvObj, gs
+}
+
+// checkLockedAccesses reports guarded-field accesses on the receiver that
+// no prior recv.<mu>.Lock()/RLock() call covers.
+func checkLockedAccesses(pass *Pass, fd *ast.FuncDecl, recv *types.Var, gs *guardedStruct) {
+	firstLock := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
+			return true
+		}
+		var base *ast.Ident
+		switch x := ast.Unparen(method.X).(type) {
+		case *ast.SelectorExpr: // recv.mu.Lock()
+			if x.Sel.Name != gs.mutexName {
+				return true
+			}
+			base, ok = x.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+		case *ast.Ident: // recv.Lock() — promoted from an embedded mutex
+			base = x
+		default:
+			return true
+		}
+		if pass.Info.Uses[base] != recv {
+			return true
+		}
+		if firstLock == token.Pos(-1) || call.Pos() < firstLock {
+			firstLock = call.Pos()
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel := pass.Info.Selections[se]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := sel.Obj().(*types.Var)
+		if !ok || !gs.guarded[obj] {
+			return true
+		}
+		base, ok := ast.Unparen(se.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recv {
+			return true
+		}
+		if firstLock == token.Pos(-1) || se.Pos() < firstLock {
+			pass.Reportf(se.Pos(),
+				"field %s is guarded by %s but accessed before any %s.%s.Lock() in %s",
+				obj.Name(), gs.mutexName, recv.Name(), gs.mutexName, fd.Name.Name)
+		}
+		return true
+	})
+}

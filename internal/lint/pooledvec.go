@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledVec enforces the hot-path allocation rule of the parallel engine:
+// inside internal/core — the filter/refine/parallel enumeration — residual
+// and scratch bit vectors must come from the run's bitvec.Pool, not from
+// raw bitvec.New calls. The enumeration evaluates millions of candidate
+// itemsets; a stray New in a per-node or per-worker path turns the
+// allocation-free slice-AND loop into a GC treadmill, and the pool is the
+// mechanism that keeps vector reuse safe across workers.
+//
+// Allocation sites that are genuinely cold (one-off setup with no pool in
+// scope) carry a //lint:ignore pooledvec comment explaining why.
+var PooledVec = &Analyzer{
+	Name:    "pooledvec",
+	Doc:     "internal/core takes bit vectors from bitvec.Pool, never from raw bitvec.New",
+	Applies: func(path string) bool { return pathHasSegment(path, "internal/core") },
+	Run:     runPooledVec,
+}
+
+func runPooledVec(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Name() != "New" {
+				return true
+			}
+			pkg := fn.Pkg()
+			if pkg == nil || !pathHasSegment(pkg.Path(), "internal/bitvec") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw bitvec.New in the mining hot path; take the vector from the run's bitvec.Pool (vecs.Get/Put)")
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// indirect calls and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

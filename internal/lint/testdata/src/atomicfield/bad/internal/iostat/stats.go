@@ -1,0 +1,21 @@
+// Package iostat is an atomicfield fixture: a stats struct that violates
+// the invariant in both ways the analyzer checks.
+package iostat
+
+import "sync/atomic"
+
+// RunStats mixes a plain counter into an atomic stats struct.
+type RunStats struct {
+	pages  atomic.Int64
+	probes int64 // want: non-atomic field
+}
+
+// AddPage is fine: the atomic field is used through its method.
+func (s *RunStats) AddPage() { s.pages.Add(1) }
+
+// Pages reads the atomic field directly instead of through Load.
+func (s *RunStats) Pages() atomic.Int64 { return s.pages } // want: direct use
+
+// AddProbe touches the plain field; the type finding already covers the
+// declaration, and this racy increment compiles without complaint.
+func (s *RunStats) AddProbe() { s.probes++ }

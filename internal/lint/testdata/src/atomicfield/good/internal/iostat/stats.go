@@ -1,0 +1,23 @@
+// Package iostat is the atomicfield negative fixture: every field is a
+// sync/atomic type and every use goes through the atomic methods.
+package iostat
+
+import "sync/atomic"
+
+// BatchStats mirrors the real iostat.Stats shape.
+type BatchStats struct {
+	pages  atomic.Int64
+	probes atomic.Int64
+}
+
+// AddPage records one page read.
+func (s *BatchStats) AddPage(n int64) { s.pages.Add(n) }
+
+// Pages returns the pages read so far.
+func (s *BatchStats) Pages() int64 { return s.pages.Load() }
+
+// Reset zeroes the counters.
+func (s *BatchStats) Reset() {
+	s.pages.Store(0)
+	s.probes.Store(0)
+}

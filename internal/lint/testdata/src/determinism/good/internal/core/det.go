@@ -1,0 +1,21 @@
+// Package core is the determinism negative fixture: map contents reach the
+// result only through a sorted key slice.
+package core
+
+import "sort"
+
+// Mine folds the counts in sorted key order, so two runs agree.
+func Mine(counts map[int]int) int {
+	keys := make([]int, 0, len(counts))
+	for k := 0; k < 1<<16; k++ { // bounded probe instead of a map range
+		if _, ok := counts[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	total := 0
+	for _, k := range keys {
+		total += counts[k]
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package txdb is an errwrap fixture: a severed error chain and silent
+// discards on an I/O path.
+package txdb
+
+import (
+	"fmt"
+	"os"
+)
+
+// Open wraps the error with %v, severing the chain.
+func Open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %v", path, err) // want: %v on an error
+	}
+	defer f.Close() // want: deferred silent discard
+	return nil
+}
+
+// Cleanup discards the removal error as a bare statement.
+func Cleanup(path string) {
+	os.Remove(path) // want: silent discard
+}

@@ -1,0 +1,24 @@
+// Package txdb is the errwrap negative fixture: %w wrapping, explicit
+// discards, and handled errors.
+package txdb
+
+import (
+	"fmt"
+	"os"
+)
+
+// Open wraps with %w and makes the deferred close discard explicit.
+func Open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	return nil
+}
+
+// Cleanup acknowledges the discard; non-error formatting verbs are free.
+func Cleanup(path string) {
+	_ = os.Remove(path)
+	_ = fmt.Errorf("gone: %s", path)
+}

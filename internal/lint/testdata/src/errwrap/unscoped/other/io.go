@@ -1,0 +1,11 @@
+// Package other is the errwrap scope fixture: outside internal/txdb and
+// internal/sigfile a bare discard is a style choice, not an I/O bug, and
+// only the %w rule applies.
+package other
+
+import "os"
+
+// Cleanup discards an error outside the I/O-path scope: not flagged.
+func Cleanup(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,35 @@
+// Package cache is a lockdiscipline fixture: methods that touch guarded
+// fields without taking the mutex first.
+package cache
+
+import "sync"
+
+// pageCache mirrors the txdb page cache layout: mu guards the fields
+// declared after it.
+type pageCache struct {
+	mu       sync.Mutex
+	limit    int64
+	resident map[int64]struct{}
+}
+
+// Misses reads resident without holding mu.
+func (c *pageCache) Misses(p int64) bool {
+	_, ok := c.resident[p] // want: unlocked access
+	return ok
+}
+
+// LateLock touches limit before the Lock call.
+func (c *pageCache) LateLock(n int64) {
+	c.limit = n // want: access before the lock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resident = nil
+}
+
+// SetLimit is correct and must not be flagged.
+func (c *pageCache) SetLimit(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.resident = nil
+}

@@ -1,0 +1,35 @@
+// Package cache is the lockdiscipline negative fixture: every guarded
+// access happens after the mutex is taken, in both lock flavors.
+package cache
+
+import "sync"
+
+// memoCache mirrors the sighash memo caches: an RWMutex with a read path
+// and a write path.
+type memoCache struct {
+	k int // declared before the mutex: configuration, not guarded
+
+	mu    sync.RWMutex
+	cache map[int32][]int
+}
+
+// K reads unguarded configuration; fields before the mutex are free.
+func (c *memoCache) K() int { return c.k }
+
+// Get is the read path.
+func (c *memoCache) Get(item int32) ([]int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.cache[item]
+	return p, ok
+}
+
+// Put is the write path.
+func (c *memoCache) Put(item int32, p []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache == nil {
+		c.cache = map[int32][]int{}
+	}
+	c.cache[item] = p
+}

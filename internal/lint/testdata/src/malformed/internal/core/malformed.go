@@ -1,0 +1,11 @@
+// Package core is the malformed-directive fixture: a suppression with no
+// reason does not suppress and is itself reported.
+package core
+
+import "bbsmine/internal/bitvec"
+
+// Broken tries to suppress without giving a reason.
+func Broken(n int) *bitvec.Vector {
+	//lint:ignore pooledvec
+	return bitvec.New(n) // want: still flagged
+}

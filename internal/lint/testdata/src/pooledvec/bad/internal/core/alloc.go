@@ -1,0 +1,10 @@
+// Package core is a pooledvec fixture: a hot-path helper that allocates a
+// raw vector instead of drawing from the pool.
+package core
+
+import "bbsmine/internal/bitvec"
+
+// Residual builds a residual vector the wrong way.
+func Residual(n int) *bitvec.Vector {
+	return bitvec.New(n) // want: raw allocation
+}

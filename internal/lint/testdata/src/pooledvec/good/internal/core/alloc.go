@@ -1,0 +1,17 @@
+// Package core is the pooledvec negative fixture: vectors come from the
+// pool and are returned to it.
+package core
+
+import "bbsmine/internal/bitvec"
+
+// Residual computes a scratch result through the pool.
+func Residual(p *bitvec.Pool) int {
+	v := p.Get()
+	defer p.Put(v)
+	v.SetAll()
+	return v.Count()
+}
+
+// MakePool constructs the pool itself; bitvec.NewPool is the sanctioned
+// constructor and is not flagged.
+func MakePool(n int) *bitvec.Pool { return bitvec.NewPool(n) }

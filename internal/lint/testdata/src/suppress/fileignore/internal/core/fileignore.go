@@ -1,0 +1,12 @@
+// Package core is the file-wide suppression fixture.
+//
+//lint:file-ignore pooledvec fixture exercising file-wide suppression
+package core
+
+import "bbsmine/internal/bitvec"
+
+// A and B both allocate raw vectors; the file-ignore silences both.
+func A(n int) *bitvec.Vector { return bitvec.New(n) }
+
+// B is the second violation the file-wide directive covers.
+func B(n int) *bitvec.Vector { return bitvec.New(n) }

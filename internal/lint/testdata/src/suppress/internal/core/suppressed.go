@@ -1,0 +1,16 @@
+// Package core is the suppression fixture: each violation carries a
+// //lint:ignore directive with a reason, so the file is clean.
+package core
+
+import "bbsmine/internal/bitvec"
+
+// ColdSetup allocates outside any pool, with the reason documented.
+func ColdSetup(n int) *bitvec.Vector {
+	//lint:ignore pooledvec one-off setup allocation, no pool in scope
+	return bitvec.New(n)
+}
+
+// SameLine suppresses on the finding's own line.
+func SameLine(n int) *bitvec.Vector {
+	return bitvec.New(n) //lint:ignore pooledvec cold path, reason on the same line
+}
