@@ -59,6 +59,7 @@ func Mine(store txdb.Store, cfg Config) ([]mining.Frequent, error) {
 
 	var result []mining.Frequent
 	var level [][]txdb.Item // L(k-1), lexicographically sorted
+	//lint:ignore determinism level is sortItemsets'd below and result is mining.Sort'd before return
 	for it, c := range counts {
 		if c >= cfg.MinSupport {
 			level = append(level, []txdb.Item{it})
@@ -170,6 +171,7 @@ func countPairs(store txdb.Store, l1 [][]txdb.Item, cfg Config) ([]mining.Freque
 		if err != nil {
 			return nil, fmt.Errorf("apriori: L2 scan (group %d): %w", g, err)
 		}
+		//lint:ignore determinism out feeds result (mining.Sort'd) and level (sortItemsets'd); order cannot leak
 		for pk, c := range pairCounts {
 			if c >= cfg.MinSupport {
 				a, b := unpairKey(pk)

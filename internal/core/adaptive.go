@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"bbsmine/internal/bitvec"
-)
+import "fmt"
 
 // mineAdaptive is the paper's three-phase filtering for memory-constrained
 // systems (Section 3.1, "Adaptive Filtering"):
@@ -77,7 +73,8 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 		res.FalseDrops += drops
 		r.probedPatterns += probed
 	} else {
-		buf := bitvec.New(m.idx.Len())
+		buf := r.vecs.Get() // same length: Fold preserves n, so the phase-1 pool fits
+		defer r.vecs.Put(buf)
 		for _, c := range r.uncertain {
 			est := m.idx.CountInto(buf, c.Items)
 			if cfg.Constraint != nil && est > 0 {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/txdb"
@@ -111,8 +109,7 @@ func (r *run) root() (*bitvec.Vector, int) {
 func (r *run) filter() {
 	r.rootVec, r.rootEst = r.root()
 
-	all := r.idx.Items()
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	all := r.idx.Items() // ascending — the canonical level-1 enumeration order
 
 	// Level-1 sweep. The alphabet arrays (items/est1/act1) are what
 	// CheckCount consults for I1 = {i} at any depth.
@@ -193,7 +190,7 @@ func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCo
 	}
 	depth := len(r.itemset)
 	for len(r.scratch) <= depth {
-		r.scratch = append(r.scratch, bitvec.New(r.idx.Len()))
+		r.scratch = append(r.scratch, r.vecs.Get())
 	}
 	exts := r.expandNode(alphabet, r.scratch[depth], parentVec, parentEst, parentCount, parentFlag)
 

@@ -74,7 +74,7 @@ func (r *run) filterParallel(alphabet []int) {
 		return
 	}
 	for len(r.scratch) < 1 {
-		r.scratch = append(r.scratch, bitvec.New(r.idx.Len()))
+		r.scratch = append(r.scratch, r.vecs.Get())
 	}
 	exts := r.expandNode(alphabet, r.scratch[0], r.rootVec, r.rootEst, 0, flagCertainActual)
 
@@ -214,7 +214,8 @@ func (m *Miner) reverifyParallel(r *run, cands []Pattern, cfg Config, workers in
 		go func() {
 			defer wg.Done()
 			wr := r.workerRun()
-			buf := bitvec.New(m.idx.Len())
+			buf := r.vecs.Get() // same length: Fold preserves n
+			defer r.vecs.Put(buf)
 			for i := range queue {
 				c := cands[i]
 				est := m.idx.CountInto(buf, c.Items)

@@ -69,6 +69,7 @@ func (m *Miner) CountConstrained(itemset []txdb.Item, constraint *bitvec.Vector)
 // arbitrary constraints is outside its scope, so this helper keeps it
 // explicit and reusable — build once, query many times.
 func BuildConstraint(store txdb.Store, pred func(pos int, tx txdb.Transaction) bool) (*bitvec.Vector, error) {
+	//lint:ignore pooledvec one-off cold-path build; needs a zeroed vector and no run (or pool) is in scope
 	v := bitvec.New(store.Len())
 	err := store.Scan(func(pos int, tx txdb.Transaction) bool {
 		if pred(pos, tx) {

@@ -95,6 +95,7 @@ func newTreeFromCounts(counts map[txdb.Item]int, minSupport int) *Tree {
 		root:  &node{children: map[txdb.Item]*node{}},
 		index: map[txdb.Item]int{},
 	}
+	//lint:ignore determinism headers get a total order (count desc, item asc) in the sort below
 	for it, c := range counts {
 		if c >= minSupport {
 			t.headers = append(t.headers, header{item: it, count: c})
@@ -161,6 +162,7 @@ func (t *Tree) singlePath() ([]txdb.Item, []int) {
 		if len(n.children) > 1 {
 			return nil, nil
 		}
+		//lint:ignore determinism the guards above ensure exactly one child; a 1-element range has one order
 		for _, child := range n.children {
 			n = child
 		}

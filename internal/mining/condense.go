@@ -43,6 +43,7 @@ func filterCondensed(fs []Frequent, dominates func(sup, superSup int) bool) []Fr
 	buf := make([]txdb.Item, 0, 16)
 	for _, f := range fs {
 		dominated := false
+		//lint:ignore determinism dominated is an order-independent existence check (any dominating +1 superset)
 		for it := range alphabet {
 			if containsItem(f.Items, it) {
 				continue

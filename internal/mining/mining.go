@@ -77,6 +77,7 @@ func ToMap(fs []Frequent) map[string]int {
 func Diff(nameA string, a []Frequent, nameB string, b []Frequent) []string {
 	ma, mb := ToMap(a), ToMap(b)
 	var out []string
+	//lint:ignore determinism out is sort.Strings'd before return
 	for k, sa := range ma {
 		sb, ok := mb[k]
 		switch {
@@ -86,6 +87,7 @@ func Diff(nameA string, a []Frequent, nameB string, b []Frequent) []string {
 			out = append(out, fmt.Sprintf("support mismatch on %s: %s=%d %s=%d", decodeKey(k), nameA, sa, nameB, sb))
 		}
 	}
+	//lint:ignore determinism out is sort.Strings'd before return
 	for k, sb := range mb {
 		if _, ok := ma[k]; !ok {
 			out = append(out, fmt.Sprintf("%s has %s (support %d), %s lacks it", nameB, decodeKey(k), sb, nameA))
@@ -130,6 +132,7 @@ func BruteForce(txs []txdb.Transaction, minSupport int) []Frequent {
 		}
 	}
 	var items []txdb.Item
+	//lint:ignore determinism items is sorted immediately below
 	for it, c := range counts {
 		if c >= minSupport {
 			items = append(items, it)

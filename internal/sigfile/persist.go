@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/iostat"
@@ -36,21 +35,21 @@ func (b *BBS) Save(path string) error {
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	if err := b.writeTo(w); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return fmt.Errorf("sigfile: flush: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("sigfile: close: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("sigfile: rename: %w", err)
 	}
 	return nil
@@ -68,8 +67,7 @@ func (b *BBS) writeTo(w io.Writer) error {
 		return fmt.Errorf("sigfile: write header: %w", err)
 	}
 
-	items := b.Items()
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	items := b.Items() // ascending, so the file layout is reproducible
 	var cnt [4]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(items)))
 	if _, err := w.Write(cnt[:]); err != nil {
@@ -125,7 +123,7 @@ func Load(path string, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sigfile: open %s: %w", path, err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; no buffered state to lose
 	r := bufio.NewReaderSize(f, 1<<16)
 
 	var magic [8]byte

@@ -17,6 +17,7 @@ package sigfile
 
 import (
 	"fmt"
+	"slices"
 
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/iostat"
@@ -127,13 +128,15 @@ func (b *BBS) Insert(items []int32) {
 // incrementally at insert time. This is the DualFilter's side information.
 func (b *BBS) ExactCount(item int32) int { return b.itemCounts[item] }
 
-// Items returns every item that appears in at least one indexed transaction.
-// The order is unspecified. Allocates a fresh slice.
+// Items returns every item that appears in at least one indexed transaction,
+// in ascending order. Allocates a fresh slice.
 func (b *BBS) Items() []int32 {
 	out := make([]int32, 0, len(b.itemCounts))
+	//lint:ignore determinism the sort below imposes the order the map range lacks
 	for it := range b.itemCounts {
 		out = append(out, it)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -303,6 +306,7 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 	for p := keep; p < len(b.slices); p++ {
 		nb.slices[p%keep].Or(b.slices[p])
 	}
+	//lint:ignore determinism map-to-map copy; insertion order cannot be observed
 	for it, c := range b.itemCounts {
 		nb.itemCounts[it] = c
 	}

@@ -31,7 +31,7 @@ func CreateFileStore(path string, stats *iostat.Stats) (*FileStore, error) {
 		return nil, fmt.Errorf("txdb: create %s: %w", path, err)
 	}
 	if _, err := f.Write(fileMagic[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("txdb: write magic: %w", err)
 	}
 	if stats == nil {
@@ -50,11 +50,11 @@ func OpenFileStore(path string, stats *iostat.Stats) (*FileStore, error) {
 	}
 	var magic [8]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("txdb: read magic of %s: %w", path, err)
 	}
 	if magic != fileMagic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("txdb: %s is not a transaction database file", path)
 	}
 	if stats == nil {
@@ -70,7 +70,7 @@ func OpenFileStore(path string, stats *iostat.Stats) (*FileStore, error) {
 			if err == io.EOF {
 				break
 			}
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("txdb: indexing %s: %w", path, err)
 		}
 		s.offsets = append(s.offsets, off)
@@ -205,7 +205,7 @@ func WriteAll(path string, stats *iostat.Stats, txs []Transaction) (*FileStore, 
 	}
 	for _, tx := range txs {
 		if err := s.Append(tx); err != nil {
-			s.Close()
+			_ = s.Close()
 			return nil, err
 		}
 	}
