@@ -124,24 +124,38 @@ func Load(path string, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
 		return nil, fmt.Errorf("sigfile: open %s: %w", path, err)
 	}
 	defer func() { _ = f.Close() }() // read-only; no buffered state to lose
-	r := bufio.NewReaderSize(f, 1<<16)
+	b, err := decodeBBS(bufio.NewReaderSize(f, 1<<16), h, stats)
+	if err != nil {
+		return nil, fmt.Errorf("sigfile: load %s: %w", path, err)
+	}
+	return b, nil
+}
 
+// decodeBBS reads one serialized BBS from r and verifies nothing trails it.
+// It is the reader-level half of Load, factored out so the fuzz target can
+// drive it with arbitrary bytes; nothing it allocates is sized by header
+// fields alone, so a corrupt header cannot force a giant allocation — reads
+// fail at the truncation point first.
+func decodeBBS(r *bufio.Reader, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("sigfile: read magic: %w", err)
+		return nil, fmt.Errorf("read magic: %w", err)
 	}
 	if magic != sigMagic {
-		return nil, fmt.Errorf("sigfile: %s is not a BBS file", path)
+		return nil, fmt.Errorf("not a BBS file")
 	}
 	hdr := make([]byte, 16)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("sigfile: read header: %w", err)
+		return nil, fmt.Errorf("read header: %w", err)
 	}
 	m := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	k := int(binary.LittleEndian.Uint32(hdr[4:8]))
 	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
 	if m != h.M() || k != h.K() {
-		return nil, fmt.Errorf("sigfile: file has m=%d k=%d, hasher has m=%d k=%d", m, k, h.M(), h.K())
+		return nil, fmt.Errorf("file has m=%d k=%d, hasher has m=%d k=%d", m, k, h.M(), h.K())
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("corrupt transaction count %d", n)
 	}
 
 	b := New(h, stats)
@@ -149,13 +163,13 @@ func Load(path string, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
 
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
-		return nil, fmt.Errorf("sigfile: read item count: %w", err)
+		return nil, fmt.Errorf("read item count: %w", err)
 	}
 	numItems := int(binary.LittleEndian.Uint32(cnt[:]))
 	pair := make([]byte, 12)
 	for i := 0; i < numItems; i++ {
 		if _, err := io.ReadFull(r, pair); err != nil {
-			return nil, fmt.Errorf("sigfile: read item entry %d: %w", i, err)
+			return nil, fmt.Errorf("read item entry %d: %w", i, err)
 		}
 		item := int32(binary.LittleEndian.Uint32(pair[0:4]))
 		b.itemCounts[item] = int(binary.LittleEndian.Uint64(pair[4:12]))
@@ -166,47 +180,55 @@ func Load(path string, h sighash.Hasher, stats *iostat.Stats) (*BBS, error) {
 
 	var flag [1]byte
 	if _, err := io.ReadFull(r, flag[:]); err != nil {
-		return nil, fmt.Errorf("sigfile: read live flag: %w", err)
+		return nil, fmt.Errorf("read live flag: %w", err)
 	}
 	switch flag[0] {
 	case 0:
 	case 1:
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("sigfile: read deleted count: %w", err)
+			return nil, fmt.Errorf("read deleted count: %w", err)
 		}
 		b.deleted = int(binary.LittleEndian.Uint64(buf))
-		ws := make([]uint64, words)
-		for wi := 0; wi < words; wi++ {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, fmt.Errorf("sigfile: read live mask word %d: %w", wi, err)
-			}
-			ws[wi] = binary.LittleEndian.Uint64(buf)
+		ws, err := readWords(r, words, buf)
+		if err != nil {
+			return nil, fmt.Errorf("read live mask: %w", err)
 		}
 		var lv bitvec.Vector
 		if err := lv.SetWords(ws, n); err != nil {
-			return nil, fmt.Errorf("sigfile: live mask: %w", err)
+			return nil, fmt.Errorf("live mask: %w", err)
 		}
 		b.live = &lv
 	default:
-		return nil, fmt.Errorf("sigfile: bad live flag %d", flag[0])
+		return nil, fmt.Errorf("bad live flag %d", flag[0])
 	}
 
 	for p := 0; p < m; p++ {
-		ws := make([]uint64, words)
-		for wi := 0; wi < words; wi++ {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, fmt.Errorf("sigfile: read slice %d word %d: %w", p, wi, err)
-			}
-			ws[wi] = binary.LittleEndian.Uint64(buf)
+		ws, err := readWords(r, words, buf)
+		if err != nil {
+			return nil, fmt.Errorf("read slice %d: %w", p, err)
 		}
 		var v bitvec.Vector
 		if err := v.SetWords(ws, n); err != nil {
-			return nil, fmt.Errorf("sigfile: slice %d: %w", p, err)
+			return nil, fmt.Errorf("slice %d: %w", p, err)
 		}
 		b.slices[p] = &v
 	}
 	if _, err := r.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("sigfile: trailing data in %s", path)
+		return nil, fmt.Errorf("trailing data")
 	}
 	return b, nil
+}
+
+// readWords reads count little-endian uint64 words. The slice grows as the
+// words arrive instead of being allocated upfront, keeping memory bounded
+// by the actual input length even when a corrupt header claims a huge n.
+func readWords(r *bufio.Reader, count int, buf []byte) ([]uint64, error) {
+	ws := make([]uint64, 0, min(count, 1<<12))
+	for wi := 0; wi < count; wi++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("word %d: %w", wi, err)
+		}
+		ws = append(ws, binary.LittleEndian.Uint64(buf))
+	}
+	return ws, nil
 }

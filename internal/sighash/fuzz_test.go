@@ -1,0 +1,91 @@
+package sighash
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// clampParams maps arbitrary fuzz bytes onto valid hasher parameters.
+func clampParams(m, k uint16) (int, int) {
+	return int(m%4096) + 1, int(k%64) + 1
+}
+
+// FuzzHasherPositions checks the Hasher contract every index operation
+// relies on, for every production hasher: exactly K() positions, each in
+// [0, M()), and bit-identical across independent hasher instances — the
+// stability property that makes a persisted BBS readable by a later
+// process (the file stores no positions, only the (m, k) parameters).
+func FuzzHasherPositions(f *testing.F) {
+	f.Add(int32(7), uint16(80), uint16(4))
+	f.Add(int32(-1), uint16(0), uint16(0))
+	f.Add(int32(1<<30), uint16(8), uint16(1))
+	f.Fuzz(func(t *testing.T, item int32, rawM, rawK uint16) {
+		m, k := clampParams(rawM, rawK)
+		hashers := []struct {
+			name string
+			a, b Hasher
+		}{
+			{"md5", NewMD5(m, k), NewMD5(m, k)},
+			{"fnv", NewFNV(m, k), NewFNV(m, k)},
+			{"mod", NewMod(m), NewMod(m)},
+		}
+		for _, h := range hashers {
+			got := h.a.Positions(item)
+			if len(got) != h.a.K() {
+				t.Fatalf("%s: len(Positions(%d)) = %d, want K() = %d", h.name, item, len(got), h.a.K())
+			}
+			for _, p := range got {
+				if p < 0 || p >= m {
+					t.Fatalf("%s: Positions(%d) contains %d, out of [0, %d)", h.name, item, p, m)
+				}
+			}
+			// A second, cache-cold instance must agree, and the memoized
+			// second call on the same instance must too.
+			fresh := h.b.Positions(item)
+			cached := h.a.Positions(item)
+			for i := range got {
+				if got[i] != fresh[i] || got[i] != cached[i] {
+					t.Fatalf("%s: Positions(%d) unstable: %v vs fresh %v / cached %v",
+						h.name, item, got, fresh, cached)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSignatureBits checks the sparse signature-vector construction of
+// CountItemSet step 1: sorted, duplicate-free, within [0, m), and exactly
+// the union of the member items' positions.
+func FuzzSignatureBits(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 7, 255, 255, 255, 255}, uint16(80), uint16(4))
+	f.Add([]byte{}, uint16(8), uint16(1))
+	f.Fuzz(func(t *testing.T, raw []byte, rawM, rawK uint16) {
+		m, k := clampParams(rawM, rawK)
+		items := make([]int32, 0, len(raw)/4)
+		for i := 0; i+4 <= len(raw) && len(items) < 64; i += 4 {
+			items = append(items, int32(binary.BigEndian.Uint32(raw[i:i+4])))
+		}
+		h := NewMD5(m, k)
+		bits := SignatureBits(h, items)
+		want := map[int]bool{}
+		for _, it := range items {
+			for _, p := range h.Positions(it) {
+				want[p] = true
+			}
+		}
+		if len(bits) != len(want) {
+			t.Fatalf("SignatureBits has %d positions, union has %d", len(bits), len(want))
+		}
+		for i, p := range bits {
+			if p < 0 || p >= m {
+				t.Fatalf("position %d out of [0, %d)", p, m)
+			}
+			if !want[p] {
+				t.Fatalf("position %d not in the union of item positions", p)
+			}
+			if i > 0 && bits[i-1] >= p {
+				t.Fatalf("positions not strictly ascending: %v", bits)
+			}
+		}
+	})
+}
