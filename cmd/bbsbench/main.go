@@ -11,13 +11,21 @@
 //	bbsbench -fig 6 -scale 0.1
 //
 // Output is aligned text by default; -csv switches to CSV for plotting.
+//
+// -json <path> skips the figures and instead times the four BBS schemes
+// once, writing one JSON record per scheme (wall time plus the hot-path work
+// counters) — the machine-readable output CI tracks across commits.
+// -cpuprofile / -memprofile wrap whichever mode runs with runtime/pprof.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -43,6 +51,9 @@ func run(args []string) error {
 		workers = fs.Int("workers", 1, "mining worker pool size for figures 5..13 (default 1 keeps paper timings single-threaded; figure 14 sweeps its own)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outdir  = fs.String("outdir", "", "also write each table as <outdir>/<id>.csv for plotting")
+		jsonOut = fs.String("json", "", "skip the figures; time the four BBS schemes and write JSON records to this path")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf = fs.String("memprofile", "", "write a heap profile taken after the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +65,36 @@ func run(args []string) error {
 	p.Workers = *workers
 	if *tau > 0 {
 		p.TauFrac = *tau
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbsbench: creating -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows what is live
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bbsbench: writing -memprofile:", err)
+			}
+		}()
+	}
+
+	if *jsonOut != "" {
+		return runJSON(p, *jsonOut)
 	}
 
 	var figures []int
@@ -103,6 +144,33 @@ func run(args []string) error {
 		}
 		fmt.Printf("(figure %d regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runJSON times the four BBS schemes and writes the records to path.
+func runJSON(p exp.Params, path string) error {
+	records, err := exp.BenchJSON(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating -json output: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%d\n",
+			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns)
+	}
+	fmt.Printf("(wrote %s)\n", path)
 	return nil
 }
 

@@ -30,6 +30,12 @@ const (
 type Vector struct {
 	words []uint64
 	n     int // logical length in bits
+
+	// Sparse mode (see sparse.go): summary holds one bit per backing word,
+	// set iff the word is nonzero; nil means the summary is not maintained.
+	// nz counts the nonzero words while the summary is live.
+	summary []uint64
+	nz      int
 }
 
 // New returns a zeroed vector of n bits.
@@ -59,13 +65,24 @@ func (v *Vector) Len() int { return v.n }
 // Set sets bit i to 1.
 func (v *Vector) Set(i int) {
 	v.bounds(i)
-	v.words[i>>wordShift] |= 1 << uint(i&wordMask)
+	wi := i >> wordShift
+	if v.summary != nil && v.words[wi] == 0 {
+		v.summary[wi>>wordShift] |= 1 << uint(wi&wordMask)
+		v.nz++
+	}
+	v.words[wi] |= 1 << uint(i&wordMask)
 }
 
 // Clear sets bit i to 0.
 func (v *Vector) Clear(i int) {
 	v.bounds(i)
-	v.words[i>>wordShift] &^= 1 << uint(i&wordMask)
+	wi := i >> wordShift
+	was := v.words[wi]
+	v.words[wi] &^= 1 << uint(i&wordMask)
+	if v.summary != nil && was != 0 && v.words[wi] == 0 {
+		v.summary[wi>>wordShift] &^= 1 << uint(wi&wordMask)
+		v.nz--
+	}
 }
 
 // Get reports whether bit i is set.
@@ -82,6 +99,7 @@ func (v *Vector) bounds(i int) {
 
 // SetAll sets every bit in the vector to 1.
 func (v *Vector) SetAll() {
+	v.dropSummary()
 	for i := range v.words {
 		v.words[i] = ^uint64(0)
 	}
@@ -90,6 +108,7 @@ func (v *Vector) SetAll() {
 
 // Reset sets every bit to 0 without changing the length.
 func (v *Vector) Reset() {
+	v.dropSummary()
 	for i := range v.words {
 		v.words[i] = 0
 	}
@@ -111,6 +130,7 @@ func (v *Vector) Grow(n int) {
 	if n <= v.n {
 		return
 	}
+	v.dropSummary()
 	need := wordsFor(n)
 	if need > cap(v.words) {
 		newCap := 2 * cap(v.words)
@@ -161,6 +181,7 @@ func (v *Vector) CountUpTo(limit int) int {
 // And replaces v with v AND other. Both vectors must have the same length.
 func (v *Vector) And(other *Vector) {
 	v.sameLen(other)
+	v.dropSummary()
 	for i, w := range other.words {
 		v.words[i] &= w
 	}
@@ -168,19 +189,25 @@ func (v *Vector) And(other *Vector) {
 
 // AndCount replaces v with v AND other and returns the popcount of the
 // result in the same pass. This fusion is the inner loop of CountItemSet.
+//
+// The kernel is chosen by v's mode (see sparse.go): a summarized vector
+// visits only its nonzero words (and keeps its summary current); a dense
+// one runs the unrolled full sweep. Promotion to sparse mode is the
+// caller's call — MaybeSummarize — because building the summary costs a
+// word sweep that only pays off when the vector is AND-ed again. The
+// result bits are identical either way.
 func (v *Vector) AndCount(other *Vector) int {
 	v.sameLen(other)
-	c := 0
-	for i, w := range other.words {
-		v.words[i] &= w
-		c += bits.OnesCount64(v.words[i])
+	if v.summary != nil {
+		return v.andCountSparse(other)
 	}
-	return c
+	return v.andCountDense(other)
 }
 
 // Or replaces v with v OR other. Both vectors must have the same length.
 func (v *Vector) Or(other *Vector) {
 	v.sameLen(other)
+	v.dropSummary()
 	for i, w := range other.words {
 		v.words[i] |= w
 	}
@@ -189,6 +216,7 @@ func (v *Vector) Or(other *Vector) {
 // AndNot replaces v with v AND NOT other (clears the bits set in other).
 func (v *Vector) AndNot(other *Vector) {
 	v.sameLen(other)
+	v.dropSummary()
 	for i, w := range other.words {
 		v.words[i] &^= w
 	}
@@ -197,6 +225,7 @@ func (v *Vector) AndNot(other *Vector) {
 // Xor replaces v with v XOR other. Both vectors must have the same length.
 func (v *Vector) Xor(other *Vector) {
 	v.sameLen(other)
+	v.dropSummary()
 	for i, w := range other.words {
 		v.words[i] ^= w
 	}
@@ -219,12 +248,14 @@ func (v *Vector) CopyFrom(other *Vector) {
 	}
 	copy(v.words, other.words)
 	v.n = other.n
+	v.copySummaryFrom(other)
 }
 
 // Clone returns a new vector with the same contents. Allocates.
 func (v *Vector) Clone() *Vector {
 	c := &Vector{words: make([]uint64, len(v.words)), n: v.n}
 	copy(c.words, v.words)
+	c.copySummaryFrom(v)
 	return c
 }
 
@@ -328,6 +359,7 @@ func (v *Vector) SetWords(words []uint64, n int) error {
 	if wordsFor(n) != len(words) {
 		return fmt.Errorf("bitvec: %d words cannot hold exactly %d bits", len(words), n)
 	}
+	v.dropSummary()
 	v.words = make([]uint64, len(words))
 	copy(v.words, words)
 	v.n = n

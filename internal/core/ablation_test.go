@@ -19,7 +19,9 @@ func TestAblationKnobsPreserveResults(t *testing.T) {
 		variants := []Config{
 			{MinSupport: tau, Scheme: scheme, NoEarlyExit: true},
 			{MinSupport: tau, Scheme: scheme, NoIncrementalAnd: true},
+			{MinSupport: tau, Scheme: scheme, NoSliceOrdering: true},
 			{MinSupport: tau, Scheme: scheme, NoEarlyExit: true, NoIncrementalAnd: true},
+			{MinSupport: tau, Scheme: scheme, NoEarlyExit: true, NoIncrementalAnd: true, NoSliceOrdering: true},
 		}
 		for vi, cfg := range variants {
 			m, _ := buildMiner(t, txs, 400, 4)
@@ -61,6 +63,10 @@ func TestAblationKnobsCostMoreWork(t *testing.T) {
 	if _, err := noExit.Mine(Config{MinSupport: tau, Scheme: DFP, NoEarlyExit: true}); err != nil {
 		t.Fatal(err)
 	}
+	noOrd, statsNoOrd := buildMiner(t, txs, 400, 4)
+	if _, err := noOrd.Mine(Config{MinSupport: tau, Scheme: DFP, NoSliceOrdering: true}); err != nil {
+		t.Fatal(err)
+	}
 	if statsNoInc.SliceAnds() <= statsBase.SliceAnds() {
 		t.Errorf("NoIncrementalAnd did %d ANDs, base %d; expected more",
 			statsNoInc.SliceAnds(), statsBase.SliceAnds())
@@ -68,5 +74,11 @@ func TestAblationKnobsCostMoreWork(t *testing.T) {
 	if statsNoExit.SliceAnds() < statsBase.SliceAnds() {
 		t.Errorf("NoEarlyExit did %d ANDs, base %d; expected at least as many",
 			statsNoExit.SliceAnds(), statsBase.SliceAnds())
+	}
+	// Rarest-first ordering exists to make the early exit fire sooner, so
+	// disabling it can only keep the AND count the same or raise it.
+	if statsNoOrd.SliceAnds() < statsBase.SliceAnds() {
+		t.Errorf("NoSliceOrdering did %d ANDs, base %d; expected at least as many",
+			statsNoOrd.SliceAnds(), statsBase.SliceAnds())
 	}
 }

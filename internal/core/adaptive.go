@@ -75,8 +75,9 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	} else {
 		buf := r.vecs.Get() // same length: Fold preserves n, so the phase-1 pool fits
 		defer r.vecs.Put(buf)
+		var posBuf []int // reused across candidates; CountIntoBuf grows it once
 		for _, c := range r.uncertain {
-			est := m.idx.CountInto(buf, c.Items)
+			est := m.idx.CountIntoBuf(buf, c.Items, &posBuf)
 			if cfg.Constraint != nil && est > 0 {
 				est = buf.AndCount(cfg.Constraint)
 			}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"bbsmine/internal/mining"
+)
+
+// BenchmarkEvalExtension times the per-node extension evaluation — the
+// mining inner loop — with the level-1 sweep already done, so the cached,
+// rarest-first positions and the incremental AND are what is measured.
+func BenchmarkEvalExtension(b *testing.B) {
+	txs := questDB(b, 2000, 500)
+	m, _ := buildMiner(b, txs, 800, 4)
+	tau := mining.MinSupportCount(0.01, len(txs))
+
+	r := newRun(m, m.idx, Config{MinSupport: tau, Scheme: DFS, Workers: 1})
+	r.filter() // populates items/est1/act1/posCache
+	if len(r.items) == 0 {
+		b.Fatal("no level-1 survivors; raise density or lower tau")
+	}
+
+	scratch := r.vecs.Get()
+	defer r.vecs.Put(scratch)
+	var newPos []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gi := i % len(r.items)
+		newPos = newPos[:0]
+		r.evalExtension(scratch, r.rootVec, r.rootEst, r.items[gi], r.posCache[gi], &newPos)
+	}
+}
+
+// BenchmarkMineDFP times a full mining pass, the end-to-end number the
+// kernel work rolls up into.
+func BenchmarkMineDFP(b *testing.B) {
+	txs := questDB(b, 2000, 500)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := buildMiner(b, txs, 800, 4)
+		b.StartTimer()
+		if _, err := m.Mine(Config{MinSupport: tau, Scheme: DFP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -122,6 +122,12 @@ type Config struct {
 	// scratch (all items' slices) instead of reusing the parent's residual
 	// vector. Ablation knob; results are unchanged.
 	NoIncrementalAnd bool
+	// NoSliceOrdering keeps each alphabet item's cached slice positions in
+	// ascending position order instead of rarest-first (ascending per-slice
+	// popcount), so the below-τ early exit fires as late as the seed's.
+	// Scoped to the enumeration hot path; ad-hoc CountItemSet queries
+	// always order rarest-first. Ablation knob; results are unchanged.
+	NoSliceOrdering bool
 }
 
 // Pattern is one mined itemset. Support is exact when Exact is true;

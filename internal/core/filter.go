@@ -3,6 +3,7 @@ package core
 import (
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/sigfile"
+	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
 )
 
@@ -30,6 +31,14 @@ type run struct {
 	items []txdb.Item // level-1 est-survivors, ascending; the global alphabet
 	est1  []int       // BBS estimate of each alphabet item's support
 	act1  []int       // exact support of each alphabet item (dual filter info)
+
+	// posCache[gi] holds items[gi]'s distinct slice positions, computed
+	// once during the level-1 sweep, so evalExtension never goes back to
+	// the hasher (a lock-guarded memo map at best, MD5 at worst — per node
+	// visit times alphabet size). Ordered rarest-first by slice popcount
+	// unless Config.NoSliceOrdering, which also orders the newPos subsets
+	// derived from it. Read-only after the sweep; shared by worker clones.
+	posCache [][]int
 
 	applied []bool           // slice positions already ANDed into the path
 	scratch []*bitvec.Vector // one evaluation buffer per depth
@@ -112,16 +121,22 @@ func (r *run) filter() {
 	all := r.idx.Items() // ascending — the canonical level-1 enumeration order
 
 	// Level-1 sweep. The alphabet arrays (items/est1/act1) are what
-	// CheckCount consults for I1 = {i} at any depth.
+	// CheckCount consults for I1 = {i} at any depth, and each survivor's
+	// deduped, ordered positions are cached for every later evaluation.
 	buf := r.vecs.Get()
-	var newPos []int
+	var newPos, pos []int
 	for _, it := range all {
+		pos = sighash.AppendSignatureBits(pos[:0], r.idx.Hasher(), []int32{it})
+		if !r.cfg.NoSliceOrdering {
+			r.idx.OrderRarestFirst(pos)
+		}
 		newPos = newPos[:0]
-		est := r.evalExtension(buf, r.rootVec, r.rootEst, it, &newPos)
+		est := r.evalExtension(buf, r.rootVec, r.rootEst, it, pos, &newPos)
 		if est >= r.tau {
 			r.items = append(r.items, it)
 			r.est1 = append(r.est1, est)
 			r.act1 = append(r.act1, r.idx.ExactCount(it))
+			r.posCache = append(r.posCache, append([]int(nil), pos...))
 		}
 	}
 	r.vecs.Put(buf)
@@ -138,14 +153,17 @@ func (r *run) filter() {
 }
 
 // evalExtension computes est(r.itemset ∪ {it}) into scratch and records the
-// slice positions the item adds over the current path. The default path
-// reuses the parent's residual vector and ANDs only the new positions, with
-// an early exit once the count falls below τ; the two ablation knobs
+// slice positions the item adds over the current path. itemPos is the item's
+// distinct slice positions — r.posCache[gi] below level 1, the sweep's
+// scratch during it — and newPos inherits its order, so rarest-first
+// propagates from the cache into the AND loop. The default path reuses the
+// parent's residual vector and ANDs only the new positions, with an early
+// exit once the count falls below τ; the ablation knobs
 // (Config.NoIncrementalAnd, Config.NoEarlyExit) fall back to the naive
 // evaluations the benchmarks compare against.
-func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it txdb.Item, newPos *[]int) int {
+func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it txdb.Item, itemPos []int, newPos *[]int) int {
 	r.m.stats.AddCountCall()
-	for _, p := range r.idx.Hasher().Positions(it) {
+	for _, p := range itemPos {
 		if !r.applied[p] {
 			*newPos = append(*newPos, p)
 		}
@@ -228,7 +246,7 @@ func (r *run) expandNode(alphabet []int, scratch, parentVec *bitvec.Vector, pare
 	for _, gi := range alphabet {
 		it := r.items[gi]
 		newPos = newPos[:0]
-		est := r.evalExtension(scratch, parentVec, parentEst, it, &newPos)
+		est := r.evalExtension(scratch, parentVec, parentEst, it, r.posCache[gi], &newPos)
 		if est < r.tau {
 			continue // filtered out; gone from every subtree (monotonicity)
 		}
@@ -240,6 +258,9 @@ func (r *run) expandNode(alphabet []int, scratch, parentVec *bitvec.Vector, pare
 		if e.descend {
 			e.vec = r.vecs.Get()
 			e.vec.CopyFrom(scratch)
+			// This residual seeds a whole subtree of ANDs; if it has gone
+			// sparse, pay one sweep now so they all run the sparse kernel.
+			e.vec.MaybeSummarize(est)
 		}
 		exts = append(exts, e)
 	}

@@ -154,6 +154,7 @@ func (r *run) workerRun() *run {
 		items:          r.items,
 		est1:           r.est1,
 		act1:           r.act1,
+		posCache:       r.posCache,
 		rootVec:        r.rootVec,
 		rootEst:        r.rootEst,
 		disableProbing: r.disableProbing,
@@ -216,9 +217,10 @@ func (m *Miner) reverifyParallel(r *run, cands []Pattern, cfg Config, workers in
 			wr := r.workerRun()
 			buf := r.vecs.Get() // same length: Fold preserves n
 			defer r.vecs.Put(buf)
+			var posBuf []int // per-worker position scratch
 			for i := range queue {
 				c := cands[i]
-				est := m.idx.CountInto(buf, c.Items)
+				est := m.idx.CountIntoBuf(buf, c.Items, &posBuf)
 				if cfg.Constraint != nil && est > 0 {
 					est = buf.AndCount(cfg.Constraint)
 				}

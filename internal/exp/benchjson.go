@@ -1,0 +1,45 @@
+package exp
+
+// Machine-readable benchmark output for bbsbench -json: one record per BBS
+// scheme over the default Quest workload, carrying the wall time and the
+// work counters that the hot-path optimizations move (count calls, slice
+// ANDs, probes). CI runs this once per push so the numbers stay honest.
+
+// BenchRecord is one scheme's measurement.
+type BenchRecord struct {
+	Scheme     string `json:"scheme"`
+	Tau        int    `json:"tau"`
+	WallNs     int64  `json:"wall_ns"`
+	CountCalls int64  `json:"count_calls"`
+	SliceAnds  int64  `json:"slice_ands"`
+	Probes     int64  `json:"probes"`
+	Patterns   int    `json:"patterns"`
+}
+
+// BenchJSON times the four BBS schemes over the params' workload and returns
+// one record per scheme, in SFS/DFS/SFP/DFP order.
+func BenchJSON(p Params) ([]BenchRecord, error) {
+	txs, err := p.dataset(p.D, p.V, p.T)
+	if err != nil {
+		return nil, err
+	}
+	tau := p.Tau(len(txs))
+
+	records := make([]BenchRecord, 0, 4)
+	for _, name := range []string{"SFS", "DFS", "SFP", "DFP"} {
+		met, err := RunScheme(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, BenchRecord{
+			Scheme:     name,
+			Tau:        tau,
+			WallNs:     met.Wall.Nanoseconds(),
+			CountCalls: met.Snapshot.CountCalls,
+			SliceAnds:  met.Snapshot.SliceAnds,
+			Probes:     met.Snapshot.Probes,
+			Patterns:   met.Patterns,
+		})
+	}
+	return records, nil
+}

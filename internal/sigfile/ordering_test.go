@@ -1,0 +1,167 @@
+package sigfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/sighash"
+)
+
+// naiveCountInto is the seed's CountInto: live mask, then the itemset's
+// slices in ascending position order, no popcount ordering. The rarest-first
+// path must match it bit for bit.
+func naiveCountInto(b *BBS, dst *bitvec.Vector, items []int32) int {
+	dst.Grow(b.n)
+	est := b.n
+	if b.live != nil {
+		dst.CopyFrom(b.live)
+		est = b.Live()
+	} else {
+		dst.SetAll()
+	}
+	for _, p := range sighash.SignatureBits(b.hasher, items) {
+		est = dst.AndCount(b.slices[p])
+		if est == 0 {
+			break
+		}
+	}
+	return est
+}
+
+// checkSliceOnes asserts the incremental per-slice popcounts against a
+// recount of every slice.
+func checkSliceOnes(t *testing.T, b *BBS) {
+	t.Helper()
+	for p, s := range b.slices {
+		if got, want := b.sliceOnes[p], s.Count(); got != want {
+			t.Fatalf("sliceOnes[%d] = %d, recount says %d", p, got, want)
+		}
+	}
+}
+
+// randomIndex builds a BBS over random transactions and returns the
+// transactions for later deletions.
+func randomIndex(rng *rand.Rand, m, k, txns int) (*BBS, [][]int32) {
+	idx := New(sighash.NewMD5(m, k), nil)
+	txs := make([][]int32, txns)
+	for i := range txs {
+		txs[i] = randomItems(rng, 8, 500)
+		idx.Insert(txs[i])
+	}
+	return idx, txs
+}
+
+// The maintained popcounts must survive inserts (including same-slice hash
+// collisions), folds, and a save/load round trip.
+func TestSliceOnesMaintained(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	idx, _ := randomIndex(rng, 64, 4, 300) // narrow m forces collisions
+	checkSliceOnes(t, idx)
+
+	folded, err := idx.Fold(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSliceOnes(t, folded)
+
+	path := t.TempDir() + "/idx.bbs"
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, idx.Hasher(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSliceOnes(t, loaded)
+}
+
+// OrderRarestFirst must sort by ascending popcount with position breaking
+// ties, and must be a permutation of its input.
+func TestOrderRarestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	idx, _ := randomIndex(rng, 128, 4, 200)
+	for trial := 0; trial < 100; trial++ {
+		pos := rng.Perm(128)[:1+rng.Intn(20)]
+		before := append([]int(nil), pos...)
+		idx.OrderRarestFirst(pos)
+		if len(pos) != len(before) {
+			t.Fatalf("length changed: %d -> %d", len(before), len(pos))
+		}
+		seen := map[int]bool{}
+		for _, p := range before {
+			seen[p] = true
+		}
+		for i, p := range pos {
+			if !seen[p] {
+				t.Fatalf("position %d not a permutation of the input", p)
+			}
+			if i == 0 {
+				continue
+			}
+			a, b := pos[i-1], pos[i]
+			if idx.sliceOnes[a] > idx.sliceOnes[b] ||
+				(idx.sliceOnes[a] == idx.sliceOnes[b] && a > b) {
+				t.Fatalf("pos[%d]=%d (ones %d) before pos[%d]=%d (ones %d)",
+					i-1, a, idx.sliceOnes[a], i, b, idx.sliceOnes[b])
+			}
+		}
+	}
+}
+
+// Rarest-first CountInto must return the same estimate and the same result
+// vector as the naive ascending order, on fresh indexes, after deletions
+// (live mask in play), and on folded MemBBS replicas.
+func TestCountIntoRarestFirstMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	idx, txs := randomIndex(rng, 256, 4, 400)
+
+	compare := func(t *testing.T, b *BBS) {
+		t.Helper()
+		got, want := bitvec.New(0), bitvec.New(0)
+		var posBuf []int
+		for trial := 0; trial < 200; trial++ {
+			items := randomItems(rng, 5, 500)
+			eg := b.CountIntoBuf(got, items, &posBuf)
+			ew := naiveCountInto(b, want, items)
+			if eg != ew {
+				t.Fatalf("itemset %v: rarest-first est %d, naive est %d", items, eg, ew)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("itemset %v: result vectors differ", items)
+			}
+		}
+	}
+
+	t.Run("fresh", func(t *testing.T) { compare(t, idx) })
+
+	for i := 0; i < 120; i++ { // tombstone ~30% of the rows
+		pos := rng.Intn(len(txs))
+		if idx.IsLive(pos) {
+			if err := idx.Delete(pos, txs[pos]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Run("post-delete", func(t *testing.T) { compare(t, idx) })
+
+	folded, err := idx.Fold(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("folded", func(t *testing.T) { compare(t, folded) })
+}
+
+// CountInto (the allocating wrapper) must agree with CountIntoBuf.
+func TestCountIntoWrapsBuf(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	idx, _ := randomIndex(rng, 128, 4, 150)
+	a, b := bitvec.New(0), bitvec.New(0)
+	var posBuf []int
+	for trial := 0; trial < 50; trial++ {
+		items := randomItems(rng, 4, 500)
+		if ea, eb := idx.CountInto(a, items), idx.CountIntoBuf(b, items, &posBuf); ea != eb || !a.Equal(b) {
+			t.Fatalf("itemset %v: CountInto %d vs CountIntoBuf %d", items, ea, eb)
+		}
+	}
+}

@@ -212,6 +212,7 @@ func decodeBBS(r *bufio.Reader, h sighash.Hasher, stats *iostat.Stats) (*BBS, er
 			return nil, fmt.Errorf("slice %d: %w", p, err)
 		}
 		b.slices[p] = &v
+		b.sliceOnes[p] = v.Count() // rebuild the rarest-first ordering counts
 	}
 	if _, err := r.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("trailing data")

@@ -30,6 +30,15 @@ type BBS struct {
 	slices []*bitvec.Vector // len == hasher.M(); each slice has n bits
 	n      int              // transactions indexed so far
 
+	// sliceOnes[p] is the popcount of slice p, maintained incrementally by
+	// Insert (and recomputed by Fold and Load). It drives the rarest-first
+	// AND ordering: intersecting the sparsest slices first drags the
+	// running estimate below τ in the fewest ANDs, so the early exit fires
+	// sooner. Deletions do not clear slice bits, so the counts are over the
+	// raw slices — exactly what ordering needs, since the live mask is
+	// AND-ed before any slice.
+	sliceOnes []int
+
 	itemCounts map[int32]int // exact 1-itemset supports
 
 	live    *bitvec.Vector // live-row mask; nil while nothing is deleted
@@ -56,6 +65,7 @@ func New(h sighash.Hasher, stats *iostat.Stats) *BBS {
 	return &BBS{
 		hasher:     h,
 		slices:     slices,
+		sliceOnes:  make([]int, m),
 		itemCounts: make(map[int32]int),
 		stats:      stats,
 	}
@@ -103,7 +113,7 @@ func (b *BBS) Insert(items []int32) {
 		for _, it := range items {
 			b.itemCounts[it]++
 			for _, p := range b.hasher.Positions(it) {
-				b.slices[p].Set(pos)
+				b.setSliceBit(p, pos)
 			}
 		}
 		return
@@ -116,11 +126,44 @@ func (b *BBS) Insert(items []int32) {
 		seen[it] = struct{}{}
 		b.itemCounts[it]++
 		for _, p := range b.hasher.Positions(it) {
-			b.slices[p].Set(pos)
+			b.setSliceBit(p, pos)
 		}
 	}
 	if len(seen) > b.maxTxnItems {
 		b.maxTxnItems = len(seen)
+	}
+}
+
+// setSliceBit sets bit pos of slice p, keeping the per-slice popcount in
+// step. Several items of one transaction can hash to the same slice, so the
+// count bumps only on a 0→1 transition.
+func (b *BBS) setSliceBit(p, pos int) {
+	s := b.slices[p]
+	if !s.Get(pos) {
+		s.Set(pos)
+		b.sliceOnes[p]++
+	}
+}
+
+// SliceOnes returns the popcount of slice p, maintained incrementally.
+func (b *BBS) SliceOnes(p int) int { return b.sliceOnes[p] }
+
+// OrderRarestFirst reorders slice positions in place by ascending slice
+// popcount, ties broken by ascending position so the order is deterministic
+// for a given index state. AND-ing rarest-first maximizes the early exit:
+// the sparsest slices pull the running estimate down fastest, and AND is
+// commutative, so the surviving bits — and therefore every result — are
+// unchanged. Insertion sort: position lists are short.
+func (b *BBS) OrderRarestFirst(pos []int) {
+	ones := b.sliceOnes
+	for i := 1; i < len(pos); i++ {
+		for j := i; j > 0; j-- {
+			a, p := pos[j], pos[j-1]
+			if ones[a] > ones[p] || (ones[a] == ones[p] && a > p) {
+				break
+			}
+			pos[j], pos[j-1] = p, a
+		}
 	}
 }
 
@@ -143,14 +186,15 @@ func (b *BBS) Items() []int32 {
 // AverageSignatureBits returns the mean number of set bits per transaction
 // signature (total set bits across all slices divided by the number of
 // transactions). It characterizes the index's density, which the adaptive
-// filtering uses to pick a sane fold width. Costs one pass over the slices.
+// filtering uses to pick a sane fold width. Reads the maintained per-slice
+// popcounts, so it costs O(m) rather than a pass over the slice words.
 func (b *BBS) AverageSignatureBits() float64 {
 	if b.n == 0 {
 		return 0
 	}
 	total := 0
-	for _, s := range b.slices {
-		total += s.Count()
+	for _, c := range b.sliceOnes {
+		total += c
 	}
 	return float64(total) / float64(b.n)
 }
@@ -247,7 +291,22 @@ func (b *BBS) CountItemSet(items []int32) (int, *bitvec.Vector) {
 
 // CountInto is CountItemSet with a caller-provided result vector: dst is
 // overwritten with the slice intersection and the estimate is returned.
+// Allocates a position scratch per call; loops that estimate many itemsets
+// should hold one and use CountIntoBuf.
 func (b *BBS) CountInto(dst *bitvec.Vector, items []int32) int {
+	var buf []int
+	return b.CountIntoBuf(dst, items, &buf)
+}
+
+// CountIntoBuf is CountInto with a caller-owned position scratch: *posBuf is
+// reused (and grown through the pointer) across calls, so repeated estimates
+// allocate nothing after warm-up. The slices are AND-ed rarest-first (see
+// OrderRarestFirst) — a pure ordering change: when the loop runs to
+// completion dst holds the full intersection regardless of order, and the
+// early exit fires only at estimate 0, where dst is all-zero under any
+// order. Estimates and result vectors are therefore byte-identical to the
+// ascending-position order.
+func (b *BBS) CountIntoBuf(dst *bitvec.Vector, items []int32, posBuf *[]int) int {
 	b.stats.AddCountCall()
 	dst.Grow(b.n)
 	est := b.n
@@ -257,7 +316,9 @@ func (b *BBS) CountInto(dst *bitvec.Vector, items []int32) int {
 	} else {
 		dst.SetAll()
 	}
-	for _, p := range sighash.SignatureBits(b.hasher, items) {
+	*posBuf = sighash.AppendSignatureBits((*posBuf)[:0], b.hasher, items)
+	b.OrderRarestFirst(*posBuf)
+	for _, p := range *posBuf {
 		est = b.AndSlice(dst, p)
 		if est == 0 {
 			break
@@ -305,6 +366,13 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 	}
 	for p := keep; p < len(b.slices); p++ {
 		nb.slices[p%keep].Or(b.slices[p])
+	}
+	// The fold ORs slices together, so the folded popcounts cannot be
+	// derived from the originals; recount once (the slices are already in
+	// cache from the OR pass).
+	nb.sliceOnes = make([]int, keep)
+	for j, s := range nb.slices {
+		nb.sliceOnes[j] = s.Count()
 	}
 	//lint:ignore determinism map-to-map copy; insertion order cannot be observed
 	for it, c := range b.itemCounts {

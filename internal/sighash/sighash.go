@@ -185,23 +185,35 @@ func (h *Mod) Positions(item int32) []int {
 // SignatureBits returns the distinct, sorted set of bit positions that an
 // itemset sets in its m-bit signature: the union of every item's positions.
 // This is the vector v of algorithm CountItemSet (paper Fig. 1, step 1),
-// represented sparsely.
+// represented sparsely. Allocates; hot paths that estimate per candidate
+// should reuse a scratch slice via AppendSignatureBits.
 func SignatureBits(h Hasher, items []int32) []int {
-	seen := make(map[int]struct{}, len(items)*h.K())
-	out := make([]int, 0, len(items)*h.K())
+	return AppendSignatureBits(nil, h, items)
+}
+
+// AppendSignatureBits appends the itemset's distinct, sorted signature
+// positions to buf and returns the extended slice. Passing a reusable
+// scratch as buf[:0] makes repeated estimates allocation-free after warm-up;
+// no map is involved — positions are sorted in place and deduplicated.
+func AppendSignatureBits(buf []int, h Hasher, items []int32) []int {
+	start := len(buf)
 	for _, it := range items {
-		for _, p := range h.Positions(it) {
-			if _, dup := seen[p]; !dup {
-				seen[p] = struct{}{}
-				out = append(out, p)
-			}
-		}
+		buf = append(buf, h.Positions(it)...)
 	}
+	out := buf[start:]
 	// Insertion sort: position lists are short and nearly sorted.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
+	// Compact duplicates (hash collisions across and within items).
+	w := 0
+	for i, p := range out {
+		if i == 0 || p != out[w-1] {
+			out[w] = p
+			w++
+		}
+	}
+	return buf[:start+w]
 }

@@ -3,6 +3,7 @@ package sighash
 import (
 	"crypto/md5"
 	"encoding/binary"
+	"math/rand"
 	"sort"
 	"strconv"
 	"testing"
@@ -228,5 +229,54 @@ func BenchmarkMD5PositionsCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Positions(int32(i % 1000))
+	}
+}
+
+// AppendSignatureBits must agree with SignatureBits and reuse the supplied
+// buffer instead of allocating once it has grown.
+func TestAppendSignatureBits(t *testing.T) {
+	h := NewMD5(256, 4)
+	rng := rand.New(rand.NewSource(91))
+	var buf []int
+	for trial := 0; trial < 200; trial++ {
+		items := make([]int32, rng.Intn(12))
+		for i := range items {
+			items[i] = int32(rng.Intn(40)) // small alphabet forces collisions
+		}
+		want := SignatureBits(h, items)
+		buf = AppendSignatureBits(buf[:0], h, items)
+		if len(buf) != len(want) {
+			t.Fatalf("items %v: got %v, want %v", items, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("items %v: got %v, want %v", items, buf, want)
+			}
+		}
+	}
+
+	items := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	buf = AppendSignatureBits(buf[:0], h, items)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendSignatureBits(buf[:0], h, items)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendSignatureBits allocated %.1f times per run with a warm buffer", allocs)
+	}
+}
+
+// A non-empty prefix must be preserved: AppendSignatureBits only appends.
+func TestAppendSignatureBitsKeepsPrefix(t *testing.T) {
+	h := NewMod(8)
+	buf := []int{-1, -2}
+	buf = AppendSignatureBits(buf, h, []int32{1, 5, 14, 15})
+	want := []int{-1, -2, 1, 5, 6, 7}
+	if len(buf) != len(want) {
+		t.Fatalf("got %v, want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("got %v, want %v", buf, want)
+		}
 	}
 }

@@ -52,6 +52,15 @@ type MineOptions struct {
 	// returns the identical Result — parallelism changes only the wall
 	// clock, never the answer or the accounting.
 	Workers int
+	// Ablation knobs, for benchmarking only: each disables one hot-path
+	// optimization without changing any result. NoEarlyExit keeps AND-ing
+	// slices after the running count has fallen below the threshold;
+	// NoIncrementalAnd recomputes every intersection from the root instead
+	// of extending the parent's residual; NoSliceOrdering ANDs slices in
+	// hash-position order instead of rarest-first.
+	NoEarlyExit      bool
+	NoIncrementalAnd bool
+	NoSliceOrdering  bool
 }
 
 func (o MineOptions) threshold(n int) (int, error) {
@@ -76,11 +85,14 @@ func (db *Database) Mine(opts MineOptions) (*Result, error) {
 		return nil, err
 	}
 	return m.Mine(core.Config{
-		MinSupport:   tau,
-		Scheme:       opts.Scheme,
-		MemoryBudget: opts.MemoryBudget,
-		MaxLen:       opts.MaxLen,
-		Workers:      opts.Workers,
+		MinSupport:       tau,
+		Scheme:           opts.Scheme,
+		MemoryBudget:     opts.MemoryBudget,
+		MaxLen:           opts.MaxLen,
+		Workers:          opts.Workers,
+		NoEarlyExit:      opts.NoEarlyExit,
+		NoIncrementalAnd: opts.NoIncrementalAnd,
+		NoSliceOrdering:  opts.NoSliceOrdering,
 	})
 }
 
@@ -170,12 +182,15 @@ func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, e
 		return nil, err
 	}
 	return m.Mine(core.Config{
-		MinSupport:   tau,
-		Scheme:       opts.Scheme,
-		MemoryBudget: opts.MemoryBudget,
-		MaxLen:       opts.MaxLen,
-		Workers:      opts.Workers,
-		Constraint:   c.vec,
+		MinSupport:       tau,
+		Scheme:           opts.Scheme,
+		MemoryBudget:     opts.MemoryBudget,
+		MaxLen:           opts.MaxLen,
+		Workers:          opts.Workers,
+		NoEarlyExit:      opts.NoEarlyExit,
+		NoIncrementalAnd: opts.NoIncrementalAnd,
+		NoSliceOrdering:  opts.NoSliceOrdering,
+		Constraint:       c.vec,
 	})
 }
 
