@@ -20,8 +20,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"bbsmine/internal/exp"
+	"bbsmine/internal/obs"
 )
 
 func main() {
@@ -54,9 +58,27 @@ func run(args []string) error {
 		jsonOut = fs.String("json", "", "skip the figures; time the four BBS schemes and write JSON records to this path")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memProf = fs.String("memprofile", "", "write a heap profile taken after the run to this path")
+
+		httpAddr    = fs.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the benchmark runs")
+		checkFunnel = fs.Bool("check-funnel", false, "with -json, fail if a dual-filter scheme reports more false drops than SFS (Corollary 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http listen: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof/ on http://%s\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: obs.NewServeMux()}
+			if serveErr := srv.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && !errors.Is(serveErr, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "bbsbench: -http:", serveErr)
+			}
+		}()
 	}
 
 	p := exp.Defaults(*scale)
@@ -94,7 +116,7 @@ func run(args []string) error {
 	}
 
 	if *jsonOut != "" {
-		return runJSON(p, *jsonOut)
+		return runJSON(p, *jsonOut, *checkFunnel)
 	}
 
 	var figures []int
@@ -147,8 +169,10 @@ func run(args []string) error {
 	return nil
 }
 
-// runJSON times the four BBS schemes and writes the records to path.
-func runJSON(p exp.Params, path string) error {
+// runJSON times the four BBS schemes and writes the records to path. With
+// checkFunnel set, the run fails when the records violate the paper's
+// Corollary 1 false-drop ordering.
+func runJSON(p exp.Params, path string, checkFunnel bool) error {
 	records, err := exp.BenchJSON(p)
 	if err != nil {
 		return err
@@ -167,10 +191,16 @@ func runJSON(p exp.Params, path string) error {
 		return err
 	}
 	for _, r := range records {
-		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%d\n",
-			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns)
+		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%-5d candidates=%-5d false_drops=%d\n",
+			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns, r.Candidates, r.FalseDrops)
 	}
 	fmt.Printf("(wrote %s)\n", path)
+	if checkFunnel {
+		if err := exp.CheckFunnel(records); err != nil {
+			return err
+		}
+		fmt.Println("funnel check passed: dual-filter false drops ≤ SFS false drops")
+	}
 	return nil
 }
 

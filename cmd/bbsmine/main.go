@@ -14,8 +14,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -49,6 +52,10 @@ func run(args []string) error {
 
 		count    = fs.String("count", "", "comma-separated itemset to count instead of mining")
 		whereMod = fs.Int64("where-tid-mod", 0, "restrict -count to TIDs divisible by this value")
+
+		httpAddr    = fs.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
+		tracePath   = fs.String("trace", "", "write sampled JSON-lines trace events of the mining run to this file")
+		traceSample = fs.Int("trace-sample", 64, "with -trace, keep every Nth event (1 = keep all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +69,37 @@ func run(args []string) error {
 		return err
 	}
 	defer db.Close()
+
+	// Telemetry is opt-in: either exposition flag creates the registry; with
+	// both unset observer stays nil and mining runs the zero-cost path.
+	var observer *bbsmine.Observer
+	if *httpAddr != "" || *tracePath != "" {
+		observer = bbsmine.NewObserver()
+		db.BindStats(observer)
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("creating -trace output: %w", err)
+			}
+			defer tf.Close()
+			observer.SetTracer(bbsmine.NewTracer(tf, *traceSample))
+		}
+		if *httpAddr != "" {
+			observer.Publish("bbsmine")
+			ln, err := net.Listen("tcp", *httpAddr)
+			if err != nil {
+				return fmt.Errorf("-http listen: %w", err)
+			}
+			defer ln.Close()
+			fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof/ on http://%s\n", ln.Addr())
+			go func() {
+				srv := &http.Server{Handler: bbsmine.MetricsMux()}
+				if serveErr := srv.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && !errors.Is(serveErr, net.ErrClosed) {
+					fmt.Fprintln(os.Stderr, "bbsmine: -http:", serveErr)
+				}
+			}()
+		}
+	}
 
 	if *importPath != "" {
 		src, err := txdb.OpenFileStore(*importPath, nil)
@@ -142,6 +180,7 @@ func run(args []string) error {
 			MaxLen:         *maxLen,
 			MemoryBudget:   *memory,
 			Workers:        *workers,
+			Observe:        observer,
 		})
 		if err != nil {
 			return err
@@ -149,6 +188,16 @@ func run(args []string) error {
 		fmt.Printf("%s over %d transactions at τ=%.3g%%: %d patterns, %d candidates, %d false drops (FDR %.3f), %d certified without refinement\n",
 			sch, db.Len(), *minsup*100, len(res.Patterns), res.Candidates, res.FalseDrops, res.FalseDropRatio(), res.Certain)
 		fmt.Printf("stats: %s\n", db.Stats())
+		if observer != nil {
+			om := observer.Metrics()
+			fmt.Printf("funnel: certified_actual=%d certified_est=%d uncertain=%d nonfrequent=%d probed=%d\n",
+				om.Funnel.CertifiedActual, om.Funnel.CertifiedEst, om.Funnel.Uncertain, om.Funnel.NonFrequent, om.Funnel.ProbedPatterns)
+			fmt.Printf("kernel: evals=%d early_exits=%d words_sparse=%d words_dense=%d poscache_hits=%d misses=%d\n",
+				om.Kernel.Evals, om.Kernel.EarlyExits, om.Kernel.WordsSparse, om.Kernel.WordsDense, om.Kernel.PosCacheHits, om.Kernel.PosCacheMisses)
+			if om.Trace != nil {
+				fmt.Printf("trace: %d events seen, %d written to %s\n", om.Trace.Seen, om.Trace.Kept, *tracePath)
+			}
+		}
 		limit := *top
 		if limit == 0 || limit > len(res.Patterns) {
 			limit = len(res.Patterns)

@@ -3,6 +3,7 @@ package bitvec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a concurrency-safe free list of equal-length Vectors. The parallel
@@ -16,6 +17,9 @@ import (
 type Pool struct {
 	n int
 	p sync.Pool
+
+	gets   atomic.Int64 // vectors handed out
+	misses atomic.Int64 // gets that had to allocate a fresh vector
 }
 
 // NewPool returns a pool of n-bit vectors.
@@ -24,7 +28,10 @@ func NewPool(n int) *Pool {
 		panic(fmt.Sprintf("bitvec: negative pool length %d", n))
 	}
 	pl := &Pool{n: n}
-	pl.p.New = func() any { return New(n) }
+	pl.p.New = func() any {
+		pl.misses.Add(1)
+		return New(n)
+	}
 	return pl
 }
 
@@ -32,7 +39,16 @@ func NewPool(n int) *Pool {
 func (p *Pool) Len() int { return p.n }
 
 // Get returns a vector of length Len() with unspecified contents.
-func (p *Pool) Get() *Vector { return p.p.Get().(*Vector) }
+func (p *Pool) Get() *Vector {
+	p.gets.Add(1)
+	return p.p.Get().(*Vector)
+}
+
+// Counters returns the pool's lifetime traffic: gets handed out, of which
+// misses were fresh allocations. The difference is the reuse the pool won.
+func (p *Pool) Counters() (gets, misses int64) {
+	return p.gets.Load(), p.misses.Load()
+}
 
 // Put returns a vector to the pool. Vectors of the wrong length (or nil) are
 // dropped rather than recycled, so callers may Put unconditionally.

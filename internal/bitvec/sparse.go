@@ -38,6 +38,17 @@ const (
 // word-level summary).
 func (v *Vector) Summarized() bool { return v.summary != nil }
 
+// WordStats reports which kernel the next AndCount against v would run and
+// how many backing words it would visit: the nonzero-word count for the
+// sparse walk, or all words for the dense sweep. Telemetry only — an O(1)
+// read of maintained state, never a scan.
+func (v *Vector) WordStats() (words int, sparse bool) {
+	if v.summary != nil {
+		return v.nz, true
+	}
+	return len(v.words), false
+}
+
 // Summarize force-builds the word-level summary regardless of density, so
 // tests and benchmarks can pin the sparse kernels directly. Production code
 // wants MaybeSummarize, which applies the density threshold.

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"bbsmine/internal/obs"
+)
 
 // mineAdaptive is the paper's three-phase filtering for memory-constrained
 // systems (Section 3.1, "Adaptive Filtering"):
@@ -36,10 +40,12 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	// The full index cannot stay resident under this budget: it is streamed
 	// (once by the fold, once by the postprocessing pass) and evicted.
 	m.idx.EvictCache()
+	foldTick := cfg.Observe.Tick()
 	memIdx, err := m.idx.Fold(keep)
 	if err != nil {
 		return nil, fmt.Errorf("core: building MemBBS: %w", err)
 	}
+	cfg.Observe.PhaseDone(obs.PhaseFold, foldTick)
 
 	// Phase 2 runs two-phase style even for the probe schemes: candidates
 	// found against the MemBBS must be re-checked against the real BBS
@@ -65,6 +71,7 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	// With workers > 1 the per-candidate re-estimates (and probes) run on
 	// the pool; the outcomes are merged in candidate order.
 	m.idx.ChargeFullRead()
+	reverifyTick := cfg.Observe.Tick()
 	var survivors []Pattern
 	if workers := cfg.workerCount(); workers > 1 && len(r.uncertain) > 1 {
 		acc, surv, drops, probed := m.reverifyParallel(r, r.uncertain, cfg, workers)
@@ -82,21 +89,26 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 				est = buf.AndCount(cfg.Constraint)
 			}
 			if est < cfg.MinSupport {
+				traceReverify(cfg.Observe, c, est, "pruned")
 				continue
 			}
 			if cfg.Scheme.probes() {
 				exact := r.probeExact(buf, c.Items)
 				if exact >= cfg.MinSupport {
 					accepted = append(accepted, Pattern{Items: c.Items, Support: exact, Exact: true})
+					traceReverify(cfg.Observe, c, est, "accepted")
 				} else {
 					res.FalseDrops++
 					m.stats.AddFalseDrop()
+					traceReverify(cfg.Observe, c, est, "false_drop")
 				}
 			} else {
 				survivors = append(survivors, c)
+				traceReverify(cfg.Observe, c, est, "survivor")
 			}
 		}
 	}
+	cfg.Observe.PhaseDone(obs.PhaseReverify, reverifyTick)
 	if cfg.Scheme.probes() {
 		res.ProbedPatterns = r.probedPatterns
 	} else if len(survivors) > 0 {
@@ -110,5 +122,15 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 
 	res.Patterns = accepted
 	sortPatterns(res.Patterns)
+	r.publishFunnel(res)
 	return res, nil
+}
+
+// traceReverify emits one adaptive phase-3 outcome.
+func traceReverify(o *obs.Registry, c Pattern, est int, verdict string) {
+	if !o.Tracing() {
+		return
+	}
+	o.Emit(obs.Event{Kind: "reverify", Verdict: verdict, Subtree: -1,
+		Depth: len(c.Items), Items: c.Items, Est: est})
 }

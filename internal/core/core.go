@@ -53,6 +53,7 @@ import (
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/iostat"
 	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/txdb"
 )
@@ -113,6 +114,14 @@ type Config struct {
 	// sequential engine. The Result is identical for every value — see the
 	// package documentation's determinism guarantee.
 	Workers int
+
+	// Observe, when non-nil, receives the run's telemetry: the
+	// filter-and-refine funnel, AND-kernel work, phase timings, cache hit
+	// rates and (if a tracer is attached) sampled structured events. Nil
+	// disables observability entirely; every hook site then costs one
+	// predictable branch. Telemetry never changes the Result — the
+	// determinism tests run with it on.
+	Observe *obs.Registry
 
 	// NoEarlyExit disables the below-τ early exit while AND-ing an item's
 	// slices, so every slice of every evaluated extension is processed.
@@ -224,10 +233,22 @@ func (m *Miner) Mine(cfg Config) (*Result, error) {
 	if limiter, ok := m.store.(txdb.CacheLimiter); ok {
 		limiter.SetCacheLimit(cfg.MemoryBudget)
 	}
-	if cfg.MemoryBudget > 0 && m.idx.TotalBytes() > cfg.MemoryBudget {
-		return m.mineAdaptive(cfg)
+	// Attach telemetry to the index for the duration of the run, so the
+	// bulk estimate paths (adaptive phase 3, fold) account themselves.
+	if cfg.Observe != nil {
+		m.idx.SetObserver(cfg.Observe)
+		defer m.idx.SetObserver(nil)
 	}
-	return m.mineResident(cfg, m.idx)
+	mineTick := cfg.Observe.Tick()
+	var res *Result
+	var err error
+	if cfg.MemoryBudget > 0 && m.idx.TotalBytes() > cfg.MemoryBudget {
+		res, err = m.mineAdaptive(cfg)
+	} else {
+		res, err = m.mineResident(cfg, m.idx)
+	}
+	cfg.Observe.PhaseDone(obs.PhaseMine, mineTick)
+	return res, err
 }
 
 // mineResident runs filtering (and, for the probe schemes, integrated
@@ -258,7 +279,38 @@ func (m *Miner) mineResident(cfg Config, idx *sigfile.BBS) (*Result, error) {
 	}
 	res.Patterns = r.accepted
 	sortPatterns(res.Patterns)
+	r.publishFunnel(res)
 	return res, nil
+}
+
+// publishFunnel folds the finished run's accounting into the telemetry
+// registry: the funnel split carried through the (seq-ordered) merge, plus
+// pool traffic. Called once per run, after the Result is final, so the
+// totals are deterministic regardless of worker count.
+func (r *run) publishFunnel(res *Result) {
+	o := r.cfg.Observe
+	if o == nil {
+		return
+	}
+	verified := int64(0)
+	for i := range res.Patterns {
+		if res.Patterns[i].Exact {
+			verified++
+		}
+	}
+	o.AddFunnel(obs.Funnel{
+		Candidates:      int64(res.Candidates),
+		CertifiedActual: r.certActual,
+		CertifiedEst:    r.certEst,
+		Uncertain:       r.uncertainCnt,
+		NonFrequent:     r.nonFreq,
+		ProbedPatterns:  int64(res.ProbedPatterns),
+		FalseDrops:      int64(res.FalseDrops),
+		Verified:        verified,
+		Patterns:        int64(len(res.Patterns)),
+	})
+	gets, misses := r.vecs.Counters()
+	o.AddPool(gets, misses)
 }
 
 // sortPatterns puts patterns into canonical (length, lexicographic) order.

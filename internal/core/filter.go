@@ -2,6 +2,7 @@ package core
 
 import (
 	"bbsmine/internal/bitvec"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
@@ -65,18 +66,47 @@ type run struct {
 	falseDrops     int
 	certain        int
 	probedPatterns int
+
+	// Telemetry. obs caches cfg.Observe so hot paths test one pointer; nil
+	// means every telemetry line below is skipped. kern batches kernel
+	// tallies in plain ints, flushed by flushKernel (end of the sequential
+	// pass, or per worker). The funnel split mirrors the Result counters and
+	// rides the same seq-ordered merge, so its totals are deterministic.
+	// traceSubtree stamps emitted events with the enumeration seq of the
+	// subtree being mined (-1 at the root).
+	obs          *obs.Registry
+	kern         obs.KernelSample
+	certActual   int64 // dual filter flag 1 certificates
+	certEst      int64 // dual filter flag 2 certificates
+	uncertainCnt int64 // candidates deferred to refinement
+	nonFreq      int64 // dual filter flag -1 prunes
+	traceSubtree int
 }
 
 func newRun(m *Miner, idx *sigfile.BBS, cfg Config) *run {
 	return &run{
-		m:       m,
-		idx:     idx,
-		cfg:     cfg,
-		tau:     cfg.MinSupport,
-		workers: cfg.workerCount(),
-		vecs:    bitvec.NewPool(idx.Len()),
-		applied: make([]bool, idx.M()),
+		m:            m,
+		idx:          idx,
+		cfg:          cfg,
+		tau:          cfg.MinSupport,
+		workers:      cfg.workerCount(),
+		vecs:         bitvec.NewPool(idx.Len()),
+		applied:      make([]bool, idx.M()),
+		obs:          cfg.Observe,
+		traceSubtree: -1,
 	}
+}
+
+// flushKernel moves the batched kernel tallies into the registry in one
+// atomic burst. Addition commutes, so flushing per worker instead of per
+// evaluation keeps the totals deterministic while avoiding atomic traffic
+// on the AND path.
+func (r *run) flushKernel() {
+	if r.obs == nil {
+		return
+	}
+	r.obs.AddKernel(r.kern)
+	r.kern = obs.KernelSample{}
 }
 
 // ext is one evaluated extension of the current itemset: an alphabet item
@@ -116,6 +146,7 @@ func (r *run) root() (*bitvec.Vector, int) {
 // With workers > 1 the enumeration below level 1 fans out across the worker
 // pool (filterParallel); the result is identical to the sequential pass.
 func (r *run) filter() {
+	sweepTick := r.obs.Tick()
 	r.rootVec, r.rootEst = r.root()
 
 	all := r.idx.Items() // ascending — the canonical level-1 enumeration order
@@ -140,16 +171,26 @@ func (r *run) filter() {
 		}
 	}
 	r.vecs.Put(buf)
+	if r.obs != nil {
+		// The sweep consulted the hasher for every item; reclassify its
+		// evaluations from cache hits (evalExtension's default) to misses.
+		r.kern.PosCacheHits -= int64(len(all))
+		r.kern.PosCacheMisses += int64(len(all))
+	}
+	r.obs.PhaseDone(obs.PhaseLevel1, sweepTick)
 
+	enumTick := r.obs.Tick()
 	alphabet := make([]int, len(r.items))
 	for i := range alphabet {
 		alphabet[i] = i
 	}
 	if r.workers > 1 {
 		r.filterParallel(alphabet)
-		return
+	} else {
+		r.node(alphabet, r.rootVec, r.rootEst, 0, flagCertainActual)
 	}
-	r.node(alphabet, r.rootVec, r.rootEst, 0, flagCertainActual)
+	r.obs.PhaseDone(obs.PhaseEnumerate, enumTick)
+	r.flushKernel()
 }
 
 // evalExtension computes est(r.itemset ∪ {it}) into scratch and records the
@@ -186,12 +227,45 @@ func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it
 	}
 	scratch.CopyFrom(parentVec)
 	est := parentEst
+	if r.obs != nil {
+		return r.evalExtensionObserved(scratch, est, *newPos)
+	}
 	for _, p := range *newPos {
 		est = r.idx.AndSlice(scratch, p)
 		if est < r.tau && !r.cfg.NoEarlyExit {
 			break
 		}
 	}
+	return est
+}
+
+// evalExtensionObserved is evalExtension's AND loop with kernel telemetry:
+// identical slices, order and early exit, plus per-AND accounting of which
+// kernel ran and how many words it visited, batched into r.kern. Split out
+// so the uninstrumented loop pays exactly one branch.
+func (r *run) evalExtensionObserved(scratch *bitvec.Vector, est int, newPos []int) int {
+	done := 0
+	for _, p := range newPos {
+		words, sparse := scratch.WordStats()
+		if sparse {
+			r.kern.AndsSparse++
+			r.kern.WordsSparse += int64(words)
+		} else {
+			r.kern.AndsDense++
+			r.kern.WordsDense += int64(words)
+		}
+		est = r.idx.AndSlice(scratch, p)
+		done++
+		if est < r.tau && !r.cfg.NoEarlyExit {
+			break
+		}
+	}
+	r.kern.Evals++
+	r.kern.PosCacheHits++ // positions came from posCache; the sweep reclassifies its own
+	if done < len(newPos) {
+		r.kern.EarlyExits++
+	}
+	r.obs.ObserveAndDepth(int64(done))
 	return est
 }
 
@@ -225,6 +299,10 @@ func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCo
 			r.applied[p] = true
 		}
 		r.itemset = append(r.itemset, r.items[e.gi])
+		if r.obs.Tracing() {
+			r.obs.Emit(obs.Event{Kind: "descend", Subtree: r.traceSubtree,
+				Depth: len(r.itemset), Items: snapshot(r.itemset), Est: e.est})
+		}
 		r.node(childAlphabet, e.vec, e.est, e.count, e.flag)
 		r.itemset = r.itemset[:len(r.itemset)-1]
 		for _, p := range e.newPos {
@@ -248,6 +326,10 @@ func (r *run) expandNode(alphabet []int, scratch, parentVec *bitvec.Vector, pare
 		newPos = newPos[:0]
 		est := r.evalExtension(scratch, parentVec, parentEst, it, r.posCache[gi], &newPos)
 		if est < r.tau {
+			if r.obs.Tracing() {
+				r.obs.Emit(obs.Event{Kind: "verdict", Verdict: "below_tau", Subtree: r.traceSubtree,
+					Depth: depth + 1, Items: append(snapshot(r.itemset), it), Est: est})
+			}
 			continue // filtered out; gone from every subtree (monotonicity)
 		}
 		r.candidates++
@@ -278,7 +360,12 @@ func (r *run) evaluateCandidate(e *ext, vec *bitvec.Vector, parentEst, parentCou
 		// SFS: accept provisionally (estimate as support); SequentialScan
 		// verifies later. The chain effect runs free.
 		r.uncertain = append(r.uncertain, Pattern{Items: snapshot(itemset), Support: e.est})
+		r.uncertainCnt++
 		e.descend = true
+		if r.obs.Tracing() {
+			r.obs.Emit(obs.Event{Kind: "verdict", Verdict: "uncertain", Subtree: r.traceSubtree,
+				Depth: len(itemset), Items: snapshot(itemset), Est: e.est})
+		}
 
 	case !r.cfg.Scheme.dualFilter():
 		// SFP: probe immediately; a failed probe stops the chain here.
@@ -290,18 +377,29 @@ func (r *run) evaluateCandidate(e *ext, vec *bitvec.Vector, parentEst, parentCou
 			r.falseDrops++
 			r.m.stats.AddFalseDrop()
 		}
+		r.traceVerdict(itemset, e.est, exact)
 
 	default:
 		// DFS / DFP: consult CheckCount (paper Fig. 3).
 		flag, count := r.checkCount(e.gi, parentEst, parentCount, parentFlag, e.est, depth)
 		e.flag, e.count = flag, count
+		if r.obs.Tracing() {
+			r.obs.Emit(obs.Event{Kind: "checkcount", Flag: obs.FlagName(flag), Subtree: r.traceSubtree,
+				Depth: len(itemset), Items: snapshot(itemset), Est: e.est, Count: count})
+		}
 		switch {
 		case flag == flagNonFrequent:
 			// Exact knowledge: not frequent. The chain stops; the item
 			// still appears in sibling alphabets, as in the paper.
+			r.nonFreq++
 
 		case flag == flagCertainActual || flag == flagCertainEst:
 			r.certain++
+			if flag == flagCertainActual {
+				r.certActual++
+			} else {
+				r.certEst++
+			}
 			r.accepted = append(r.accepted, Pattern{
 				Items:   snapshot(itemset),
 				Support: count,
@@ -321,13 +419,29 @@ func (r *run) evaluateCandidate(e *ext, vec *bitvec.Vector, parentEst, parentCou
 				r.falseDrops++
 				r.m.stats.AddFalseDrop()
 			}
+			r.traceVerdict(itemset, e.est, exact)
 
 		default:
 			// DFS: keep as uncertain, refine later, but keep exploring.
 			r.uncertain = append(r.uncertain, Pattern{Items: snapshot(itemset), Support: e.est})
+			r.uncertainCnt++
 			e.descend = true
 		}
 	}
+}
+
+// traceVerdict emits the accepted/false_drop event for a probe-settled
+// candidate.
+func (r *run) traceVerdict(itemset []txdb.Item, est, exact int) {
+	if !r.obs.Tracing() {
+		return
+	}
+	verdict := "accepted"
+	if exact < r.tau {
+		verdict = "false_drop"
+	}
+	r.obs.Emit(obs.Event{Kind: "verdict", Verdict: verdict, Subtree: r.traceSubtree,
+		Depth: len(itemset), Items: snapshot(itemset), Est: est, Exact: exact})
 }
 
 // checkCount implements algorithm CheckCount (paper Fig. 3) for
@@ -369,17 +483,29 @@ func (r *run) checkCount(gi, parentEst, parentCount, parentFlag, childEst, depth
 func (r *run) probeExact(vec *bitvec.Vector, itemset []txdb.Item) int {
 	r.probedPatterns++
 	if r.workers > 1 && !r.inWorker && vec.CountUpTo(probeFanOutMin) >= probeFanOutMin {
-		return probeParallel(r.m, vec, itemset, r.workers)
+		exact := probeParallel(r.m, vec, itemset, r.workers)
+		if r.obs.Tracing() {
+			// probeParallel leaves vec untouched, so its popcount is the
+			// fetch count; the sweep is tracing-only.
+			r.obs.Emit(obs.Event{Kind: "probe", Subtree: r.traceSubtree, Depth: len(itemset),
+				Items: snapshot(itemset), Fetched: vec.Count(), Exact: exact})
+		}
+		return exact
 	}
-	exact := 0
+	exact, fetched := 0, 0
 	vec.ForEachSet(func(pos int) bool {
 		tx, err := r.m.store.Get(pos)
 		r.m.stats.AddProbe()
+		fetched++
 		if err == nil && tx.Contains(itemset) {
 			exact++
 		}
 		return true
 	})
+	if r.obs.Tracing() {
+		r.obs.Emit(obs.Event{Kind: "probe", Subtree: r.traceSubtree, Depth: len(itemset),
+			Items: snapshot(itemset), Fetched: fetched, Exact: exact})
+	}
 	return exact
 }
 

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
+)
+
+// TestFunnelGolden pins the full filter-and-refine funnel for each scheme
+// over a fixed Quest workload (seeded generator, MD5 signatures — the
+// numbers are exact on every platform). The goldens encode the paper's
+// structure: the probe schemes settle candidates during enumeration so
+// their false-drop counts (57) undercut the scan schemes' (74, Corollary 1);
+// the dual filter certifies most patterns without refinement (flag 1/2)
+// where the single filter leaves everything uncertain; and only the scan
+// schemes pay a verification pass (scan_tx = one full database).
+func TestFunnelGolden(t *testing.T) {
+	txs := questDB(t, 400, 200)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	want := map[Scheme]obs.FunnelMetrics{
+		SFS: {Candidates: 2884, Uncertain: 2884, FalseDrops: 74,
+			Verified: 2810, Patterns: 2810, ScanBatches: 1, ScanTx: 400, ScanMatches: 16488},
+		SFP: {Candidates: 2867, ProbedPatterns: 2867, FalseDrops: 57,
+			Verified: 2810, Patterns: 2810},
+		DFS: {Candidates: 2884, CertifiedActual: 2162, CertifiedEst: 106, Uncertain: 616,
+			FalseDrops: 74, Verified: 2704, Patterns: 2810, ScanBatches: 1, ScanTx: 400, ScanMatches: 2355},
+		DFP: {Candidates: 2867, CertifiedActual: 2418, CertifiedEst: 106, ProbedPatterns: 343,
+			FalseDrops: 57, Verified: 2704, Patterns: 2810},
+	}
+	got := map[Scheme]obs.FunnelMetrics{}
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 400, 4)
+			reg := obs.New()
+			res := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Observe: reg})
+			m := reg.Metrics()
+			got[scheme] = m.Funnel
+			if m.Funnel != want[scheme] {
+				t.Errorf("funnel diverged\ngot:  %+v\nwant: %+v", m.Funnel, want[scheme])
+			}
+			if int64(len(res.Patterns)) != m.Funnel.Patterns {
+				t.Errorf("Result has %d patterns, funnel says %d", len(res.Patterns), m.Funnel.Patterns)
+			}
+			if int64(res.FalseDrops) != m.Funnel.FalseDrops || int64(res.Candidates) != m.Funnel.Candidates {
+				t.Errorf("Result counters (cand=%d drops=%d) disagree with funnel %+v",
+					res.Candidates, res.FalseDrops, m.Funnel)
+			}
+			// Kernel cross-checks that hold for any workload.
+			if m.Kernel.Evals == 0 || m.Kernel.AndsSparse+m.Kernel.AndsDense == 0 {
+				t.Errorf("kernel counters empty: %+v", m.Kernel)
+			}
+			if m.Kernel.PosCacheHits+m.Kernel.PosCacheMisses != m.Kernel.Evals {
+				t.Errorf("position-cache split %d+%d != evals %d",
+					m.Kernel.PosCacheHits, m.Kernel.PosCacheMisses, m.Kernel.Evals)
+			}
+			if m.AndDepth.Count != m.Kernel.Evals {
+				t.Errorf("and_depth histogram has %d samples, want one per eval (%d)",
+					m.AndDepth.Count, m.Kernel.Evals)
+			}
+		})
+	}
+	// Corollary 1, measured rather than assumed: the probe refinement never
+	// produces more false drops than the sequential-scan refinement.
+	if got[DFP].FalseDrops > got[SFS].FalseDrops {
+		t.Errorf("Corollary 1 violated: DFP false drops %d > SFS %d",
+			got[DFP].FalseDrops, got[SFS].FalseDrops)
+	}
+}
+
+// TestTraceDuringParallelMine runs the full tracer (every event kept)
+// against a Workers:4 mine and checks telemetry changed nothing: the Result
+// is byte-identical to an unobserved sequential run. Under -race this is
+// also the concurrency proof for the Emit path.
+func TestTraceDuringParallelMine(t *testing.T) {
+	txs := questDB(t, 400, 200)
+	tau := mining.MinSupportCount(0.01, len(txs))
+	for _, scheme := range []Scheme{SFS, DFP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 400, 4)
+			plain := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 1})
+
+			reg := obs.New()
+			reg.SetTracer(obs.NewTracer(io.Discard, 1))
+			traced := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 4, Observe: reg})
+
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("tracing perturbed the result: plain %d patterns, traced %d",
+					len(plain.Patterns), len(traced.Patterns))
+			}
+			m := reg.Metrics()
+			if m.Trace == nil || m.Trace.Seen == 0 || m.Trace.Kept != m.Trace.Seen {
+				t.Errorf("trace metrics = %+v, want every event kept", m.Trace)
+			}
+		})
+	}
+}

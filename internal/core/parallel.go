@@ -54,7 +54,9 @@ type subtree struct {
 	alphabet []int
 }
 
-// subtreeResult accumulates one subtree's contribution to the Result.
+// subtreeResult accumulates one subtree's contribution to the Result,
+// funnel split included, so telemetry merges by seq exactly like the
+// Result counters.
 type subtreeResult struct {
 	accepted  []Pattern
 	uncertain []Pattern
@@ -63,6 +65,11 @@ type subtreeResult struct {
 	falseDrops     int
 	certain        int
 	probedPatterns int
+
+	certActual   int64
+	certEst      int64
+	uncertainCnt int64
+	nonFreq      int64
 }
 
 // filterParallel is the workers > 1 path of filter: expand the root
@@ -120,6 +127,7 @@ func (r *run) filterParallel(alphabet []int) {
 				r.vecs.Put(t.root.vec)
 				t.root.vec = nil
 			}
+			wr.flushKernel() // commutative sums; per-worker flush keeps totals exact
 		}()
 	}
 	for _, ti := range order {
@@ -136,6 +144,10 @@ func (r *run) filterParallel(alphabet []int) {
 		r.falseDrops += res.falseDrops
 		r.certain += res.certain
 		r.probedPatterns += res.probedPatterns
+		r.certActual += res.certActual
+		r.certEst += res.certEst
+		r.uncertainCnt += res.uncertainCnt
+		r.nonFreq += res.nonFreq
 	}
 }
 
@@ -160,6 +172,8 @@ func (r *run) workerRun() *run {
 		disableProbing: r.disableProbing,
 		inWorker:       true,
 		applied:        make([]bool, r.idx.M()),
+		obs:            r.obs,
+		traceSubtree:   -1,
 	}
 }
 
@@ -169,6 +183,8 @@ func (r *run) workerRun() *run {
 func (w *run) mineSubtree(t *subtree) subtreeResult {
 	w.accepted, w.uncertain = nil, nil
 	w.candidates, w.falseDrops, w.certain, w.probedPatterns = 0, 0, 0, 0
+	w.certActual, w.certEst, w.uncertainCnt, w.nonFreq = 0, 0, 0, 0
+	w.traceSubtree = t.seq
 
 	w.itemset = append(w.itemset[:0], w.items[t.root.gi])
 	for _, p := range t.root.newPos {
@@ -179,6 +195,7 @@ func (w *run) mineSubtree(t *subtree) subtreeResult {
 		w.applied[p] = false
 	}
 	w.itemset = w.itemset[:0]
+	w.traceSubtree = -1
 
 	return subtreeResult{
 		accepted:       w.accepted,
@@ -187,6 +204,10 @@ func (w *run) mineSubtree(t *subtree) subtreeResult {
 		falseDrops:     w.falseDrops,
 		certain:        w.certain,
 		probedPatterns: w.probedPatterns,
+		certActual:     w.certActual,
+		certEst:        w.certEst,
+		uncertainCnt:   w.uncertainCnt,
+		nonFreq:        w.nonFreq,
 	}
 }
 
@@ -251,14 +272,18 @@ func (m *Miner) reverifyParallel(r *run, cands []Pattern, cfg Config, workers in
 		o := &outs[i]
 		switch {
 		case o.pruned:
+			traceReverify(r.obs, cands[i], 0, "pruned")
 		case !cfg.Scheme.probes():
 			survivors = append(survivors, cands[i])
+			traceReverify(r.obs, cands[i], 0, "survivor")
 		case o.hasMatch:
 			accepted = append(accepted, o.accepted)
 			probed++
+			traceReverify(r.obs, cands[i], 0, "accepted")
 		default:
 			falseDrops++
 			probed++
+			traceReverify(r.obs, cands[i], 0, "false_drop")
 		}
 	}
 	return accepted, survivors, falseDrops, probed

@@ -2,12 +2,31 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"reflect"
 	"testing"
 
 	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/txdb"
 )
+
+// tracedRegistry returns a registry with a keep-everything tracer, so the
+// determinism tests exercise every Emit hook while they compare results.
+func tracedRegistry() *obs.Registry {
+	reg := obs.New()
+	reg.SetTracer(obs.NewTracer(io.Discard, 1))
+	return reg
+}
+
+// deterministicMetrics projects a snapshot onto the parts the engine
+// guarantees are identical for Workers:1 and Workers:N: the funnel and the
+// kernel work counters. (Phase wall times vary by definition, and pool
+// miss counts depend on goroutine scheduling.)
+func deterministicMetrics(r *obs.Registry) (obs.FunnelMetrics, obs.KernelMetrics) {
+	m := r.Metrics()
+	return m.Funnel, m.Kernel
+}
 
 // mineWith runs one configuration and fails the test on error.
 func mineWith(t *testing.T, m *Miner, cfg Config) *Result {
@@ -21,19 +40,32 @@ func mineWith(t *testing.T, m *Miner, cfg Config) *Result {
 
 // TestParallelDeterminism is the engine's core guarantee: for every scheme,
 // mining with a worker pool returns a Result identical — patterns, supports,
-// exactness flags, and every counter — to the sequential engine.
+// exactness flags, and every counter — to the sequential engine. Every run
+// carries a full-rate tracer so telemetry is proven not to perturb results,
+// and the observer's funnel/kernel totals must themselves be identical
+// across worker counts.
 func TestParallelDeterminism(t *testing.T) {
 	txs := questDB(t, 800, 300)
 	tau := mining.MinSupportCount(0.01, len(txs))
 	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
 		t.Run(scheme.String(), func(t *testing.T) {
 			miner, _ := buildMiner(t, txs, 400, 4)
-			seq := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 1})
+			seqObs := tracedRegistry()
+			seq := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: 1, Observe: seqObs})
+			seqFunnel, seqKernel := deterministicMetrics(seqObs)
 			for _, workers := range []int{2, 8} {
-				par := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: workers})
+				parObs := tracedRegistry()
+				par := mineWith(t, miner, Config{MinSupport: tau, Scheme: scheme, Workers: workers, Observe: parObs})
 				if !reflect.DeepEqual(seq, par) {
 					t.Errorf("workers=%d diverged from sequential:\nseq: %d patterns %+v\npar: %d patterns %+v",
 						workers, len(seq.Patterns), counters(seq), len(par.Patterns), counters(par))
+				}
+				parFunnel, parKernel := deterministicMetrics(parObs)
+				if parFunnel != seqFunnel {
+					t.Errorf("workers=%d funnel diverged:\nseq: %+v\npar: %+v", workers, seqFunnel, parFunnel)
+				}
+				if parKernel != seqKernel {
+					t.Errorf("workers=%d kernel diverged:\nseq: %+v\npar: %+v", workers, seqKernel, parKernel)
 				}
 			}
 			if len(seq.Patterns) == 0 {
@@ -55,12 +87,21 @@ func TestParallelDeterminismAdaptive(t *testing.T) {
 			budget := miner.Index().TotalBytes() / 3
 			cfg := Config{MinSupport: tau, Scheme: scheme, MemoryBudget: budget}
 			cfg.Workers = 1
+			seqObs := tracedRegistry()
+			cfg.Observe = seqObs
 			seq := mineWith(t, miner, cfg)
 			cfg.Workers = 8
+			parObs := tracedRegistry()
+			cfg.Observe = parObs
 			par := mineWith(t, miner, cfg)
 			if !reflect.DeepEqual(seq, par) {
 				t.Errorf("adaptive workers=8 diverged:\nseq: %d patterns %+v\npar: %d patterns %+v",
 					len(seq.Patterns), counters(seq), len(par.Patterns), counters(par))
+			}
+			seqFunnel, _ := deterministicMetrics(seqObs)
+			parFunnel, _ := deterministicMetrics(parObs)
+			if seqFunnel != parFunnel {
+				t.Errorf("adaptive funnel diverged:\nseq: %+v\npar: %+v", seqFunnel, parFunnel)
 			}
 			if len(seq.Patterns) == 0 {
 				t.Fatal("adaptive workload mined nothing; determinism test is vacuous")
@@ -85,8 +126,10 @@ func TestParallelDeterminismConstrained(t *testing.T) {
 			}
 			cfg := Config{MinSupport: tau, Scheme: scheme, Constraint: constraint}
 			cfg.Workers = 1
+			cfg.Observe = tracedRegistry()
 			seq := mineWith(t, miner, cfg)
 			cfg.Workers = 8
+			cfg.Observe = tracedRegistry()
 			par := mineWith(t, miner, cfg)
 			if !reflect.DeepEqual(seq, par) {
 				t.Errorf("constrained workers=8 diverged: seq %d patterns, par %d patterns",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/txdb"
 )
 
@@ -20,6 +21,7 @@ import (
 // boundaries and the returned patterns are identical either way.
 func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int, error) {
 	workers := cfg.workerCount()
+	scanTick := cfg.Observe.Tick()
 	var verified []Pattern
 	drops := 0
 	for start := 0; start < len(candidates); {
@@ -27,6 +29,15 @@ func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int
 		sup, err := m.countBatch(candidates[start:end], workers)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: verification scan: %w", err)
+		}
+		if cfg.Observe != nil {
+			var tx, matched int64
+			for _, c := range sup.counters {
+				ctx, cm := c.Tally()
+				tx += ctx
+				matched += cm
+			}
+			cfg.Observe.AddScanBatch(tx, matched)
 		}
 		for _, c := range candidates[start:end] {
 			s := sup.Support(c.Items)
@@ -39,6 +50,7 @@ func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int
 		}
 		start = end
 	}
+	cfg.Observe.PhaseDone(obs.PhaseScanRefine, scanTick)
 	return verified, drops, nil
 }
 

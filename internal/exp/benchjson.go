@@ -1,9 +1,14 @@
 package exp
 
 // Machine-readable benchmark output for bbsbench -json: one record per BBS
-// scheme over the default Quest workload, carrying the wall time and the
-// work counters that the hot-path optimizations move (count calls, slice
-// ANDs, probes). CI runs this once per push so the numbers stay honest.
+// scheme over the default Quest workload, carrying the wall time, the work
+// counters that the hot-path optimizations move (count calls, slice ANDs,
+// probes) and the filter-and-refine funnel the paper's evaluation reports
+// (candidates, certificates by flag, false drops). CI runs this once per
+// push so the numbers stay honest, and checks the funnel against the
+// paper's Corollary 1 ordering (DFP false drops ≤ SFS false drops).
+
+import "fmt"
 
 // BenchRecord is one scheme's measurement.
 type BenchRecord struct {
@@ -14,10 +19,27 @@ type BenchRecord struct {
 	SliceAnds  int64  `json:"slice_ands"`
 	Probes     int64  `json:"probes"`
 	Patterns   int    `json:"patterns"`
+
+	// The funnel, from the run's telemetry registry.
+	Candidates      int64 `json:"candidates"`
+	CertifiedActual int64 `json:"certified_actual"`
+	CertifiedEst    int64 `json:"certified_est"`
+	Uncertain       int64 `json:"uncertain"`
+	FalseDrops      int64 `json:"false_drops"`
+	ProbedPatterns  int64 `json:"probed_patterns"`
+
+	// Kernel split: how much vector work the sparse mode saved.
+	WordsSparse int64 `json:"words_sparse"`
+	WordsDense  int64 `json:"words_dense"`
+	EarlyExits  int64 `json:"early_exits"`
+
+	// Cumulative per-phase wall time, ns, keyed by phase name.
+	PhaseNs map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // BenchJSON times the four BBS schemes over the params' workload and returns
-// one record per scheme, in SFS/DFS/SFP/DFP order.
+// one record per scheme, in SFS/DFS/SFP/DFP order. Runs are observed: each
+// record carries the scheme's funnel and kernel telemetry.
 func BenchJSON(p Params) ([]BenchRecord, error) {
 	txs, err := p.dataset(p.D, p.V, p.T)
 	if err != nil {
@@ -27,11 +49,11 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 
 	records := make([]BenchRecord, 0, 4)
 	for _, name := range []string{"SFS", "DFS", "SFP", "DFP"} {
-		met, err := RunScheme(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat)
+		met, err := RunSchemeObserved(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat)
 		if err != nil {
 			return nil, err
 		}
-		records = append(records, BenchRecord{
+		rec := BenchRecord{
 			Scheme:     name,
 			Tau:        tau,
 			WallNs:     met.Wall.Nanoseconds(),
@@ -39,7 +61,52 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 			SliceAnds:  met.Snapshot.SliceAnds,
 			Probes:     met.Snapshot.Probes,
 			Patterns:   met.Patterns,
-		})
+		}
+		if o := met.Obs; o != nil {
+			rec.Candidates = o.Funnel.Candidates
+			rec.CertifiedActual = o.Funnel.CertifiedActual
+			rec.CertifiedEst = o.Funnel.CertifiedEst
+			rec.Uncertain = o.Funnel.Uncertain
+			rec.FalseDrops = o.Funnel.FalseDrops
+			rec.ProbedPatterns = o.Funnel.ProbedPatterns
+			rec.WordsSparse = o.Kernel.WordsSparse
+			rec.WordsDense = o.Kernel.WordsDense
+			rec.EarlyExits = o.Kernel.EarlyExits
+			if len(o.Phases) > 0 {
+				rec.PhaseNs = make(map[string]int64, len(o.Phases))
+				for name, ph := range o.Phases {
+					rec.PhaseNs[name] = ph.Ns
+				}
+			}
+		}
+		records = append(records, rec)
 	}
 	return records, nil
+}
+
+// CheckFunnel validates the paper's Corollary 1 ordering over a set of
+// bench records: the dual filter never produces more false drops than the
+// single filter, so DFP's false-drop count must not exceed SFS's (and
+// DFS's must not exceed SFS's either). Returns nil when the invariant
+// holds or the schemes are absent.
+func CheckFunnel(records []BenchRecord) error {
+	byScheme := make(map[string]BenchRecord, len(records))
+	for _, r := range records {
+		byScheme[r.Scheme] = r
+	}
+	sfs, okSFS := byScheme["SFS"]
+	if !okSFS {
+		return nil
+	}
+	for _, dual := range []string{"DFS", "DFP"} {
+		d, ok := byScheme[dual]
+		if !ok {
+			continue
+		}
+		if d.FalseDrops > sfs.FalseDrops {
+			return fmt.Errorf("funnel invariant violated (Corollary 1): %s false_drops=%d > SFS false_drops=%d",
+				dual, d.FalseDrops, sfs.FalseDrops)
+		}
+	}
+	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"bbsmine/internal/fptree"
 	"bbsmine/internal/iostat"
 	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/quest"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
@@ -97,7 +98,9 @@ func (p Params) dataset(d, v, t int) ([]txdb.Transaction, error) {
 	return g.Generate(), nil
 }
 
-// Metrics is the outcome of one timed mining run.
+// Metrics is the outcome of one timed mining run. Obs is populated only by
+// RunSchemeObserved (the figure drivers run unobserved, so their timings
+// stay comparable across commits).
 type Metrics struct {
 	Scheme    string
 	Wall      time.Duration // measured
@@ -106,6 +109,7 @@ type Metrics struct {
 	FDR       float64 // BBS schemes only; 0 otherwise
 	Certain   int     // dual-filter schemes only
 	Snapshot  iostat.Snapshot
+	Obs       *obs.Metrics
 }
 
 // Total is the figure-comparable response time: wall + synthetic I/O.
@@ -140,7 +144,7 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, false)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -151,7 +155,27 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 	return best, nil
 }
 
-func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int) (Metrics, error) {
+// RunSchemeObserved is RunScheme with a fresh telemetry registry attached
+// to each attempt; the returned Metrics carries the best attempt's Obs
+// snapshot (funnel, kernel, phases). Only meaningful for the BBS schemes.
+func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int) (Metrics, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var best Metrics
+	for r := 0; r < repeat; r++ {
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, true)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if r == 0 || met.Total() < best.Total() {
+			best = met
+		}
+	}
+	return best, nil
+}
+
+func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int, observe bool) (Metrics, error) {
 	var stats iostat.Stats
 	store, err := txdb.NewMemStoreFrom(&stats, txs)
 	if err != nil {
@@ -167,14 +191,19 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		if err != nil {
 			return Metrics{}, err
 		}
+		var reg *obs.Registry
+		if observe {
+			reg = obs.New()
+			reg.BindIO(&stats)
+		}
 		stats.Reset() // index construction is not part of the mining run
 		start := time.Now()
-		res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget, Workers: workers})
+		res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget, Workers: workers, Observe: reg})
 		if err != nil {
 			return Metrics{}, err
 		}
 		snap := stats.Snapshot()
-		return Metrics{
+		met := Metrics{
 			Scheme:    name,
 			Wall:      time.Since(start),
 			Synthetic: iostat.DefaultCostModel.Charge(snap),
@@ -182,7 +211,12 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 			FDR:       res.FalseDropRatio(),
 			Certain:   res.Certain,
 			Snapshot:  snap,
-		}, nil
+		}
+		if reg != nil {
+			om := reg.Metrics()
+			met.Obs = &om
+		}
+		return met, nil
 	}
 
 	switch name {

@@ -61,6 +61,44 @@ func TestStatsConcurrentAdds(t *testing.T) {
 	}
 }
 
+// TestStatsSnapshotNotTorn pins Snapshot's atomicity with respect to Reset.
+// The writer repeats Reset-then-increment with the rand counter always
+// bumped before the seq counter; Snapshot reads seq before rand, and both
+// reads happen under the same lock that Reset takes, so counters can only
+// grow (never reset) between the two reads and every snapshot must satisfy
+// DBSeqPages <= DBRandPages. Without the snapMu pairing, a Reset landing
+// between the two reads yields a torn snapshot (stale seq, zeroed rand)
+// that inverts the inequality.
+func TestStatsSnapshotNotTorn(t *testing.T) {
+	var s Stats
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			s.Reset()
+			s.AddDBRandPages(1)
+			s.AddDBSeqPages(1)
+		}
+		close(done)
+	}()
+	for torn := false; !torn; {
+		snap := s.Snapshot()
+		if snap.DBSeqPages > snap.DBRandPages {
+			t.Errorf("torn snapshot: DBSeqPages=%d > DBRandPages=%d", snap.DBSeqPages, snap.DBRandPages)
+			torn = true
+		}
+		select {
+		case <-done:
+			wg.Wait()
+			return
+		default:
+		}
+	}
+	wg.Wait()
+}
+
 // TestStatsConcurrentSnapshot reads snapshots while writers are running —
 // nothing to assert beyond "no race, no panic", which -race enforces.
 func TestStatsConcurrentSnapshot(t *testing.T) {

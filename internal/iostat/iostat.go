@@ -15,6 +15,7 @@ package iostat
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -34,6 +35,13 @@ type Stats struct {
 	countCalls     atomic.Int64 // CountItemSet invocations
 	candidates     atomic.Int64 // candidate itemsets produced by filtering
 	falseDrops     atomic.Int64 // candidates later found infrequent
+
+	// snapMu serializes Snapshot against Reset. The Add*/getter fast paths
+	// stay lock-free; without the lock a reader between Reset's stores could
+	// observe a torn snapshot (some counters zeroed, others not). Declared
+	// after every counter on purpose: it guards the Snapshot/Reset pairing,
+	// not individual field access.
+	snapMu sync.Mutex
 }
 
 // AddDBSeqPages records n database pages read sequentially.
@@ -90,8 +98,12 @@ func (s *Stats) Candidates() int64 { return s.candidates.Load() }
 // FalseDrops returns the number of false drops found during refinement.
 func (s *Stats) FalseDrops() int64 { return s.falseDrops.Load() }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter, atomically with respect to Snapshot: a
+// concurrent Snapshot sees either the pre-Reset values or all zeros, never
+// a mix.
 func (s *Stats) Reset() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	s.dbSeqPages.Store(0)
 	s.dbRandPages.Store(0)
 	s.dbScans.Store(0)
@@ -116,8 +128,12 @@ type Snapshot struct {
 	FalseDrops     int64
 }
 
-// Snapshot returns a copy of the current counter values.
+// Snapshot returns a copy of the current counter values. It is atomic with
+// respect to Reset (see Reset); concurrent Add* calls land in either the
+// snapshot or the next one, as with any monotonic counter read.
 func (s *Stats) Snapshot() Snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	return Snapshot{
 		DBSeqPages:     s.DBSeqPages(),
 		DBRandPages:    s.DBRandPages(),

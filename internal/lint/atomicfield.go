@@ -6,25 +6,31 @@ import (
 	"strings"
 )
 
-// AtomicField enforces the iostat counter invariant: the parallel mining
-// engine shares one Stats value between every worker, store, and index
-// without coordination, so the struct's fields must be sync/atomic types
+// AtomicField enforces the shared-counter invariant: the parallel mining
+// engine shares one iostat.Stats (and, when observability is on, one
+// obs.Registry) between every worker, store, and index without
+// coordination, so the counter structs' fields must be sync/atomic types
 // and every touch must go through their Load/Store/Add/... methods. A
 // plain int field — or a direct read of an atomic field — is a data race
 // waiting for the next contributor.
 //
-// The analyzer applies to packages under internal/iostat and checks every
-// struct type whose name ends in "Stats":
+// The analyzer applies to packages under internal/iostat and internal/obs
+// and checks every struct type whose name ends in "Stats":
 //
-//  1. each field's type must come from sync/atomic;
+//  1. each field's type must come from sync/atomic — a fixed-size array of
+//     atomics ([n]atomic.Int64, the phase and histogram tables) counts, and
+//     sync.Mutex/RWMutex fields are exempt (a mutex is its own
+//     synchronization; iostat uses one to pair Snapshot with Reset);
 //  2. each use of such a field must immediately invoke a method on it
-//     (s.counter.Add(1), s.counter.Load(), ...), never pass the field
+//     (s.counter.Add(1), s.table[i].Load(), ...), never pass the field
 //     around, take its address, or assign over it.
 var AtomicField = &Analyzer{
-	Name:    "atomicfield",
-	Doc:     "fields of iostat stats structs must be sync/atomic types used only through their methods",
-	Applies: func(path string) bool { return pathHasSegment(path, "internal/iostat") },
-	Run:     runAtomicField,
+	Name: "atomicfield",
+	Doc:  "fields of iostat/obs stats structs must be sync/atomic types used only through their methods",
+	Applies: func(path string) bool {
+		return pathHasSegment(path, "internal/iostat") || pathHasSegment(path, "internal/obs")
+	},
+	Run: runAtomicField,
 }
 
 func runAtomicField(pass *Pass) {
@@ -42,7 +48,11 @@ func runAtomicField(pass *Pass) {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				atomicTyped := isAtomicType(pass.Info.Types[field.Type].Type)
+				t := pass.Info.Types[field.Type].Type
+				if isMutexType(t) {
+					continue
+				}
+				atomicTyped := isAtomicType(t)
 				for _, name := range field.Names {
 					obj, ok := pass.Info.Defs[name].(*types.Var)
 					if !ok {
@@ -65,7 +75,8 @@ func runAtomicField(pass *Pass) {
 	}
 
 	// Pass 2: every selector that resolves to a tracked field must be the
-	// receiver of an immediate method call.
+	// receiver of an immediate method call, possibly through an index
+	// (s.table[i].Add(1) for the array-of-atomics fields).
 	for _, f := range pass.Files {
 		calledOn := map[*ast.SelectorExpr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -73,10 +84,16 @@ func runAtomicField(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if method, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if field, ok := method.X.(*ast.SelectorExpr); ok {
-					calledOn[field] = true
-				}
+			method, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := method.X
+			if idx, ok := recv.(*ast.IndexExpr); ok {
+				recv = idx.X
+			}
+			if field, ok := recv.(*ast.SelectorExpr); ok {
+				calledOn[field] = true
 			}
 			return true
 		})
@@ -106,12 +123,29 @@ func hasSuffixStats(name string) bool {
 	return strings.HasSuffix(name, "Stats")
 }
 
-// isAtomicType reports whether t is a named type from sync/atomic.
+// isAtomicType reports whether t is a named type from sync/atomic, or a
+// fixed-size array of such.
 func isAtomicType(t types.Type) bool {
+	if arr, ok := t.(*types.Array); ok {
+		t = arr.Elem()
+	}
 	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}
 	pkg := named.Obj().Pkg()
 	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
 }

@@ -37,6 +37,7 @@ var determinismAllowlist = []string{
 	"internal/exp",    // benchmark harness: wall-clock measurement is its job
 	"internal/weblog", // synthetic dataset generator: seeded randomness
 	"internal/quest",  // synthetic dataset generator: seeded randomness
+	"internal/obs",    // telemetry: phase timers read the clock by design
 	"cmd",             // CLI front-ends: timing is presentation
 	"examples",        // ditto
 }

@@ -80,6 +80,7 @@ func Analyzers() []*Analyzer {
 		LockDiscipline,
 		Determinism,
 		ErrWrap,
+		ObsDiscipline,
 	}
 }
 

@@ -36,6 +36,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"17 atomicfield", // atomic field read without Load
 		}},
 		{"atomicfield/good/internal/iostat", nil},
+		{"atomicfield/good/internal/obs", nil}, // atomic arrays + mutex field are fine
 		{"pooledvec/bad/internal/core", []string{
 			"9 pooledvec", // raw bitvec.New
 		}},
@@ -46,12 +47,21 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		}},
 		{"lockdiscipline/good/cache", nil},
 		{"determinism/bad/internal/core", []string{
-			"6 determinism",  // math/rand import
-			"13 determinism", // time.Now
-			"15 determinism", // range over a map
+			"6 determinism",    // math/rand import
+			"13 determinism",   // time.Now
+			"13 obsdiscipline", // the same time.Now, through the telemetry lens
+			"15 determinism",   // range over a map
 		}},
 		{"determinism/good/internal/core", nil},
 		{"determinism/allow/internal/exp", nil}, // time.Now allowlisted in exp
+		{"obsdiscipline/bad/internal/core", []string{
+			"6 obsdiscipline",  // expvar import
+			"15 determinism",   // time.Now is also a determinism violation
+			"15 obsdiscipline", // time.Now bypassing obs.Tick
+			"17 determinism",
+			"17 obsdiscipline", // time.Since
+		}},
+		{"obsdiscipline/good/internal/core", nil},
 		{"errwrap/bad/internal/txdb", []string{
 			"14 errwrap", // %v on an error
 			"16 errwrap", // deferred silent discard
@@ -103,13 +113,19 @@ func TestAnalyzerScopes(t *testing.T) {
 		want     bool
 	}{
 		{AtomicField, "bbsmine/internal/iostat", true},
+		{AtomicField, "bbsmine/internal/obs", true},
 		{AtomicField, "bbsmine/internal/core", false},
+		{ObsDiscipline, "bbsmine/internal/core", true},
+		{ObsDiscipline, "bbsmine/internal/sigfile", true},
+		{ObsDiscipline, "bbsmine/internal/obs", false}, // obs owns the exposition machinery
+		{ObsDiscipline, "bbsmine/internal/exp", false},
 		{PooledVec, "bbsmine/internal/core", true},
 		{PooledVec, "bbsmine/internal/bitvec", false}, // the pool itself may call New
 		{Determinism, "bbsmine/internal/core", true},
 		{Determinism, "bbsmine/internal/mining", true},
 		{Determinism, "bbsmine/internal/lint", true}, // the linter eats its own dog food
 		{Determinism, "bbsmine/internal/exp", false},
+		{Determinism, "bbsmine/internal/obs", false}, // phase timers read the clock by design
 		{Determinism, "bbsmine/internal/weblog", false},
 		{Determinism, "bbsmine/internal/quest", false},
 		{Determinism, "bbsmine/cmd/bbsbench", false},

@@ -1,0 +1,34 @@
+// Package obs is the atomicfield negative fixture for the telemetry
+// registry shapes: fixed arrays of atomics indexed before the method call,
+// and a mutex field exempt from the atomic-type rule.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PhaseStats mirrors the real obs.PhaseStats: per-phase atomic tables plus
+// a mutex (declared last so it guards nothing; it only pairs operations).
+type PhaseStats struct {
+	ns     [4]atomic.Int64
+	calls  [4]atomic.Int64
+	snapMu sync.Mutex
+}
+
+// Done records one phase interval through the indexed atomics.
+func (s *PhaseStats) Done(p int, d int64) {
+	s.ns[p].Add(d)
+	s.calls[p].Add(1)
+}
+
+// Ns reads one phase's cumulative time.
+func (s *PhaseStats) Ns(p int) int64 { return s.ns[p].Load() }
+
+// Pair pins the mutex exemption: a mutex is its own synchronization, so
+// locking it is not a direct-use violation.
+func (s *PhaseStats) Pair() int64 {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.ns[0].Load()
+}

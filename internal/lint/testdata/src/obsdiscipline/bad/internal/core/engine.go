@@ -1,0 +1,18 @@
+// Package core is an obsdiscipline fixture: an engine package that
+// publishes metrics itself and reads the wall clock directly.
+package core
+
+import (
+	"expvar" // want: banned exposition import
+	"time"
+)
+
+// Evals is exposition state the engine must not own.
+var Evals = expvar.NewInt("evals")
+
+// Mine times itself with time.Now instead of obs.Registry.Tick.
+func Mine() time.Duration {
+	start := time.Now() // want: direct wall-clock read
+	Evals.Add(1)
+	return time.Since(start) // want: direct wall-clock read
+}

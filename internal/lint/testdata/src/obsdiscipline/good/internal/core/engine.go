@@ -1,0 +1,14 @@
+// Package core is the obsdiscipline negative fixture: the engine handles
+// durations it was handed without reading the clock or touching expvar.
+package core
+
+import "time"
+
+// Budget carries a caller-supplied duration; time.Duration is a type, not
+// a clock read.
+type Budget struct {
+	Limit time.Duration
+}
+
+// Within reports whether d fits the budget.
+func (b Budget) Within(d time.Duration) bool { return d <= b.Limit }

@@ -21,6 +21,11 @@ import (
 type Counter struct {
 	root *cnode
 	n    int
+
+	// Scan telemetry, plain ints (a Counter is single-goroutine by
+	// contract): transactions counted and candidate hits recorded.
+	tx      int64
+	matched int64
 }
 
 type cnode struct {
@@ -58,10 +63,11 @@ func (c *Counter) Add(items []txdb.Item) {
 // CountTransaction bumps every candidate contained in the transaction.
 // Items must be sorted strictly ascending (the txdb invariant).
 func (c *Counter) CountTransaction(items []txdb.Item) {
-	descend(c.root, items)
+	c.tx++
+	c.descend(c.root, items)
 }
 
-func descend(n *cnode, items []txdb.Item) {
+func (c *Counter) descend(n *cnode, items []txdb.Item) {
 	for i, it := range items {
 		child, ok := n.children[it]
 		if !ok {
@@ -69,12 +75,17 @@ func descend(n *cnode, items []txdb.Item) {
 		}
 		if child.terminal {
 			child.count++
+			c.matched++
 		}
 		if len(child.children) > 0 {
-			descend(child, items[i+1:])
+			c.descend(child, items[i+1:])
 		}
 	}
 }
+
+// Tally returns the counter's scan telemetry: transactions counted and
+// candidate hits recorded across them.
+func (c *Counter) Tally() (tx, matched int64) { return c.tx, c.matched }
 
 // Support returns the counted support of a candidate, or 0 if it was never
 // added or never matched.

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds values whose upper bound is 2^i - 1 (bucket 0 holds only zero);
+// 63 buckets cover the whole nonnegative int64 range.
+const histBuckets = 63
+
+// HistStats is a lock-free histogram over nonnegative int64 samples with
+// power-of-two bucket bounds — coarse, but constant-time and race-safe,
+// which is what a hot path can afford. The zero value is ready to use.
+type HistStats struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *HistStats) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistMetrics is a histogram snapshot: Buckets maps the bucket's inclusive
+// upper bound (as a decimal string, so it survives JSON) to its sample
+// count. Empty buckets are omitted.
+type HistMetrics struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Metrics snapshots the histogram.
+func (h *HistStats) Metrics() HistMetrics {
+	m := HistMetrics{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if m.Buckets == nil {
+			m.Buckets = make(map[string]int64)
+		}
+		bound := int64(1)<<uint(i) - 1
+		m.Buckets[strconv.FormatInt(bound, 10)] = n
+	}
+	return m
+}

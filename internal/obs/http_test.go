@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsHandler publishes a registry and checks the Prometheus text
+// rendering: flattened snake_case names, numeric leaves only, sorted output,
+// and the standard content type.
+func TestMetricsHandler(t *testing.T) {
+	r := New()
+	r.AddFunnel(Funnel{Candidates: 42, FalseDrops: 3})
+	r.AddKernel(KernelSample{Evals: 7})
+	r.ObserveAndDepth(5)
+	r.Publish("testreg")
+	r.Publish("testreg") // second publish must not panic
+
+	mux := NewServeMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	out := string(body)
+	for _, want := range []string{
+		"testreg_funnel_candidates 42",
+		"testreg_funnel_false_drops 3",
+		"testreg_kernel_evals 7",
+		"testreg_and_depth_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Errorf("output not sorted: %q before %q", lines[i-1], lines[i])
+			break
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("GET /debug/pprof/ = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Errorf("GET /debug/vars = %d", rec.Code)
+	}
+}
+
+// TestFlattenMetric covers the leaf cases directly: bools, nested maps,
+// small arrays, and the big-array cutoff.
+func TestFlattenMetric(t *testing.T) {
+	var lines []string
+	flattenMetric("m", map[string]any{
+		"n":    float64(3),
+		"ok":   true,
+		"sub":  map[string]any{"x": float64(1)},
+		"arr":  []any{float64(7), float64(8)},
+		"big":  make([]any, flattenArrayMax+1),
+		"text": "skipped",
+	}, &lines)
+	got := strings.Join(lines, "\n")
+	for _, want := range []string{"m_n 3", "m_ok 1", "m_sub_x 1", "m_arr_0 7", "m_arr_1 8"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+	if strings.Contains(got, "m_big") || strings.Contains(got, "m_text") {
+		t.Errorf("big array or string leaked into %q", got)
+	}
+}
+
+// TestSanitizeMetricName pins the character mapping.
+func TestSanitizeMetricName(t *testing.T) {
+	if got := sanitizeMetricName("a-b.c/d:e_f9"); got != "a_b_c_d:e_f9" {
+		t.Errorf("sanitizeMetricName = %q", got)
+	}
+}

@@ -1,0 +1,424 @@
+// Package obs is the mining telemetry layer: a race-safe registry of
+// counters, histograms and phase timers, plus a sampled structured-event
+// tracer (trace.go) and an expvar/Prometheus/pprof exposition surface
+// (http.go).
+//
+// The design follows two rules the engine cannot bend:
+//
+//   - Zero cost when disabled. Every Registry method is safe on a nil
+//     receiver and returns immediately, so an uninstrumented run pays one
+//     predictable branch per hook site — no interface dispatch, no
+//     allocation, no atomic traffic. The hot loops (sigfile.CountIntoBuf,
+//     core.evalExtension) additionally batch their tallies in plain
+//     per-goroutine integers and flush them to the registry in one atomic
+//     burst per call or per subtree.
+//
+//   - Determinism preserved. The engine guarantees Workers:N == Workers:1
+//     byte for byte; telemetry must not perturb that, and its own totals
+//     must be deterministic too. Counters only ever accumulate sums over
+//     the same work items regardless of scheduling (addition commutes), and
+//     the funnel split is carried through the parallel engine's
+//     subtreeResult merge, in enumeration (seq) order, exactly like the
+//     Result counters. The TestParallelDeterminism suite runs with tracing
+//     enabled to pin this.
+//
+// internal/core and internal/sigfile never call time.Now or expvar
+// directly (the bbslint obsdiscipline analyzer enforces it): wall-clock
+// intervals go through Tick/PhaseDone, whose Tick is zero — and therefore
+// free — on a nil registry.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bbsmine/internal/iostat"
+)
+
+// Phase identifies one timed stage of a mining run.
+type Phase int
+
+// The mining phases, in rough execution order. PhaseMine wraps the whole
+// call; the others nest inside it (so their durations overlap PhaseMine's,
+// not each other's).
+const (
+	PhaseMine       Phase = iota // the whole Mine call
+	PhaseLevel1                  // level-1 sweep establishing the alphabet
+	PhaseEnumerate               // depth-first candidate enumeration
+	PhaseScanRefine              // SequentialScan verification
+	PhaseFold                    // adaptive: folding the BBS into a MemBBS
+	PhaseReverify                // adaptive: phase-3 re-estimation + probes
+	numPhases
+)
+
+// String returns the snake_case phase name used in metric keys and traces.
+func (p Phase) String() string {
+	switch p {
+	case PhaseMine:
+		return "mine"
+	case PhaseLevel1:
+		return "level1"
+	case PhaseEnumerate:
+		return "enumerate"
+	case PhaseScanRefine:
+		return "scan_refine"
+	case PhaseFold:
+		return "fold"
+	case PhaseReverify:
+		return "reverify"
+	default:
+		return "unknown"
+	}
+}
+
+// Tick marks the start of a timed interval. The zero Tick (what a nil
+// registry hands out) is inert: PhaseDone ignores it, so instrumented code
+// never branches on whether timing is on.
+type Tick struct{ t time.Time }
+
+// Funnel is one run's contribution to the filter-and-refine funnel, the
+// paper's core accounting: candidates in at the top, certificates and false
+// drops out at the bottom. Plain value struct; the engine accumulates one
+// per run (merged across workers by seq) and hands it to Registry.AddFunnel
+// in a single call.
+type Funnel struct {
+	Candidates      int64 // itemsets whose estimate reached τ
+	CertifiedActual int64 // dual filter flag 1: certain, count exact
+	CertifiedEst    int64 // dual filter flag 2: certain via Lemma 5 bound
+	Uncertain       int64 // flag 0 (or single filter): needs refinement
+	NonFrequent     int64 // dual filter flag -1: exact knowledge, pruned
+	ProbedPatterns  int64 // candidates settled by probing
+	FalseDrops      int64 // candidates refinement found infrequent
+	Verified        int64 // patterns in the answer with exact supports
+	Patterns        int64 // patterns in the final answer
+}
+
+// Add accumulates g into f.
+func (f *Funnel) Add(g Funnel) {
+	f.Candidates += g.Candidates
+	f.CertifiedActual += g.CertifiedActual
+	f.CertifiedEst += g.CertifiedEst
+	f.Uncertain += g.Uncertain
+	f.NonFrequent += g.NonFrequent
+	f.ProbedPatterns += g.ProbedPatterns
+	f.FalseDrops += g.FalseDrops
+	f.Verified += g.Verified
+	f.Patterns += g.Patterns
+}
+
+// KernelSample is a batch of AND-kernel tallies, accumulated in plain
+// integers on the hot path and flushed to the registry in one AddKernel
+// call. Evals counts itemset evaluations (one per CountItemSet-equivalent);
+// the words/ANDs split tracks which kernel ran and how much of the vector
+// it actually visited.
+type KernelSample struct {
+	Evals          int64 // itemset evaluations (AND loops started)
+	EarlyExits     int64 // evaluations cut short below τ (or at zero)
+	AndsSparse     int64 // slice ANDs run by the summary-guided kernel
+	AndsDense      int64 // slice ANDs run by the dense unrolled kernel
+	WordsSparse    int64 // backing words visited by sparse ANDs
+	WordsDense     int64 // backing words visited by dense ANDs
+	PosCacheHits   int64 // evaluations served from the run's position cache
+	PosCacheMisses int64 // evaluations that had to consult the hasher
+}
+
+func (k *KernelSample) add(g KernelSample) {
+	k.Evals += g.Evals
+	k.EarlyExits += g.EarlyExits
+	k.AndsSparse += g.AndsSparse
+	k.AndsDense += g.AndsDense
+	k.WordsSparse += g.WordsSparse
+	k.WordsDense += g.WordsDense
+	k.PosCacheHits += g.PosCacheHits
+	k.PosCacheMisses += g.PosCacheMisses
+}
+
+// FunnelStats holds the registry's funnel counters.
+type FunnelStats struct {
+	candidates      atomic.Int64
+	certifiedActual atomic.Int64
+	certifiedEst    atomic.Int64
+	uncertain       atomic.Int64
+	nonFrequent     atomic.Int64
+	probedPatterns  atomic.Int64
+	falseDrops      atomic.Int64
+	verified        atomic.Int64
+	patterns        atomic.Int64
+	scanBatches     atomic.Int64
+	scanTx          atomic.Int64
+	scanMatches     atomic.Int64
+}
+
+// KernelStats holds the registry's AND-kernel counters.
+type KernelStats struct {
+	evals          atomic.Int64
+	earlyExits     atomic.Int64
+	andsSparse     atomic.Int64
+	andsDense      atomic.Int64
+	wordsSparse    atomic.Int64
+	wordsDense     atomic.Int64
+	posCacheHits   atomic.Int64
+	posCacheMisses atomic.Int64
+}
+
+// CacheStats holds the registry's pool/cache counters.
+type CacheStats struct {
+	poolGets   atomic.Int64
+	poolMisses atomic.Int64
+}
+
+// PhaseStats holds cumulative wall time and call counts per phase.
+type PhaseStats struct {
+	ns    [numPhases]atomic.Int64
+	calls [numPhases]atomic.Int64
+}
+
+// Registry accumulates one or more mining runs' telemetry. The zero value
+// is ready to use; a nil *Registry is the disabled state and every method
+// no-ops on it. A Registry may be shared by concurrent goroutines of one
+// run and — except for SetTracer/BindIO, which must happen before the run —
+// by concurrent runs.
+type Registry struct {
+	funnel FunnelStats
+	kernel KernelStats
+	cache  CacheStats
+	phases PhaseStats
+
+	mineLatency HistStats // whole-Mine wall time, ns
+	andDepth    HistStats // slice positions AND-ed per evaluation
+
+	io     *iostat.Stats // optional: folded into Metrics snapshots
+	tracer *Tracer       // optional: sampled structured events
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// BindIO attaches an iostat sink whose page/probe counters are folded into
+// every Metrics snapshot. Call before the run; not synchronized.
+func (r *Registry) BindIO(s *iostat.Stats) {
+	if r == nil {
+		return
+	}
+	r.io = s
+}
+
+// Tick starts a timed interval; free (zero) on a nil registry.
+func (r *Registry) Tick() Tick {
+	if r == nil {
+		return Tick{}
+	}
+	return Tick{t: time.Now()}
+}
+
+// PhaseDone records the interval from at to now under the phase. A zero
+// Tick — from a nil registry, or a registry attached mid-run — is ignored.
+func (r *Registry) PhaseDone(p Phase, at Tick) {
+	if r == nil || at.t.IsZero() {
+		return
+	}
+	d := time.Since(at.t).Nanoseconds()
+	r.phases.ns[p].Add(d)
+	r.phases.calls[p].Add(1)
+	if p == PhaseMine {
+		r.mineLatency.Observe(d)
+	}
+	r.Emit(Event{Kind: "phase", Phase: p.String(), DurNs: d})
+}
+
+// AddFunnel folds one run's funnel accounting into the registry.
+func (r *Registry) AddFunnel(f Funnel) {
+	if r == nil {
+		return
+	}
+	r.funnel.candidates.Add(f.Candidates)
+	r.funnel.certifiedActual.Add(f.CertifiedActual)
+	r.funnel.certifiedEst.Add(f.CertifiedEst)
+	r.funnel.uncertain.Add(f.Uncertain)
+	r.funnel.nonFrequent.Add(f.NonFrequent)
+	r.funnel.probedPatterns.Add(f.ProbedPatterns)
+	r.funnel.falseDrops.Add(f.FalseDrops)
+	r.funnel.verified.Add(f.Verified)
+	r.funnel.patterns.Add(f.Patterns)
+}
+
+// AddKernel flushes a batch of kernel tallies.
+func (r *Registry) AddKernel(k KernelSample) {
+	if r == nil {
+		return
+	}
+	r.kernel.evals.Add(k.Evals)
+	r.kernel.earlyExits.Add(k.EarlyExits)
+	r.kernel.andsSparse.Add(k.AndsSparse)
+	r.kernel.andsDense.Add(k.AndsDense)
+	r.kernel.wordsSparse.Add(k.WordsSparse)
+	r.kernel.wordsDense.Add(k.WordsDense)
+	r.kernel.posCacheHits.Add(k.PosCacheHits)
+	r.kernel.posCacheMisses.Add(k.PosCacheMisses)
+}
+
+// ObserveAndDepth records how many slice positions one evaluation AND-ed
+// before returning (early exit included).
+func (r *Registry) ObserveAndDepth(n int64) {
+	if r == nil {
+		return
+	}
+	r.andDepth.Observe(n)
+}
+
+// AddPool records vector-pool traffic: gets handed out, of which misses
+// were fresh allocations.
+func (r *Registry) AddPool(gets, misses int64) {
+	if r == nil {
+		return
+	}
+	r.cache.poolGets.Add(gets)
+	r.cache.poolMisses.Add(misses)
+}
+
+// AddScanBatch records one SequentialScan verification batch: tx
+// transactions scanned, matches candidate hits counted.
+func (r *Registry) AddScanBatch(tx, matches int64) {
+	if r == nil {
+		return
+	}
+	r.funnel.scanBatches.Add(1)
+	r.funnel.scanTx.Add(tx)
+	r.funnel.scanMatches.Add(matches)
+}
+
+// FunnelMetrics is the funnel section of a Metrics snapshot.
+type FunnelMetrics struct {
+	Candidates      int64 `json:"candidates"`
+	CertifiedActual int64 `json:"certified_actual"`
+	CertifiedEst    int64 `json:"certified_est"`
+	Uncertain       int64 `json:"uncertain"`
+	NonFrequent     int64 `json:"non_frequent"`
+	ProbedPatterns  int64 `json:"probed_patterns"`
+	FalseDrops      int64 `json:"false_drops"`
+	Verified        int64 `json:"verified"`
+	Patterns        int64 `json:"patterns"`
+	ScanBatches     int64 `json:"scan_batches"`
+	ScanTx          int64 `json:"scan_tx"`
+	ScanMatches     int64 `json:"scan_matches"`
+}
+
+// KernelMetrics is the AND-kernel section of a Metrics snapshot.
+type KernelMetrics struct {
+	Evals          int64 `json:"evals"`
+	EarlyExits     int64 `json:"early_exits"`
+	AndsSparse     int64 `json:"ands_sparse"`
+	AndsDense      int64 `json:"ands_dense"`
+	WordsSparse    int64 `json:"words_sparse"`
+	WordsDense     int64 `json:"words_dense"`
+	PosCacheHits   int64 `json:"pos_cache_hits"`
+	PosCacheMisses int64 `json:"pos_cache_misses"`
+}
+
+// CacheMetrics is the pool section of a Metrics snapshot.
+type CacheMetrics struct {
+	PoolGets   int64 `json:"pool_gets"`
+	PoolMisses int64 `json:"pool_misses"`
+}
+
+// PhaseMetrics is one phase's cumulative timing.
+type PhaseMetrics struct {
+	Ns    int64 `json:"ns"`
+	Calls int64 `json:"calls"`
+}
+
+// IOMetrics mirrors iostat.Snapshot with metric-friendly key names.
+type IOMetrics struct {
+	DBSeqPages     int64 `json:"db_seq_pages"`
+	DBRandPages    int64 `json:"db_rand_pages"`
+	DBScans        int64 `json:"db_scans"`
+	Probes         int64 `json:"probes"`
+	SlicePageReads int64 `json:"slice_page_reads"`
+	SliceAnds      int64 `json:"slice_ands"`
+	CountCalls     int64 `json:"count_calls"`
+	Candidates     int64 `json:"candidates"`
+	FalseDrops     int64 `json:"false_drops"`
+}
+
+// Metrics is a point-in-time snapshot of everything the registry holds,
+// shaped for JSON (and, flattened, for the Prometheus text exposition).
+type Metrics struct {
+	Funnel      FunnelMetrics           `json:"funnel"`
+	Kernel      KernelMetrics           `json:"kernel"`
+	Cache       CacheMetrics            `json:"cache"`
+	Phases      map[string]PhaseMetrics `json:"phases,omitempty"`
+	MineLatency HistMetrics             `json:"mine_latency_ns"`
+	AndDepth    HistMetrics             `json:"and_depth"`
+	IO          *IOMetrics              `json:"io,omitempty"`
+	Trace       *TraceMetrics           `json:"trace,omitempty"`
+}
+
+// Metrics returns a snapshot of the registry. Safe during a run; each
+// counter is read atomically (the set is not one consistent cut, which is
+// fine for monitoring — read after the run for exact totals).
+func (r *Registry) Metrics() Metrics {
+	if r == nil {
+		return Metrics{}
+	}
+	m := Metrics{
+		Funnel: FunnelMetrics{
+			Candidates:      r.funnel.candidates.Load(),
+			CertifiedActual: r.funnel.certifiedActual.Load(),
+			CertifiedEst:    r.funnel.certifiedEst.Load(),
+			Uncertain:       r.funnel.uncertain.Load(),
+			NonFrequent:     r.funnel.nonFrequent.Load(),
+			ProbedPatterns:  r.funnel.probedPatterns.Load(),
+			FalseDrops:      r.funnel.falseDrops.Load(),
+			Verified:        r.funnel.verified.Load(),
+			Patterns:        r.funnel.patterns.Load(),
+			ScanBatches:     r.funnel.scanBatches.Load(),
+			ScanTx:          r.funnel.scanTx.Load(),
+			ScanMatches:     r.funnel.scanMatches.Load(),
+		},
+		Kernel: KernelMetrics{
+			Evals:          r.kernel.evals.Load(),
+			EarlyExits:     r.kernel.earlyExits.Load(),
+			AndsSparse:     r.kernel.andsSparse.Load(),
+			AndsDense:      r.kernel.andsDense.Load(),
+			WordsSparse:    r.kernel.wordsSparse.Load(),
+			WordsDense:     r.kernel.wordsDense.Load(),
+			PosCacheHits:   r.kernel.posCacheHits.Load(),
+			PosCacheMisses: r.kernel.posCacheMisses.Load(),
+		},
+		Cache: CacheMetrics{
+			PoolGets:   r.cache.poolGets.Load(),
+			PoolMisses: r.cache.poolMisses.Load(),
+		},
+		MineLatency: r.mineLatency.Metrics(),
+		AndDepth:    r.andDepth.Metrics(),
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		calls := r.phases.calls[p].Load()
+		if calls == 0 {
+			continue
+		}
+		if m.Phases == nil {
+			m.Phases = make(map[string]PhaseMetrics, int(numPhases))
+		}
+		m.Phases[p.String()] = PhaseMetrics{Ns: r.phases.ns[p].Load(), Calls: calls}
+	}
+	if r.io != nil {
+		s := r.io.Snapshot()
+		m.IO = &IOMetrics{
+			DBSeqPages:     s.DBSeqPages,
+			DBRandPages:    s.DBRandPages,
+			DBScans:        s.DBScans,
+			Probes:         s.Probes,
+			SlicePageReads: s.SlicePageReads,
+			SliceAnds:      s.SliceAnds,
+			CountCalls:     s.CountCalls,
+			Candidates:     s.Candidates,
+			FalseDrops:     s.FalseDrops,
+		}
+	}
+	if t := r.tracer; t != nil {
+		tm := t.metrics()
+		m.Trace = &tm
+	}
+	return m
+}

@@ -21,6 +21,7 @@ import (
 
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/sighash"
 )
 
@@ -49,6 +50,7 @@ type BBS struct {
 	maxTxnItems int // largest distinct-item count among inserted transactions
 
 	stats *iostat.Stats
+	obs   *obs.Registry // nil unless a mining run attached telemetry
 }
 
 // New returns an empty BBS using the given hasher. A nil stats disables
@@ -82,6 +84,15 @@ func (b *BBS) Len() int { return b.n }
 
 // Stats returns the accounting sink.
 func (b *BBS) Stats() *iostat.Stats { return b.stats }
+
+// SetObserver attaches (nil: detaches) a telemetry registry. Attached, the
+// bulk estimate path (CountIntoBuf) accounts its AND kernels and depths;
+// detached, those paths run the uninstrumented loop. Call between runs, not
+// during one.
+func (b *BBS) SetObserver(o *obs.Registry) { b.obs = o }
+
+// Observer returns the attached telemetry registry, or nil.
+func (b *BBS) Observer() *obs.Registry { return b.obs }
 
 // Insert indexes one transaction's items at the next ordinal position.
 // Position i of every slice corresponds to the i-th inserted transaction,
@@ -318,12 +329,46 @@ func (b *BBS) CountIntoBuf(dst *bitvec.Vector, items []int32, posBuf *[]int) int
 	}
 	*posBuf = sighash.AppendSignatureBits((*posBuf)[:0], b.hasher, items)
 	b.OrderRarestFirst(*posBuf)
+	if b.obs != nil {
+		return b.countIntoObserved(dst, *posBuf, est)
+	}
 	for _, p := range *posBuf {
 		est = b.AndSlice(dst, p)
 		if est == 0 {
 			break
 		}
 	}
+	return est
+}
+
+// countIntoObserved is CountIntoBuf's AND loop with kernel telemetry: same
+// slices, same order, same early exit — plus per-AND accounting of which
+// kernel ran and how many words it visited, flushed to the registry in one
+// batch. Split out so the unobserved loop stays branch-free.
+func (b *BBS) countIntoObserved(dst *bitvec.Vector, pos []int, est int) int {
+	var s obs.KernelSample
+	s.Evals = 1
+	done := 0
+	for _, p := range pos {
+		words, sparse := dst.WordStats()
+		if sparse {
+			s.AndsSparse++
+			s.WordsSparse += int64(words)
+		} else {
+			s.AndsDense++
+			s.WordsDense += int64(words)
+		}
+		est = b.AndSlice(dst, p)
+		done++
+		if est == 0 {
+			break
+		}
+	}
+	if done < len(pos) {
+		s.EarlyExits = 1
+	}
+	b.obs.AddKernel(s)
+	b.obs.ObserveAndDepth(int64(done))
 	return est
 }
 
@@ -359,6 +404,7 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 
 	fh := &foldedHasher{base: b.hasher, m: keep}
 	nb := New(fh, b.stats)
+	nb.obs = b.obs // the MemBBS inherits the run's telemetry
 	nb.n = b.n
 	nb.slices = make([]*bitvec.Vector, keep)
 	for j := 0; j < keep; j++ {

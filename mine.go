@@ -61,6 +61,14 @@ type MineOptions struct {
 	NoEarlyExit      bool
 	NoIncrementalAnd bool
 	NoSliceOrdering  bool
+
+	// Observe, when non-nil, collects the run's telemetry: funnel counters
+	// (candidates, certificates by flag, false drops), AND-kernel work,
+	// phase timings, cache hit rates and optional sampled trace events.
+	// Read a snapshot with Observe.Metrics() after (or during) the run.
+	// Nil disables observability at a cost of one branch per hook site;
+	// telemetry never changes the mining result.
+	Observe *Observer
 }
 
 func (o MineOptions) threshold(n int) (int, error) {
@@ -93,6 +101,7 @@ func (db *Database) Mine(opts MineOptions) (*Result, error) {
 		NoEarlyExit:      opts.NoEarlyExit,
 		NoIncrementalAnd: opts.NoIncrementalAnd,
 		NoSliceOrdering:  opts.NoSliceOrdering,
+		Observe:          opts.Observe,
 	})
 }
 
@@ -190,6 +199,7 @@ func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, e
 		NoEarlyExit:      opts.NoEarlyExit,
 		NoIncrementalAnd: opts.NoIncrementalAnd,
 		NoSliceOrdering:  opts.NoSliceOrdering,
+		Observe:          opts.Observe,
 		Constraint:       c.vec,
 	})
 }

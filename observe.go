@@ -1,0 +1,46 @@
+package bbsmine
+
+import (
+	"io"
+	"net/http"
+
+	"bbsmine/internal/obs"
+)
+
+// The observability facade: re-exports of internal/obs so callers outside
+// the module can attach telemetry to a mining run. See internal/obs for the
+// design (nil-registry fast path, determinism guarantees, event schema).
+
+// Observer is a telemetry registry. Attach one via MineOptions.Observe;
+// read it with Observer.Metrics(). A nil *Observer disables observability.
+type Observer = obs.Registry
+
+// ObserverMetrics is a point-in-time snapshot of an Observer, shaped for
+// JSON.
+type ObserverMetrics = obs.Metrics
+
+// TraceEvent is one structured trace record; see the internal/obs Event
+// schema for the kinds and their fields.
+type TraceEvent = obs.Event
+
+// Tracer writes sampled TraceEvents as JSON lines.
+type Tracer = obs.Tracer
+
+// NewObserver returns an empty telemetry registry.
+func NewObserver() *Observer { return obs.New() }
+
+// NewTracer returns a tracer writing JSON-lines events to w, keeping every
+// every-th event (values < 1 keep all). Attach it with
+// Observer.SetTracer before mining.
+func NewTracer(w io.Writer, every int) *Tracer { return obs.NewTracer(w, every) }
+
+// MetricsMux returns an http.ServeMux serving /metrics (Prometheus text
+// format over every published expvar), /debug/vars (expvar JSON) and
+// /debug/pprof/*. Publish an Observer into the expvar namespace with
+// Observer.Publish(name) so /metrics includes it.
+func MetricsMux() *http.ServeMux { return obs.NewServeMux() }
+
+// BindStats folds the database's iostat counters into the observer's
+// snapshots, so one Metrics() call carries both the funnel and the page
+// accounting.
+func (db *Database) BindStats(o *Observer) { o.BindIO(db.stats) }
