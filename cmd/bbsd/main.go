@@ -1,0 +1,396 @@
+// Command bbsd serves a BBS index over HTTP: a long-lived daemon with
+// snapshot-isolated mining queries, batched writes and an epoch-keyed
+// query cache.
+//
+// Start it on a database directory (created if missing; the index and the
+// transaction log persist there):
+//
+//	bbsd -db dataset/ -addr 127.0.0.1:8344
+//
+// Endpoints:
+//
+//	POST /mine   {"scheme":"DFP","minsup":0.003}            → frequent patterns
+//	POST /txns   {"insert":[[3,17,29]],"delete":[12]}        → batched writes
+//	GET  /stats                                              → snapshot summary
+//	GET  /metrics, /debug/vars, /debug/pprof/*               → observability
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight requests
+// finish, queued writes commit, the data file syncs and the index saves.
+//
+// -bench skips serving: it seeds the paper's default dataset into a
+// scratch directory, measures cold-versus-cached /mine latency over real
+// HTTP and appends the records to -bench-out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"bbsmine/internal/exp"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/obs"
+	"bbsmine/internal/serve"
+	"bbsmine/internal/serve/client"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/sighash"
+	"bbsmine/internal/txdb"
+)
+
+const (
+	dataFile  = "transactions.txdb"
+	indexFile = "index.bbs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bbsd", flag.ContinueOnError)
+	var (
+		dir  = fs.String("db", "", "database directory (required unless -bench; created if missing)")
+		m    = fs.Int("m", 1600, "signature bits for a new index")
+		k    = fs.Int("k", 4, "hash functions per item for a new index")
+		addr = fs.String("addr", "127.0.0.1:8344", "listen address")
+
+		workers     = fs.Int("workers", 0, "default mining worker pool per query (0 = one per CPU)")
+		cacheN      = fs.Int("cache", 128, "query cache capacity in results")
+		maxInflight = fs.Int("max-inflight", 2, "concurrent cold mines")
+		maxQueue    = fs.Int("max-queue", 8, "cold mines allowed to queue before rejection")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-mine deadline (0 = unbounded)")
+		pageCache   = fs.Int64("page-cache", 64<<20, "data-file page cache bound in bytes")
+
+		bench       = fs.Bool("bench", false, "run the server benchmark instead of serving")
+		benchOut    = fs.String("bench-out", "BENCH_results.json", "append server bench records to this file")
+		benchScale  = fs.Float64("bench-scale", 1.0, "scale factor on the bench dataset size")
+		benchCached = fs.Int("bench-cached", 20, "cached-query repetitions in -bench")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *bench {
+		return runBench(*benchOut, *benchScale, *benchCached, *workers)
+	}
+	if *dir == "" {
+		return fmt.Errorf("-db is required")
+	}
+
+	engine, reg, cleanup, err := openEngine(*dir, *m, *k, serve.Options{
+		Workers:        *workers,
+		CacheEntries:   *cacheN,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *timeout,
+		PageCacheLimit: *pageCache,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	reg.Publish("bbsd")
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: engine.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if serveErr := srv.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			errCh <- serveErr
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "bbsd: serving %d transactions on http://%s\n", engine.Stats().Transactions, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop the listener, let in-flight requests finish,
+		// then flush the engine (queued writes commit, file syncs, index
+		// saves).
+		fmt.Fprintln(os.Stderr, "bbsd: draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "bbsd: shutdown:", err)
+		}
+		if err := engine.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "bbsd: stopped")
+		return nil
+	case err := <-errCh:
+		closeErr := engine.Close()
+		if err != nil {
+			return err
+		}
+		return closeErr
+	}
+}
+
+// openEngine opens (or creates) the database directory the same way
+// bbsmine does — data file plus saved index, reindexing any tail the index
+// missed — and wires a serving engine over it. The returned cleanup closes
+// what Close does not own (the data file).
+func openEngine(dir string, m, k int, opts serve.Options) (*serve.Engine, *obs.Registry, func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("creating %s: %w", dir, err)
+	}
+	stats := &iostat.Stats{}
+	hasher := sighash.NewMD5(m, k)
+
+	dataPath := filepath.Join(dir, dataFile)
+	var file *txdb.FileStore
+	var err error
+	if _, statErr := os.Stat(dataPath); statErr == nil {
+		file, err = txdb.OpenFileStore(dataPath, stats)
+	} else {
+		file, err = txdb.CreateFileStore(dataPath, stats)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	indexPath := filepath.Join(dir, indexFile)
+	var index *sigfile.BBS
+	if _, statErr := os.Stat(indexPath); statErr == nil {
+		index, err = sigfile.Load(indexPath, hasher, stats)
+	} else {
+		index = sigfile.New(hasher, stats)
+	}
+	if err != nil {
+		_ = file.Close()
+		return nil, nil, nil, err
+	}
+	if index.Len() > file.Len() {
+		_ = file.Close()
+		return nil, nil, nil, fmt.Errorf("index covers %d transactions but the store has %d; the index belongs to different data", index.Len(), file.Len())
+	}
+
+	log, err := txdb.LoadAppendLog(file, stats)
+	if err != nil {
+		_ = file.Close()
+		return nil, nil, nil, err
+	}
+	// Reindex any tail the saved index missed (crash between data append
+	// and index save).
+	for pos := index.Len(); pos < log.Len(); pos++ {
+		tx, getErr := log.Get(pos)
+		if getErr != nil {
+			_ = file.Close()
+			return nil, nil, nil, getErr
+		}
+		index.Insert(tx.Items)
+	}
+
+	reg := obs.New()
+	opts.Index = index
+	opts.Log = log
+	opts.File = file
+	opts.IndexPath = indexPath
+	opts.Observe = reg
+	engine, err := serve.New(opts)
+	if err != nil {
+		_ = file.Close()
+		return nil, nil, nil, err
+	}
+	cleanup := func() {
+		if err := file.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bbsd: closing data file:", err)
+		}
+	}
+	return engine, reg, cleanup, nil
+}
+
+// serverBenchRecord is one server-side measurement appended to the bench
+// JSON next to the per-scheme records; the scheme name is namespaced so
+// the funnel checks ignore it.
+type serverBenchRecord struct {
+	Scheme   string `json:"scheme"`
+	Tau      int    `json:"tau"`
+	WallNs   int64  `json:"wall_ns"`
+	P50Ns    int64  `json:"p50_ns,omitempty"`
+	P99Ns    int64  `json:"p99_ns,omitempty"`
+	Patterns int    `json:"patterns"`
+	Epoch    uint64 `json:"epoch"`
+	Speedup  float64
+}
+
+// MarshalJSON keeps Speedup out of the cold record (it is meaningful only
+// on the cached one).
+func (r serverBenchRecord) MarshalJSON() ([]byte, error) {
+	type plain serverBenchRecord
+	if r.Speedup == 0 {
+		return json.Marshal(struct {
+			plain
+			Speedup *float64 `json:"speedup,omitempty"`
+		}{plain: plain(r)})
+	}
+	return json.Marshal(struct {
+		plain
+		Speedup float64 `json:"speedup"`
+	}{plain: plain(r), Speedup: r.Speedup})
+}
+
+// runBench seeds the paper's default dataset into a scratch database,
+// serves it on a loopback port and measures one cold /mine followed by
+// repeated cached hits, all over real HTTP.
+func runBench(out string, scale float64, cachedReps, workers int) error {
+	p := exp.Defaults(scale)
+	txs, err := p.Dataset()
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "bbsd-bench-")
+	if err != nil {
+		return fmt.Errorf("creating scratch dir: %w", err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	stats := &iostat.Stats{}
+	file, err := txdb.WriteAll(filepath.Join(dir, dataFile), stats, txs)
+	if err != nil {
+		return err
+	}
+	index := sigfile.New(sighash.NewMD5(p.M, p.K), stats)
+	for _, tx := range txs {
+		index.Insert(tx.Items)
+	}
+	log, err := txdb.LoadAppendLog(file, stats)
+	if err != nil {
+		_ = file.Close()
+		return err
+	}
+	reg := obs.New()
+	engine, err := serve.New(serve.Options{
+		Index:   index,
+		Log:     log,
+		File:    file,
+		Workers: workers,
+		Observe: reg,
+	})
+	if err != nil {
+		_ = file.Close()
+		return err
+	}
+	defer func() { _ = file.Close() }()
+	defer func() { _ = engine.Close() }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("bench listen: %w", err)
+	}
+	srv := &http.Server{Handler: engine.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+	req := serve.QueryRequest{Scheme: "DFP", MinSupportFrac: p.TauFrac}
+
+	start := time.Now()
+	cold, err := c.Mine(ctx, req)
+	if err != nil {
+		return fmt.Errorf("cold mine: %w", err)
+	}
+	coldNs := time.Since(start).Nanoseconds()
+	if cold.Cached {
+		return fmt.Errorf("first bench query was served from cache")
+	}
+	coldPatterns, err := cold.DecodePatterns()
+	if err != nil {
+		return fmt.Errorf("cold mine: %w", err)
+	}
+
+	lat := make([]int64, 0, cachedReps)
+	for i := 0; i < cachedReps; i++ {
+		s := time.Now()
+		hit, err := c.Mine(ctx, req)
+		if err != nil {
+			return fmt.Errorf("cached mine %d: %w", i, err)
+		}
+		if !hit.Cached {
+			return fmt.Errorf("cached mine %d missed the cache", i)
+		}
+		lat = append(lat, time.Since(s).Nanoseconds())
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[(len(lat)*99)/100]
+
+	records := []serverBenchRecord{
+		{Scheme: "DFP-server-cold", Tau: cold.Tau, WallNs: coldNs, Patterns: len(coldPatterns), Epoch: cold.Epoch},
+		{Scheme: "DFP-server-cached", Tau: cold.Tau, WallNs: p50, P50Ns: p50, P99Ns: p99,
+			Patterns: len(coldPatterns), Epoch: cold.Epoch, Speedup: float64(coldNs) / float64(p50)},
+	}
+	if err := appendBenchRecords(out, records); err != nil {
+		return err
+	}
+	fmt.Printf("bbsd bench: D=%d τ=%d patterns=%d cold=%.2fms cached p50=%.3fms p99=%.3fms speedup=%.0fx\n",
+		len(txs), cold.Tau, len(coldPatterns),
+		float64(coldNs)/1e6, float64(p50)/1e6, float64(p99)/1e6, float64(coldNs)/float64(p50))
+	if coldNs < 10*p50 {
+		fmt.Fprintf(os.Stderr, "bbsd: warning: cached speedup %.1fx is below the 10x target\n", float64(coldNs)/float64(p50))
+	}
+	return nil
+}
+
+// appendBenchRecords merges the server records into the existing bench
+// JSON (an array of per-scheme records), replacing earlier server records
+// with the same scheme name so reruns do not accumulate.
+func appendBenchRecords(path string, records []serverBenchRecord) error {
+	var existing []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+
+	replaced := make(map[string]bool, len(records))
+	for _, r := range records {
+		replaced[r.Scheme] = true
+	}
+	merged := make([]json.RawMessage, 0, len(existing)+len(records))
+	for _, raw := range existing {
+		var probe struct {
+			Scheme string `json:"scheme"`
+		}
+		if err := json.Unmarshal(raw, &probe); err == nil && replaced[probe.Scheme] {
+			continue
+		}
+		merged = append(merged, raw)
+	}
+	for _, r := range records {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("encoding bench record: %w", err)
+		}
+		merged = append(merged, raw)
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

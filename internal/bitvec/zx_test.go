@@ -1,0 +1,98 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// padTo returns a copy of v zero-extended to n bits — the reference
+// semantics the ZX kernels must reproduce without materializing padding.
+func padTo(v *Vector, n int) *Vector {
+	c := v.Clone()
+	c.Grow(n)
+	return c
+}
+
+func TestAndCountZXMatchesPaddedAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(700)
+		short := rng.Intn(n + 1)
+		dst := randomVector(rng, n, 0.4)
+		op := randomVector(rng, short, 0.4)
+
+		want := dst.Clone()
+		wantCount := want.AndCount(padTo(op, n))
+
+		got := dst.Clone()
+		if rng.Intn(2) == 0 {
+			got.Summarize()
+		}
+		gotCount := got.AndCountZX(op)
+
+		if gotCount != wantCount {
+			t.Fatalf("trial %d (n=%d short=%d): count %d, want %d", trial, n, short, gotCount, wantCount)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (n=%d short=%d): bits differ", trial, n, short)
+		}
+		if got.Summarized() {
+			nz, _ := got.WordStats()
+			rebuilt := got.Clone()
+			rebuilt.Summarize()
+			rnz, _ := rebuilt.WordStats()
+			if nz != rnz {
+				t.Fatalf("trial %d: summary nz=%d after ZX, want %d", trial, nz, rnz)
+			}
+		}
+	}
+}
+
+func TestAndCountZXEqualLengthIsAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomVector(rng, 300, 0.4)
+	b := randomVector(rng, 300, 0.4)
+	want := a.Clone()
+	wc := want.AndCount(b)
+	got := a.Clone()
+	if gc := got.AndCountZX(b); gc != wc || !got.Equal(want) {
+		t.Fatalf("equal-length ZX diverged from AndCount: %d vs %d", gc, wc)
+	}
+}
+
+func TestAndCountZXLongerOperandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndCountZX with a longer operand did not panic")
+		}
+	}()
+	New(64).AndCountZX(New(128))
+}
+
+func TestOrZXMatchesPaddedOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(700)
+		short := rng.Intn(n + 1)
+		dst := randomVector(rng, n, 0.4)
+		op := randomVector(rng, short, 0.4)
+
+		want := dst.Clone()
+		want.Or(padTo(op, n))
+
+		got := dst.Clone()
+		got.OrZX(op)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (n=%d short=%d): bits differ", trial, n, short)
+		}
+	}
+}
+
+func TestOrZXLongerOperandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrZX with a longer operand did not panic")
+		}
+	}()
+	New(64).OrZX(New(128))
+}

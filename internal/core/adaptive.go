@@ -57,6 +57,9 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	r := newRun(m, memIdx, phaseCfg)
 	r.disableProbing = true
 	r.filter()
+	if r.err != nil {
+		return nil, r.err
+	}
 
 	res := &Result{
 		Candidates: r.candidates,
@@ -75,6 +78,9 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 	var survivors []Pattern
 	if workers := cfg.workerCount(); workers > 1 && len(r.uncertain) > 1 {
 		acc, surv, drops, probed := m.reverifyParallel(r, r.uncertain, cfg, workers)
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		accepted = append(accepted, acc...)
 		survivors = surv
 		res.FalseDrops += drops
@@ -84,6 +90,9 @@ func (m *Miner) mineAdaptive(cfg Config) (*Result, error) {
 		defer r.vecs.Put(buf)
 		var posBuf []int // reused across candidates; CountIntoBuf grows it once
 		for _, c := range r.uncertain {
+			if r.cancelled() {
+				return nil, r.err
+			}
 			est := m.idx.CountIntoBuf(buf, c.Items, &posBuf)
 			if cfg.Constraint != nil && est > 0 {
 				est = buf.AndCount(cfg.Constraint)

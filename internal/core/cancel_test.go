@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A context that is already done must stop the run before any work and
+// surface a wrapped ctx.Err().
+func TestMinePreCancelled(t *testing.T) {
+	miner, _ := buildMiner(t, randomDB(1, 200, 8, 40), 128, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		res, err := miner.Mine(Config{Ctx: ctx, MinSupport: 4, Scheme: scheme})
+		if err == nil {
+			t.Fatalf("%s: pre-cancelled mine returned %d patterns and no error", scheme, len(res.Patterns))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error %v does not wrap context.Canceled", scheme, err)
+		}
+	}
+}
+
+// Cancelling mid-run must make Mine return promptly with the wrapped error,
+// on both the sequential and the parallel engine and under the adaptive
+// three-phase mode. A permissive τ makes the enumeration big enough that a
+// full run would visit far more nodes than the cancelled one gets to.
+func TestMineCancelledMidRun(t *testing.T) {
+	txs := questDB(t, 400, 60)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		budget  int64
+	}{
+		{"sequential", 1, 0},
+		{"parallel", 4, 0},
+		{"adaptive", 1, 16 << 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			miner, _ := buildMiner(t, txs, 256, 3)
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(2 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			res, err := miner.Mine(Config{
+				Ctx:          ctx,
+				MinSupport:   2,
+				Scheme:       DFP,
+				Workers:      tc.workers,
+				MemoryBudget: tc.budget,
+			})
+			elapsed := time.Since(start)
+			if err == nil {
+				// The run beat the cancel; that is legal, just uninformative.
+				t.Skipf("run finished in %v with %d patterns before the cancel landed", elapsed, len(res.Patterns))
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancelled mine took %v to return", elapsed)
+			}
+		})
+	}
+}
+
+// A deadline context cancels the same way cancellation does.
+func TestMineDeadlineExceeded(t *testing.T) {
+	miner, _ := buildMiner(t, questDB(t, 400, 80), 256, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := miner.Mine(Config{Ctx: ctx, MinSupport: 2, Scheme: SFS})
+	if err == nil {
+		t.Skip("run finished before the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}

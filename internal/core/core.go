@@ -47,6 +47,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -93,6 +94,12 @@ func (s Scheme) probes() bool { return s == SFP || s == DFP }
 
 // Config controls one mining run.
 type Config struct {
+	// Ctx, when non-nil, cancels the run: the enumeration, refinement and
+	// verification loops poll it at their batch boundaries and Mine returns
+	// an error wrapping Ctx.Err(). A server uses this to bound per-request
+	// work; nil (the default) never cancels and costs nothing on the hot
+	// path.
+	Ctx context.Context
 	// MinSupport is the absolute support threshold τ (count, not fraction).
 	MinSupport int
 	// Scheme selects the algorithm; the zero value is SFS.
@@ -215,8 +222,26 @@ func (m *Miner) Store() txdb.Store { return m.store }
 // Stats returns the accounting sink.
 func (m *Miner) Stats() *iostat.Stats { return m.stats }
 
+// ctxErr polls the run's context without blocking: nil while the run may
+// continue, a wrapped Ctx.Err() once it is cancelled. The cold paths call
+// this directly; the enumeration uses the cached Done channel in run.
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.Ctx.Done():
+		return fmt.Errorf("core: mining cancelled: %w", c.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
 // Mine runs the configured scheme and returns the frequent patterns.
 func (m *Miner) Mine(cfg Config) (*Result, error) {
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	if cfg.MinSupport <= 0 {
 		return nil, fmt.Errorf("core: MinSupport must be positive, got %d", cfg.MinSupport)
 	}
@@ -260,6 +285,9 @@ func (m *Miner) mineResident(cfg Config, idx *sigfile.BBS) (*Result, error) {
 	idx.ChargeColdRead()
 	r := newRun(m, idx, cfg)
 	r.filter()
+	if r.err != nil {
+		return nil, r.err
+	}
 
 	res := &Result{
 		Candidates:     r.candidates,

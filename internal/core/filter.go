@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/obs"
 	"bbsmine/internal/sigfile"
@@ -28,6 +30,13 @@ type run struct {
 
 	workers int          // resolved parallelism; 1 = the seed's sequential path
 	vecs    *bitvec.Pool // residual-vector pool shared across workers
+
+	// done caches cfg.Ctx.Done() so the cancellation poll on the hot paths
+	// is one nil check plus (when serving) one channel select; nil when the
+	// run is uncancellable. err latches the wrapped cancellation error and
+	// short-circuits the rest of the enumeration.
+	done <-chan struct{}
+	err  error
 
 	items []txdb.Item // level-1 est-survivors, ascending; the global alphabet
 	est1  []int       // BBS estimate of each alphabet item's support
@@ -84,7 +93,12 @@ type run struct {
 }
 
 func newRun(m *Miner, idx *sigfile.BBS, cfg Config) *run {
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
 	return &run{
+		done:         done,
 		m:            m,
 		idx:          idx,
 		cfg:          cfg,
@@ -94,6 +108,26 @@ func newRun(m *Miner, idx *sigfile.BBS, cfg Config) *run {
 		applied:      make([]bool, idx.M()),
 		obs:          cfg.Observe,
 		traceSubtree: -1,
+	}
+}
+
+// cancelled polls the run's cancellation signal. The first observed
+// cancellation latches a wrapped Ctx.Err() into r.err; every subsequent
+// call is then a single comparison. An uncancellable run pays one nil
+// check.
+func (r *run) cancelled() bool {
+	if r.err != nil {
+		return true
+	}
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		r.err = fmt.Errorf("core: mining cancelled: %w", r.cfg.Ctx.Err())
+		return true
+	default:
+		return false
 	}
 }
 
@@ -157,6 +191,9 @@ func (r *run) filter() {
 	buf := r.vecs.Get()
 	var newPos, pos []int
 	for _, it := range all {
+		if r.cancelled() {
+			break
+		}
 		pos = sighash.AppendSignatureBits(pos[:0], r.idx.Hasher(), []int32{it})
 		if !r.cfg.NoSliceOrdering {
 			r.idx.OrderRarestFirst(pos)
@@ -180,6 +217,11 @@ func (r *run) filter() {
 	r.obs.PhaseDone(obs.PhaseLevel1, sweepTick)
 
 	enumTick := r.obs.Tick()
+	if r.err != nil {
+		r.obs.PhaseDone(obs.PhaseEnumerate, enumTick)
+		r.flushKernel()
+		return
+	}
 	alphabet := make([]int, len(r.items))
 	for i := range alphabet {
 		alphabet[i] = i
@@ -274,7 +316,7 @@ func (r *run) evalExtensionObserved(scratch *bitvec.Vector, est int, newPos []in
 // the extensions that survived, each seeing the later extensions as its
 // alphabet (paper Figs. 2/4: I ← I − {i}, recurse on the remaining I).
 func (r *run) node(alphabet []int, parentVec *bitvec.Vector, parentEst, parentCount, parentFlag int) {
-	if len(alphabet) == 0 {
+	if len(alphabet) == 0 || r.cancelled() {
 		return
 	}
 	if r.cfg.MaxLen > 0 && len(r.itemset) >= r.cfg.MaxLen {
@@ -494,6 +536,11 @@ func (r *run) probeExact(vec *bitvec.Vector, itemset []txdb.Item) int {
 	}
 	exact, fetched := 0, 0
 	vec.ForEachSet(func(pos int) bool {
+		// Poll cancellation between fetch batches so a probe over a dense
+		// result vector cannot stall a cancelled request.
+		if fetched&1023 == 1023 && r.cancelled() {
+			return false
+		}
 		tx, err := r.m.store.Get(pos)
 		r.m.stats.AddProbe()
 		fetched++

@@ -61,6 +61,8 @@ type subtreeResult struct {
 	accepted  []Pattern
 	uncertain []Pattern
 
+	err error // cancellation observed while mining the subtree
+
 	candidates     int
 	falseDrops     int
 	certain        int
@@ -138,6 +140,9 @@ func (r *run) filterParallel(alphabet []int) {
 
 	for i := range results {
 		res := &results[i]
+		if res.err != nil && r.err == nil {
+			r.err = res.err
+		}
 		r.accepted = append(r.accepted, res.accepted...)
 		r.uncertain = append(r.uncertain, res.uncertain...)
 		r.candidates += res.candidates
@@ -163,6 +168,7 @@ func (r *run) workerRun() *run {
 		tau:            r.tau,
 		workers:        r.workers,
 		vecs:           r.vecs,
+		done:           r.done,
 		items:          r.items,
 		est1:           r.est1,
 		act1:           r.act1,
@@ -184,6 +190,7 @@ func (w *run) mineSubtree(t *subtree) subtreeResult {
 	w.accepted, w.uncertain = nil, nil
 	w.candidates, w.falseDrops, w.certain, w.probedPatterns = 0, 0, 0, 0
 	w.certActual, w.certEst, w.uncertainCnt, w.nonFreq = 0, 0, 0, 0
+	w.err = nil
 	w.traceSubtree = t.seq
 
 	w.itemset = append(w.itemset[:0], w.items[t.root.gi])
@@ -200,6 +207,7 @@ func (w *run) mineSubtree(t *subtree) subtreeResult {
 	return subtreeResult{
 		accepted:       w.accepted,
 		uncertain:      w.uncertain,
+		err:            w.err,
 		candidates:     w.candidates,
 		falseDrops:     w.falseDrops,
 		certain:        w.certain,
@@ -240,6 +248,9 @@ func (m *Miner) reverifyParallel(r *run, cands []Pattern, cfg Config, workers in
 			defer r.vecs.Put(buf)
 			var posBuf []int // per-worker position scratch
 			for i := range queue {
+				if wr.cancelled() {
+					continue // drain; mineAdaptive surfaces the error after the pass
+				}
 				c := cands[i]
 				est := m.idx.CountIntoBuf(buf, c.Items, &posBuf)
 				if cfg.Constraint != nil && est > 0 {

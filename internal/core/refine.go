@@ -25,6 +25,9 @@ func (m *Miner) sequentialScan(candidates []Pattern, cfg Config) ([]Pattern, int
 	var verified []Pattern
 	drops := 0
 	for start := 0; start < len(candidates); {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, 0, err
+		}
 		end := m.batchEnd(candidates, start, cfg.MemoryBudget)
 		sup, err := m.countBatch(candidates[start:end], workers)
 		if err != nil {

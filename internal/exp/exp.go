@@ -83,6 +83,12 @@ func (p Params) scaledD(d int) int {
 	return n
 }
 
+// Dataset generates the params' default Quest workload (the paper's
+// figure-6 dataset at the params' scale). Callers outside the figure
+// drivers — bbsd's bench mode — seed their index with it so their numbers
+// stay comparable to the scheme benchmarks.
+func (p Params) Dataset() ([]txdb.Transaction, error) { return p.dataset(p.D, p.V, p.T) }
+
 // dataset generates the Quest workload for the parameters.
 func (p Params) dataset(d, v, t int) ([]txdb.Transaction, error) {
 	cfg := quest.DefaultConfig()

@@ -36,6 +36,10 @@ type Stats struct {
 	candidates     atomic.Int64 // candidate itemsets produced by filtering
 	falseDrops     atomic.Int64 // candidates later found infrequent
 
+	pageCacheHits      atomic.Int64 // random accesses served from the modeled buffer pool
+	pageCacheEvictions atomic.Int64 // pages evicted by the pool's LRU cap
+	pageCacheResident  atomic.Int64 // gauge: pages currently resident (deltas from the stores)
+
 	// snapMu serializes Snapshot against Reset. The Add*/getter fast paths
 	// stay lock-free; without the lock a reader between Reset's stores could
 	// observe a torn snapshot (some counters zeroed, others not). Declared
@@ -71,6 +75,16 @@ func (s *Stats) AddCandidate() { s.candidates.Add(1) }
 // AddFalseDrop records one candidate that refinement found infrequent.
 func (s *Stats) AddFalseDrop() { s.falseDrops.Add(1) }
 
+// AddPageCacheHits records n random page accesses served from residency.
+func (s *Stats) AddPageCacheHits(n int64) { s.pageCacheHits.Add(n) }
+
+// AddPageCacheEvictions records n pages evicted by the LRU cap.
+func (s *Stats) AddPageCacheEvictions(n int64) { s.pageCacheEvictions.Add(n) }
+
+// AddPageCacheResident moves the resident-page gauge by delta (positive on
+// fault-in, negative on eviction or reset).
+func (s *Stats) AddPageCacheResident(delta int64) { s.pageCacheResident.Add(delta) }
+
 // DBSeqPages returns the sequentially read database pages so far.
 func (s *Stats) DBSeqPages() int64 { return s.dbSeqPages.Load() }
 
@@ -98,6 +112,15 @@ func (s *Stats) Candidates() int64 { return s.candidates.Load() }
 // FalseDrops returns the number of false drops found during refinement.
 func (s *Stats) FalseDrops() int64 { return s.falseDrops.Load() }
 
+// PageCacheHits returns the buffer-pool hits so far.
+func (s *Stats) PageCacheHits() int64 { return s.pageCacheHits.Load() }
+
+// PageCacheEvictions returns the LRU evictions so far.
+func (s *Stats) PageCacheEvictions() int64 { return s.pageCacheEvictions.Load() }
+
+// PageCacheResident returns the resident-page gauge.
+func (s *Stats) PageCacheResident() int64 { return s.pageCacheResident.Load() }
+
 // Reset zeroes every counter, atomically with respect to Snapshot: a
 // concurrent Snapshot sees either the pre-Reset values or all zeros, never
 // a mix.
@@ -113,6 +136,9 @@ func (s *Stats) Reset() {
 	s.countCalls.Store(0)
 	s.candidates.Store(0)
 	s.falseDrops.Store(0)
+	s.pageCacheHits.Store(0)
+	s.pageCacheEvictions.Store(0)
+	s.pageCacheResident.Store(0)
 }
 
 // Snapshot is an immutable copy of all counters, for reporting.
@@ -126,6 +152,10 @@ type Snapshot struct {
 	CountCalls     int64
 	Candidates     int64
 	FalseDrops     int64
+
+	PageCacheHits      int64
+	PageCacheEvictions int64
+	PageCacheResident  int64
 }
 
 // Snapshot returns a copy of the current counter values. It is atomic with
@@ -144,6 +174,10 @@ func (s *Stats) Snapshot() Snapshot {
 		CountCalls:     s.CountCalls(),
 		Candidates:     s.Candidates(),
 		FalseDrops:     s.FalseDrops(),
+
+		PageCacheHits:      s.PageCacheHits(),
+		PageCacheEvictions: s.PageCacheEvictions(),
+		PageCacheResident:  s.PageCacheResident(),
 	}
 }
 
@@ -159,13 +193,18 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 		CountCalls:     s.CountCalls - base.CountCalls,
 		Candidates:     s.Candidates - base.Candidates,
 		FalseDrops:     s.FalseDrops - base.FalseDrops,
+
+		PageCacheHits:      s.PageCacheHits - base.PageCacheHits,
+		PageCacheEvictions: s.PageCacheEvictions - base.PageCacheEvictions,
+		PageCacheResident:  s.PageCacheResident - base.PageCacheResident,
 	}
 }
 
 // String renders the snapshot in a compact single-line form.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("seqPages=%d randPages=%d dbScans=%d probes=%d slicePages=%d sliceAnds=%d countCalls=%d cand=%d falseDrops=%d",
-		s.DBSeqPages, s.DBRandPages, s.DBScans, s.Probes, s.SlicePageReads, s.SliceAnds, s.CountCalls, s.Candidates, s.FalseDrops)
+	return fmt.Sprintf("seqPages=%d randPages=%d dbScans=%d probes=%d slicePages=%d sliceAnds=%d countCalls=%d cand=%d falseDrops=%d cacheHits=%d cacheEvict=%d cacheRes=%d",
+		s.DBSeqPages, s.DBRandPages, s.DBScans, s.Probes, s.SlicePageReads, s.SliceAnds, s.CountCalls, s.Candidates, s.FalseDrops,
+		s.PageCacheHits, s.PageCacheEvictions, s.PageCacheResident)
 }
 
 // CostModel converts counted logical I/O into synthetic time, approximating

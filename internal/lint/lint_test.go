@@ -68,7 +68,18 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"22 errwrap", // bare statement discard
 		}},
 		{"errwrap/good/internal/txdb", nil},
-		{"errwrap/unscoped/other", nil}, // discard rule is scoped to txdb/sigfile
+		{"errwrap/unscoped/other", nil}, // discard rule is scoped to txdb/sigfile/serve
+		{"errwrap/serve/internal/serve", []string{
+			"10 errwrap", // deferred silent discard in the serving layer
+			"11 errwrap", // bare statement discard in the serving layer
+		}},
+		{"obsdiscipline/serve/internal/serve", []string{
+			"9 determinism", // time.Now is also a determinism violation in serve
+			"9 obsdiscipline",
+			"10 determinism",
+			"10 obsdiscipline", // time.Since bypassing the Clock seam
+		}},
+		{"obsdiscipline/serveclock/internal/serve", nil}, // the sanctioned clock seam
 		{"suppress/internal/core", nil}, // both violations suppressed with reasons
 		{"suppress/fileignore/internal/core", nil},
 		{"malformed/internal/core", []string{
@@ -119,6 +130,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{ObsDiscipline, "bbsmine/internal/sigfile", true},
 		{ObsDiscipline, "bbsmine/internal/obs", false}, // obs owns the exposition machinery
 		{ObsDiscipline, "bbsmine/internal/exp", false},
+		{ObsDiscipline, "bbsmine/internal/serve", true},        // the serving layer uses the Clock seam
+		{ObsDiscipline, "bbsmine/internal/serve/client", true}, // the client rides along
+		{Determinism, "bbsmine/internal/serve", true},
 		{PooledVec, "bbsmine/internal/core", true},
 		{PooledVec, "bbsmine/internal/bitvec", false}, // the pool itself may call New
 		{Determinism, "bbsmine/internal/core", true},

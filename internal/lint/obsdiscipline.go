@@ -16,11 +16,17 @@ import (
 // a phase timer bypassing the registry (breaking the zero-cost-when-disabled
 // rule) or timing leaking into results (breaking determinism; the
 // determinism analyzer reports that angle separately).
+//
+// The serving layer (internal/serve) is held to the same clock rule for a
+// different reason: its wall-clock reads must go through the injected
+// Clock seam so tests control served timestamps. The one sanctioned read —
+// SystemClock in clock.go — carries a file-ignore directive.
 var ObsDiscipline = &Analyzer{
 	Name: "obsdiscipline",
 	Doc:  "engine packages must route telemetry through internal/obs: no expvar/pprof imports, no direct wall-clock reads",
 	Applies: func(path string) bool {
-		return pathHasSegment(path, "internal/core") || pathHasSegment(path, "internal/sigfile")
+		return pathHasSegment(path, "internal/core") || pathHasSegment(path, "internal/sigfile") ||
+			pathHasSegment(path, "internal/serve")
 	},
 	Run: runObsDiscipline,
 }

@@ -1,0 +1,12 @@
+// Package serve is an errwrap scope fixture: the serving layer joined the
+// no-silent-discard scope (its commit loop is the durability boundary), so
+// bare discards are flagged here exactly as in txdb.
+package serve
+
+import "os"
+
+// Shutdown drops both close errors on the floor.
+func Shutdown(f *os.File) {
+	defer f.Sync() // want: deferred silent discard
+	f.Close()      // want: bare statement discard
+}

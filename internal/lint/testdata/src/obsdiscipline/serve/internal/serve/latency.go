@@ -1,0 +1,11 @@
+// Package serve is an obsdiscipline fixture: the serving layer must read
+// the wall clock through its injected Clock seam, never time.Now directly.
+package serve
+
+import "time"
+
+// Latency times a request directly instead of using the injected clock.
+func Latency() time.Duration {
+	start := time.Now()      // want: direct wall-clock read
+	return time.Since(start) // want: direct wall-clock read
+}

@@ -183,9 +183,11 @@ type Registry struct {
 	kernel KernelStats
 	cache  CacheStats
 	phases PhaseStats
+	server ServerStats
 
 	mineLatency HistStats // whole-Mine wall time, ns
 	andDepth    HistStats // slice positions AND-ed per evaluation
+	batchSize   HistStats // operations per committed write batch
 
 	io     *iostat.Stats // optional: folded into Metrics snapshots
 	tracer *Tracer       // optional: sampled structured events
@@ -338,6 +340,10 @@ type IOMetrics struct {
 	CountCalls     int64 `json:"count_calls"`
 	Candidates     int64 `json:"candidates"`
 	FalseDrops     int64 `json:"false_drops"`
+
+	PageCacheHits      int64 `json:"page_cache_hits"`
+	PageCacheEvictions int64 `json:"page_cache_evictions"`
+	PageCacheResident  int64 `json:"page_cache_resident"`
 }
 
 // Metrics is a point-in-time snapshot of everything the registry holds,
@@ -349,6 +355,7 @@ type Metrics struct {
 	Phases      map[string]PhaseMetrics `json:"phases,omitempty"`
 	MineLatency HistMetrics             `json:"mine_latency_ns"`
 	AndDepth    HistMetrics             `json:"and_depth"`
+	Server      *ServerMetrics          `json:"server,omitempty"`
 	IO          *IOMetrics              `json:"io,omitempty"`
 	Trace       *TraceMetrics           `json:"trace,omitempty"`
 }
@@ -391,6 +398,7 @@ func (r *Registry) Metrics() Metrics {
 		},
 		MineLatency: r.mineLatency.Metrics(),
 		AndDepth:    r.andDepth.Metrics(),
+		Server:      r.serverMetrics(),
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		calls := r.phases.calls[p].Load()
@@ -414,6 +422,10 @@ func (r *Registry) Metrics() Metrics {
 			CountCalls:     s.CountCalls,
 			Candidates:     s.Candidates,
 			FalseDrops:     s.FalseDrops,
+
+			PageCacheHits:      s.PageCacheHits,
+			PageCacheEvictions: s.PageCacheEvictions,
+			PageCacheResident:  s.PageCacheResident,
 		}
 	}
 	if t := r.tracer; t != nil {

@@ -1,0 +1,187 @@
+package obs
+
+import "sync/atomic"
+
+// ServerStats holds the serving layer's counters and gauges: the query
+// funnel (requests in, cache hits / single-flight joins / admission
+// rejections out), the write path (batches committed and the operations
+// they carried), and the gauges a dashboard watches (in-flight mines,
+// admission queue depth, current epoch, query-cache residency). Same
+// discipline as the mining sections: atomics only, nil-registry methods
+// no-op, and none of it ever feeds back into a mining result.
+type ServerStats struct {
+	active atomic.Bool // any server traffic at all; gates the Metrics section
+
+	queries        atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	sharedFlights  atomic.Int64
+	rejected       atomic.Int64
+	inflight       atomic.Int64 // gauge
+	queued         atomic.Int64 // gauge
+	writeBatches   atomic.Int64
+	writeOps       atomic.Int64
+	epoch          atomic.Int64 // gauge
+	cacheEntries   atomic.Int64 // gauge
+	cacheEvictions atomic.Int64
+}
+
+// AddServerQuery records one /mine request accepted for processing.
+func (r *Registry) AddServerQuery() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.queries.Add(1)
+}
+
+// AddCacheHit records one query answered from the epoch-keyed result cache.
+func (r *Registry) AddCacheHit() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.cacheHits.Add(1)
+}
+
+// AddCacheMiss records one query that had to run a mine.
+func (r *Registry) AddCacheMiss() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.cacheMisses.Add(1)
+}
+
+// AddSharedFlight records one query that joined an identical in-flight mine
+// instead of starting its own.
+func (r *Registry) AddSharedFlight() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.sharedFlights.Add(1)
+}
+
+// AddRejected records one query refused by admission control.
+func (r *Registry) AddRejected() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.rejected.Add(1)
+}
+
+// IncInflight / DecInflight move the in-flight-mines gauge.
+func (r *Registry) IncInflight() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.inflight.Add(1)
+}
+
+// DecInflight is IncInflight's paired decrement.
+func (r *Registry) DecInflight() {
+	if r == nil {
+		return
+	}
+	r.server.inflight.Add(-1)
+}
+
+// IncQueued / DecQueued move the admission-queue-depth gauge.
+func (r *Registry) IncQueued() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.queued.Add(1)
+}
+
+// DecQueued is IncQueued's paired decrement.
+func (r *Registry) DecQueued() {
+	if r == nil {
+		return
+	}
+	r.server.queued.Add(-1)
+}
+
+// AddWriteBatch records one committed write batch of ops operations,
+// feeding the batch-size histogram.
+func (r *Registry) AddWriteBatch(ops int64) {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.writeBatches.Add(1)
+	r.server.writeOps.Add(ops)
+	r.batchSize.Observe(ops)
+}
+
+// SetEpoch publishes the index's current epoch.
+func (r *Registry) SetEpoch(epoch uint64) {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.epoch.Store(int64(epoch))
+}
+
+// SetQueryCacheEntries publishes the query cache's residency gauge.
+func (r *Registry) SetQueryCacheEntries(n int64) {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.cacheEntries.Store(n)
+}
+
+// AddQueryCacheEviction records one entry evicted from the query cache.
+func (r *Registry) AddQueryCacheEviction() {
+	if r == nil {
+		return
+	}
+	r.server.active.Store(true)
+	r.server.cacheEvictions.Add(1)
+}
+
+// ServerMetrics is the serving section of a Metrics snapshot, present only
+// once any server hook has fired.
+type ServerMetrics struct {
+	Queries        int64       `json:"queries"`
+	CacheHits      int64       `json:"cache_hits"`
+	CacheMisses    int64       `json:"cache_misses"`
+	SharedFlights  int64       `json:"shared_flights"`
+	Rejected       int64       `json:"rejected"`
+	Inflight       int64       `json:"inflight"`
+	Queued         int64       `json:"queued"`
+	WriteBatches   int64       `json:"write_batches"`
+	WriteOps       int64       `json:"write_ops"`
+	Epoch          int64       `json:"epoch"`
+	CacheEntries   int64       `json:"query_cache_entries"`
+	CacheEvictions int64       `json:"query_cache_evictions"`
+	BatchSize      HistMetrics `json:"write_batch_size"`
+}
+
+// serverMetrics snapshots the server section; nil when no server traffic
+// has been recorded, so CLI runs keep their exposition unchanged.
+func (r *Registry) serverMetrics() *ServerMetrics {
+	if !r.server.active.Load() {
+		return nil
+	}
+	return &ServerMetrics{
+		Queries:        r.server.queries.Load(),
+		CacheHits:      r.server.cacheHits.Load(),
+		CacheMisses:    r.server.cacheMisses.Load(),
+		SharedFlights:  r.server.sharedFlights.Load(),
+		Rejected:       r.server.rejected.Load(),
+		Inflight:       r.server.inflight.Load(),
+		Queued:         r.server.queued.Load(),
+		WriteBatches:   r.server.writeBatches.Load(),
+		WriteOps:       r.server.writeOps.Load(),
+		Epoch:          r.server.epoch.Load(),
+		CacheEntries:   r.server.cacheEntries.Load(),
+		CacheEvictions: r.server.cacheEvictions.Load(),
+		BatchSize:      r.batchSize.Metrics(),
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"bbsmine/internal/core"
+	"bbsmine/internal/obs"
+)
+
+// queryKey identifies a mining result completely: the epoch pins the data,
+// the rest pins the question. Workers is deliberately absent — the engine's
+// determinism guarantee makes the result identical for every pool size, so
+// queries differing only in Workers share one cache entry.
+type queryKey struct {
+	epoch      uint64
+	scheme     core.Scheme
+	tau        int // resolved absolute threshold, never the input fraction
+	maxLen     int
+	memBudget  int64
+	constraint int32 // constraining item, or -1 for unconstrained
+}
+
+// flight is one in-progress mine that identical queries wait on instead of
+// mining again. done is closed once res/err are set.
+type flight struct {
+	done chan struct{}
+	res  *answer
+	err  error
+}
+
+// cacheEntry is one LRU node: the key is repeated so eviction can delete
+// the map entry from the list element alone.
+type cacheEntry struct {
+	key queryKey
+	res *answer
+}
+
+// queryCache is the epoch-keyed result cache with single-flight admission:
+// join either returns a cached result, attaches the caller to an in-flight
+// identical mine, or makes it the leader. Entries from superseded epochs
+// age out of the LRU naturally — they stop being requested, so they stop
+// being refreshed, and new-epoch traffic evicts them.
+type queryCache struct {
+	obs *obs.Registry
+	max int
+
+	mu      sync.Mutex
+	lru     list.List // of cacheEntry; front is most recent
+	entries map[queryKey]*list.Element
+	flights map[queryKey]*flight
+}
+
+func newQueryCache(max int, o *obs.Registry) *queryCache {
+	c := &queryCache{
+		obs:     o,
+		max:     max,
+		entries: make(map[queryKey]*list.Element),
+		flights: make(map[queryKey]*flight),
+	}
+	c.lru.Init()
+	return c
+}
+
+// join resolves a query against the cache in one lock acquisition. Exactly
+// one of the returns is meaningful: a non-nil result (cache hit), a flight
+// with leader=false (wait on it), or a flight with leader=true (the caller
+// must mine and then call finish with the same key).
+func (c *queryCache) join(key queryKey) (*answer, *flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(cacheEntry).res, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		return nil, f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return nil, f, true
+}
+
+// finish resolves the leader's flight, waking every waiter, and caches the
+// result on success. A failed mine caches nothing: the next identical query
+// elects a fresh leader.
+func (c *queryCache) finish(key queryKey, res *answer, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		f.res, f.err = res, err
+		close(f.done)
+		delete(c.flights, key)
+	}
+	if err != nil || res == nil {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value = cacheEntry{key: key, res: res}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(cacheEntry{key: key, res: res})
+	for len(c.entries) > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(cacheEntry).key)
+		c.obs.AddQueryCacheEviction()
+	}
+	c.obs.SetQueryCacheEntries(int64(len(c.entries)))
+}
+
+// len returns the number of cached results.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

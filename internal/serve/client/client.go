@@ -1,0 +1,135 @@
+// Package client is a minimal bbsd HTTP client, shared by the server
+// tests, the CI smoke check and bbsd's bench mode.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bbsmine/internal/serve"
+)
+
+// Client talks to one bbsd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Mine runs one query.
+func (c *Client) Mine(ctx context.Context, req serve.QueryRequest) (*serve.QueryResponse, error) {
+	var res serve.QueryResponse
+	if err := c.post(ctx, "/mine", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Txns applies one write batch.
+func (c *Client) Txns(ctx context.Context, req serve.TxnsRequest) (*serve.TxnsResponse, error) {
+	var res serve.TxnsResponse
+	if err := c.post(ctx, "/txns", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats fetches the server's snapshot summary.
+func (c *Client) Stats(ctx context.Context) (*serve.StatsInfo, error) {
+	var res serve.StatsInfo
+	if err := c.get(ctx, "/stats", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Metrics fetches the raw Prometheus exposition, for scrape-and-grep
+// checks.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: building /metrics request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, path, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: building %s request: %w", path, err)
+	}
+	return c.do(req, path, out)
+}
+
+func (c *Client) do(req *http.Request, path string, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// StatusError is a non-200 server answer, preserving the code so callers
+// can distinguish rejection (503) from bad input (400).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}

@@ -1,0 +1,693 @@
+// Package serve implements bbsd's concurrent mining engine: a single BBS
+// index behind an HTTP front-end, with snapshot-isolated queries, batched
+// writes and an epoch-keyed query cache.
+//
+// The concurrency model has one writer and many readers. All writes funnel
+// through a commit loop that drains whatever requests have queued, applies
+// them to the master index and log, bumps the epoch once per batch, and
+// publishes a fresh immutable snapshot (a copy-on-write sigfile.Snapshot
+// plus a txdb.LogView taken at the same commit point). Queries never touch
+// the master: each one loads the current snapshot pointer and mines a
+// private QueryClone, so a query admitted at epoch e sees exactly the data
+// of epoch e no matter how many batches commit while it runs.
+//
+// Identical queries are answered once: results are cached per (epoch,
+// scheme, τ, maxlen, budget, constraint), and concurrent identical misses
+// collapse into a single mine via single-flight. Admission control bounds
+// the number of concurrent cold mines and the queue behind them; everything
+// past that is rejected immediately rather than piling up.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/core"
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/mining"
+	"bbsmine/internal/obs"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/txdb"
+)
+
+// Sentinel errors, exposed so the HTTP layer (and tests) can map them to
+// status codes with errors.Is.
+var (
+	// ErrInvalid marks a request the engine refused to run (bad scheme,
+	// threshold, constraint or write payload).
+	ErrInvalid = errors.New("serve: invalid request")
+	// ErrOverloaded marks a query rejected by admission control.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrClosed marks a write that arrived after Close began.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Defaults for the zero values of Options.
+const (
+	defaultMaxInFlight  = 2
+	defaultMaxQueue     = 8
+	defaultCacheEntries = 128
+	defaultPageCache    = 64 << 20
+	writeQueueDepth     = 128
+)
+
+// Options configures an Engine. Index and Log are required and must cover
+// the same transactions; everything else has a serviceable zero value.
+type Options struct {
+	// Index is the master BBS index the engine owns from now on: nothing
+	// else may mutate it while the engine is open.
+	Index *sigfile.BBS
+	// Log is the in-memory transaction log backing the index, same
+	// ownership rule.
+	Log *txdb.AppendLog
+	// File, when non-nil, is the durable store: the commit loop appends
+	// every insert to it before the in-memory apply, and Close syncs it.
+	File *txdb.FileStore
+	// IndexPath, when non-empty, is where Close saves the index.
+	IndexPath string
+	// Workers is the default mining pool size per query (0 = one per CPU);
+	// a request may override it, which never changes the answer.
+	Workers int
+	// MaxInFlight bounds concurrent cold mines (default 2).
+	MaxInFlight int
+	// MaxQueue bounds cold mines waiting behind the in-flight ones
+	// (default 8); beyond it queries fail fast with ErrOverloaded.
+	MaxQueue int
+	// CacheEntries bounds the query cache (default 128 results).
+	CacheEntries int
+	// RequestTimeout bounds each mine's run time (0 = unbounded).
+	RequestTimeout time.Duration
+	// PageCacheLimit bounds the durable store's page cache in bytes
+	// (default 64 MiB); ignored when File is nil.
+	PageCacheLimit int64
+	// Observe receives the server and mining telemetry; nil disables it.
+	Observe *obs.Registry
+	// Clock supplies the wall clock (default SystemClock); tests inject a
+	// fake so served timestamps stay deterministic.
+	Clock Clock
+}
+
+// snapshot is one immutable (index, log) pair published at a commit point.
+// Queries clone from it; the commit loop replaces it wholesale.
+type snapshot struct {
+	epoch uint64
+	idx   *sigfile.BBS
+	log   *txdb.LogView
+}
+
+// Engine is the serving core: one writer (the commit loop), any number of
+// snapshot-isolated readers.
+type Engine struct {
+	obs       *obs.Registry
+	stats     *iostat.Stats
+	clock     Clock
+	start     time.Time
+	idx       *sigfile.BBS // master; commit loop only after New returns
+	log       *txdb.AppendLog
+	file      *txdb.FileStore
+	indexPath string
+	workers   int
+	maxQueue  int
+	timeout   time.Duration
+	cache     *queryCache
+	admitCh   chan struct{} // in-flight mine slots
+	queueLen  atomic.Int64
+	snap      atomic.Pointer[snapshot]
+	writeCh   chan *writeReq
+	loopDone  chan struct{}
+
+	wmu    sync.Mutex // orders writeCh sends against close(writeCh)
+	closed bool
+}
+
+// New validates the components, publishes the initial snapshot and starts
+// the commit loop. The engine owns Index and Log from here on.
+func New(opts Options) (*Engine, error) {
+	if opts.Index == nil || opts.Log == nil {
+		return nil, fmt.Errorf("serve: Options.Index and Options.Log are required")
+	}
+	if opts.Index.Len() != opts.Log.Len() {
+		return nil, fmt.Errorf("serve: index covers %d transactions but the log has %d", opts.Index.Len(), opts.Log.Len())
+	}
+	if opts.File != nil && opts.File.Len() != opts.Log.Len() {
+		return nil, fmt.Errorf("serve: data file has %d transactions but the log has %d", opts.File.Len(), opts.Log.Len())
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = defaultMaxQueue
+	}
+	cacheEntries := opts.CacheEntries
+	if cacheEntries <= 0 {
+		cacheEntries = defaultCacheEntries
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = SystemClock()
+	}
+	if opts.File != nil {
+		limit := opts.PageCacheLimit
+		if limit <= 0 {
+			limit = defaultPageCache
+		}
+		opts.File.SetCacheLimit(limit)
+	}
+	e := &Engine{
+		obs:       opts.Observe,
+		stats:     opts.Index.Stats(),
+		clock:     clock,
+		start:     clock.Now(),
+		idx:       opts.Index,
+		log:       opts.Log,
+		file:      opts.File,
+		indexPath: opts.IndexPath,
+		workers:   opts.Workers,
+		maxQueue:  maxQueue,
+		timeout:   opts.RequestTimeout,
+		cache:     newQueryCache(cacheEntries, opts.Observe),
+		admitCh:   make(chan struct{}, maxInFlight),
+		writeCh:   make(chan *writeReq, writeQueueDepth),
+		loopDone:  make(chan struct{}),
+	}
+	e.publish()
+	e.obs.SetEpoch(e.idx.Epoch())
+	go e.commitLoop()
+	return e, nil
+}
+
+// publish snapshots the master state. Called from New and the commit loop
+// only — the single-writer rule is what makes Snapshot/View safe here.
+func (e *Engine) publish() {
+	e.snap.Store(&snapshot{
+		epoch: e.idx.Epoch(),
+		idx:   e.idx.Snapshot(),
+		log:   e.log.View(),
+	})
+}
+
+// Epoch returns the epoch of the currently published snapshot.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// Close stops accepting writes, drains and commits what is already queued,
+// syncs the data file and saves the index if IndexPath is set. In-flight
+// queries finish against their snapshots. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.wmu.Lock()
+	if e.closed {
+		e.wmu.Unlock()
+		<-e.loopDone
+		return nil
+	}
+	e.closed = true
+	close(e.writeCh)
+	e.wmu.Unlock()
+	<-e.loopDone
+	var firstErr error
+	if e.file != nil {
+		if err := e.file.Sync(); err != nil {
+			firstErr = fmt.Errorf("serve: syncing the data file: %w", err)
+		}
+	}
+	if e.indexPath != "" {
+		if err := e.idx.Save(e.indexPath); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: saving the index: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// ---- write path ----
+
+// TxnsRequest is one /txns payload: transactions to insert (items per
+// transaction; TIDs are assigned positionally) and positions to tombstone.
+// Inserts apply before deletes, so a request may delete a position it just
+// inserted.
+type TxnsRequest struct {
+	Insert [][]int32 `json:"insert,omitempty"`
+	Delete []int     `json:"delete,omitempty"`
+}
+
+// TxnsResponse reports the outcome: every operation of the request is
+// visible to queries at or after Epoch.
+type TxnsResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+}
+
+type writeReq struct {
+	req  TxnsRequest
+	resp chan writeResult
+}
+
+type writeResult struct {
+	res TxnsResponse
+	err error
+}
+
+// Apply submits a write and waits for its batch to commit. Requests are
+// validated whole before anything applies, so the common failure modes
+// (bad items, bad positions) are atomic; a mid-request data-file I/O error
+// is not, and the response counts report how far the apply got. A done ctx
+// stops the wait, not the commit.
+func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, error) {
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		return TxnsResponse{Epoch: e.Epoch()}, nil
+	}
+	wr := &writeReq{req: req, resp: make(chan writeResult, 1)}
+	e.wmu.Lock()
+	if e.closed {
+		e.wmu.Unlock()
+		return TxnsResponse{}, ErrClosed
+	}
+	e.writeCh <- wr // under wmu: blocking here backpressures writers and Close alike
+	e.wmu.Unlock()
+	if ctx == nil {
+		r := <-wr.resp
+		return r.res, r.err
+	}
+	select {
+	case r := <-wr.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		return TxnsResponse{}, fmt.Errorf("serve: write abandoned (the batch still commits): %w", ctx.Err())
+	}
+}
+
+// commitLoop is the single writer: it blocks for one request, greedily
+// drains whatever else has queued, and commits them as one batch with one
+// epoch bump.
+func (e *Engine) commitLoop() {
+	defer close(e.loopDone)
+	for wr := range e.writeCh {
+		batch := []*writeReq{wr}
+	drain:
+		for {
+			select {
+			case more, ok := <-e.writeCh:
+				if !ok {
+					e.commit(batch)
+					return
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		e.commit(batch)
+	}
+}
+
+// commit applies a batch to the master state, bumps the epoch once if
+// anything changed, publishes the new snapshot and answers every request
+// with the commit's epoch.
+func (e *Engine) commit(batch []*writeReq) {
+	results := make([]writeResult, len(batch))
+	var ops int64
+	for i, wr := range batch {
+		res, err := e.applyOne(wr.req)
+		results[i] = writeResult{res: res, err: err}
+		ops += int64(res.Inserted + res.Deleted)
+	}
+	epoch := e.idx.Epoch()
+	if ops > 0 {
+		epoch = e.idx.BumpEpoch()
+		e.publish()
+		e.obs.SetEpoch(epoch)
+		e.obs.AddWriteBatch(ops)
+	}
+	for i, wr := range batch {
+		results[i].res.Epoch = epoch
+		wr.resp <- results[i]
+	}
+}
+
+// applyOne validates one request in full, then applies inserts (data file,
+// then log, then index — the recovery-friendly order bbsmine.Open already
+// understands) and deletes.
+func (e *Engine) applyOne(req TxnsRequest) (TxnsResponse, error) {
+	base := e.log.Len()
+	txs := make([]txdb.Transaction, len(req.Insert))
+	for i, items := range req.Insert {
+		tx := txdb.NewTransaction(int64(base+i), items)
+		if err := tx.Validate(); err != nil {
+			return TxnsResponse{}, fmt.Errorf("%w: insert %d: %w", ErrInvalid, i, err)
+		}
+		txs[i] = tx
+	}
+	n := base + len(txs)
+	seen := make(map[int]bool, len(req.Delete))
+	for _, pos := range req.Delete {
+		if pos < 0 || pos >= n {
+			return TxnsResponse{}, fmt.Errorf("%w: delete position %d out of range [0,%d)", ErrInvalid, pos, n)
+		}
+		if seen[pos] {
+			return TxnsResponse{}, fmt.Errorf("%w: duplicate delete of position %d", ErrInvalid, pos)
+		}
+		if pos < base && !e.idx.IsLive(pos) {
+			return TxnsResponse{}, fmt.Errorf("%w: position %d is already deleted", ErrInvalid, pos)
+		}
+		seen[pos] = true
+	}
+	var resp TxnsResponse
+	for _, tx := range txs {
+		if e.file != nil {
+			if err := e.file.Append(tx); err != nil {
+				return resp, fmt.Errorf("serve: appending to the data file: %w", err)
+			}
+		}
+		if err := e.log.Append(tx); err != nil {
+			return resp, fmt.Errorf("serve: appending to the log: %w", err)
+		}
+		e.idx.Insert(tx.Items)
+		resp.Inserted++
+	}
+	for _, pos := range req.Delete {
+		tx, err := e.log.Get(pos)
+		if err != nil {
+			return resp, fmt.Errorf("serve: resolving delete of position %d: %w", pos, err)
+		}
+		if err := e.idx.Delete(pos, tx.Items); err != nil {
+			return resp, fmt.Errorf("serve: deleting position %d: %w", pos, err)
+		}
+		resp.Deleted++
+	}
+	return resp, nil
+}
+
+// ---- query path ----
+
+// QueryRequest is one /mine payload.
+type QueryRequest struct {
+	// Scheme is SFS, SFP, DFS or DFP (default DFP).
+	Scheme string `json:"scheme,omitempty"`
+	// MinSupportFrac is τ as a fraction of the database size; ignored when
+	// MinSupportCount is set. One of the two is required.
+	MinSupportFrac float64 `json:"minsup,omitempty"`
+	// MinSupportCount is the absolute threshold.
+	MinSupportCount int `json:"minsup_count,omitempty"`
+	// MaxLen bounds pattern length (0 = unbounded).
+	MaxLen int `json:"maxlen,omitempty"`
+	// MemoryBudget in bytes triggers adaptive three-phase filtering.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// ConstraintItem, when set, mines only transactions containing the
+	// item (single-filter schemes only).
+	ConstraintItem *int32 `json:"constraint_item,omitempty"`
+	// Workers overrides the engine's default pool size for this query;
+	// the answer is identical for every value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// PatternJSON is one mined itemset on the wire.
+type PatternJSON struct {
+	Items   []int32 `json:"items"`
+	Support int     `json:"support"`
+	Exact   bool    `json:"exact"`
+}
+
+// QueryResponse is one /mine answer. Patterns is canonical-order and
+// depends only on (epoch, scheme, τ, maxlen, budget, constraint) — never
+// on Workers, the cache, or concurrent writes. It is kept in encoded form:
+// the pattern set can run to hundreds of thousands of itemsets, and the
+// cache serves the same bytes to every hit rather than re-encoding them
+// per request. Call DecodePatterns for the typed view.
+type QueryResponse struct {
+	Epoch          uint64          `json:"epoch"`
+	Scheme         string          `json:"scheme"`
+	Tau            int             `json:"tau"`
+	Cached         bool            `json:"cached"`
+	Shared         bool            `json:"shared"`
+	Patterns       json.RawMessage `json:"patterns"`
+	Candidates     int             `json:"candidates"`
+	FalseDrops     int             `json:"false_drops"`
+	Certain        int             `json:"certain"`
+	ProbedPatterns int             `json:"probed_patterns"`
+}
+
+// DecodePatterns unmarshals the pattern array.
+func (r *QueryResponse) DecodePatterns() ([]PatternJSON, error) {
+	var ps []PatternJSON
+	if err := json.Unmarshal(r.Patterns, &ps); err != nil {
+		return nil, fmt.Errorf("serve: decoding patterns: %w", err)
+	}
+	return ps, nil
+}
+
+// answer is one mined result rendered for the wire exactly once, at mine
+// time. The query cache and single-flight waiters hand out the same
+// pre-encoded patterns, which keeps a cache hit free of the dominant cost
+// of a large answer (reflection-encoding the pattern array).
+type answer struct {
+	patterns       json.RawMessage
+	candidates     int
+	falseDrops     int
+	certain        int
+	probedPatterns int
+}
+
+// renderAnswer encodes a mining result's patterns into their wire form.
+func renderAnswer(res *core.Result) (*answer, error) {
+	ps := make([]PatternJSON, len(res.Patterns))
+	for i, p := range res.Patterns {
+		ps[i] = PatternJSON{Items: p.Items, Support: p.Support, Exact: p.Exact}
+	}
+	raw, err := json.Marshal(ps)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding patterns: %w", err)
+	}
+	return &answer{
+		patterns:       raw,
+		candidates:     res.Candidates,
+		falseDrops:     res.FalseDrops,
+		certain:        res.Certain,
+		probedPatterns: res.ProbedPatterns,
+	}, nil
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch strings.ToUpper(s) {
+	case "", "DFP":
+		return core.DFP, nil
+	case "DFS":
+		return core.DFS, nil
+	case "SFP":
+		return core.SFP, nil
+	case "SFS":
+		return core.SFS, nil
+	}
+	return 0, fmt.Errorf("%w: unknown scheme %q (want SFS, SFP, DFS or DFP)", ErrInvalid, s)
+}
+
+// Query answers one mining request against the current snapshot: cache
+// hit, single-flight join, or a fresh mine under admission control.
+func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	constraint := int32(-1)
+	if req.ConstraintItem != nil {
+		if *req.ConstraintItem < 0 {
+			return nil, fmt.Errorf("%w: negative constraint item %d", ErrInvalid, *req.ConstraintItem)
+		}
+		if scheme == core.DFS || scheme == core.DFP {
+			return nil, fmt.Errorf("%w: constrained mining needs a single-filter scheme (SFS or SFP), got %s", ErrInvalid, scheme)
+		}
+		constraint = *req.ConstraintItem
+	}
+	if req.MinSupportCount <= 0 && (req.MinSupportFrac <= 0 || req.MinSupportFrac > 1) {
+		return nil, fmt.Errorf("%w: need minsup_count > 0 or minsup in (0,1], got %d / %v",
+			ErrInvalid, req.MinSupportCount, req.MinSupportFrac)
+	}
+	e.obs.AddServerQuery()
+	for {
+		snap := e.snap.Load()
+		tau := req.MinSupportCount
+		if tau <= 0 {
+			tau = mining.MinSupportCount(req.MinSupportFrac, snap.idx.Len())
+		}
+		key := queryKey{
+			epoch:      snap.epoch,
+			scheme:     scheme,
+			tau:        tau,
+			maxLen:     req.MaxLen,
+			memBudget:  req.MemoryBudget,
+			constraint: constraint,
+		}
+		cached, f, leader := e.cache.join(key)
+		if cached != nil {
+			e.obs.AddCacheHit()
+			return buildResponse(snap.epoch, scheme, tau, cached, true, false), nil
+		}
+		if !leader {
+			e.obs.AddSharedFlight()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: query abandoned: %w", ctx.Err())
+			}
+			if f.err == nil {
+				return buildResponse(snap.epoch, scheme, tau, f.res, false, true), nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				// The leader died of its own deadline, not of the query.
+				// This waiter is still live (checked above), so go around
+				// and become — or queue behind — a fresh leader.
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("serve: query abandoned: %w", ctx.Err())
+				}
+				continue
+			}
+			return nil, f.err
+		}
+		e.obs.AddCacheMiss()
+		res, mineErr := e.mine(ctx, snap, req, scheme, tau)
+		var ans *answer
+		if mineErr == nil {
+			ans, mineErr = renderAnswer(res)
+		}
+		e.cache.finish(key, ans, mineErr)
+		if mineErr != nil {
+			return nil, mineErr
+		}
+		return buildResponse(snap.epoch, scheme, tau, ans, false, false), nil
+	}
+}
+
+// mine runs one cold query against a snapshot: admission slot, per-request
+// deadline, private index clone and log view, then core.Mine.
+func (e *Engine) mine(ctx context.Context, snap *snapshot, req QueryRequest, scheme core.Scheme, tau int) (*core.Result, error) {
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	mineCtx := ctx
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		mineCtx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	idx := snap.idx.QueryClone(e.stats)
+	store := snap.log.Clone()
+	var constraint *bitvec.Vector
+	if req.ConstraintItem != nil {
+		want := []txdb.Item{*req.ConstraintItem}
+		constraint, err = core.BuildConstraint(store, func(_ int, tx txdb.Transaction) bool {
+			return tx.Contains(want)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	miner, err := core.NewMiner(idx, store, e.stats)
+	if err != nil {
+		return nil, fmt.Errorf("serve: binding the snapshot: %w", err)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = e.workers
+	}
+	return miner.Mine(core.Config{
+		Ctx:          mineCtx,
+		MinSupport:   tau,
+		Scheme:       scheme,
+		MemoryBudget: req.MemoryBudget,
+		MaxLen:       req.MaxLen,
+		Workers:      workers,
+		Constraint:   constraint,
+		Observe:      e.obs,
+	})
+}
+
+// admit reserves a mining slot, queueing up to maxQueue waiters behind the
+// in-flight mines; anything beyond fails fast with ErrOverloaded.
+func (e *Engine) admit(ctx context.Context) (func(), error) {
+	select {
+	case e.admitCh <- struct{}{}:
+	default:
+		if e.queueLen.Add(1) > int64(e.maxQueue) {
+			e.queueLen.Add(-1)
+			e.obs.AddRejected()
+			return nil, fmt.Errorf("%w: %d mines in flight and %d queued", ErrOverloaded, cap(e.admitCh), e.maxQueue)
+		}
+		e.obs.IncQueued()
+		err := func() error {
+			defer e.queueLen.Add(-1)
+			defer e.obs.DecQueued()
+			select {
+			case e.admitCh <- struct{}{}:
+				return nil
+			case <-ctx.Done():
+				return fmt.Errorf("serve: queued query abandoned: %w", ctx.Err())
+			}
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.obs.IncInflight()
+	return func() {
+		e.obs.DecInflight()
+		<-e.admitCh
+	}, nil
+}
+
+func buildResponse(epoch uint64, scheme core.Scheme, tau int, ans *answer, cached, shared bool) *QueryResponse {
+	return &QueryResponse{
+		Epoch:          epoch,
+		Scheme:         scheme.String(),
+		Tau:            tau,
+		Cached:         cached,
+		Shared:         shared,
+		Patterns:       ans.patterns,
+		Candidates:     ans.candidates,
+		FalseDrops:     ans.falseDrops,
+		Certain:        ans.certain,
+		ProbedPatterns: ans.probedPatterns,
+	}
+}
+
+// ---- stats ----
+
+// StatsInfo is the /stats answer: a consistent view of one snapshot.
+type StatsInfo struct {
+	Epoch         uint64  `json:"epoch"`
+	Transactions  int     `json:"transactions"`
+	Live          int     `json:"live"`
+	Deleted       int     `json:"deleted"`
+	Items         int     `json:"items"`
+	SliceCount    int     `json:"m"`
+	IndexBytes    int64   `json:"index_bytes"`
+	CachedQueries int     `json:"cached_queries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats reports the published snapshot's shape plus cache residency.
+func (e *Engine) Stats() StatsInfo {
+	snap := e.snap.Load()
+	return StatsInfo{
+		Epoch:         snap.epoch,
+		Transactions:  snap.idx.Len(),
+		Live:          snap.idx.Live(),
+		Deleted:       snap.idx.Deleted(),
+		Items:         len(snap.idx.Items()),
+		SliceCount:    snap.idx.M(),
+		IndexBytes:    snap.idx.TotalBytes(),
+		CachedQueries: e.cache.len(),
+		UptimeSeconds: e.clock.Now().Sub(e.start).Seconds(),
+	}
+}

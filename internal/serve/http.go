@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"bbsmine/internal/obs"
+)
+
+// Handler returns bbsd's full mux: the three serving endpoints plus the
+// observability surface (/metrics, /debug/vars, /debug/pprof/*) from
+// internal/obs.
+func (e *Engine) Handler() http.Handler {
+	mux := obs.NewServeMux()
+	mux.HandleFunc("/mine", e.handleMine)
+	mux.HandleFunc("/txns", e.handleTxns)
+	mux.HandleFunc("/stats", e.handleStats)
+	return mux
+}
+
+func (e *Engine) handleMine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "serve: decoding /mine body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := e.Query(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (e *Engine) handleTxns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req TxnsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "serve: decoding /txns body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := e.Apply(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, e.Stats())
+}
+
+// writeError maps the engine's error classes onto status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is moot but pick one anyway.
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// A failed encode means the client hung up mid-response; there is no
+	// one left to tell.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,197 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/obs"
+	"bbsmine/internal/serve"
+	"bbsmine/internal/serve/client"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/sighash"
+	"bbsmine/internal/txdb"
+)
+
+// startServer runs an engine behind httptest and returns a client for it.
+func startServer(t *testing.T, txs [][]int32, reg *obs.Registry) *client.Client {
+	t.Helper()
+	stats := &iostat.Stats{}
+	idx := sigfile.New(sighash.NewFNV(256, 3), stats)
+	log := txdb.NewAppendLog(stats)
+	for i, items := range txs {
+		tx := txdb.NewTransaction(int64(i), items)
+		if err := log.Append(tx); err != nil {
+			t.Fatalf("seeding log: %v", err)
+		}
+		idx.Insert(tx.Items)
+	}
+	e, err := serve.New(serve.Options{Index: idx, Log: log, Observe: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(e.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := e.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return client.New(ts.URL)
+}
+
+// fixedTxns is a dataset with a planted frequent pair so assertions can be
+// exact.
+func fixedTxns() [][]int32 {
+	txs := make([][]int32, 0, 60)
+	for i := 0; i < 60; i++ {
+		tx := []int32{int32(i % 7), int32(10 + i%5)}
+		if i%2 == 0 {
+			tx = append(tx, 20, 21) // the planted pair, support 30
+		}
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	reg := obs.New()
+	reg.Publish("bbsd_test")
+	c := startServer(t, fixedTxns(), reg)
+	ctx := context.Background()
+
+	// Cold mine, then a cache hit.
+	cold, err := c.Mine(ctx, serve.QueryRequest{Scheme: "DFP", MinSupportCount: 25})
+	if err != nil {
+		t.Fatalf("cold mine: %v", err)
+	}
+	if cold.Cached {
+		t.Fatal("first query claimed to be cached")
+	}
+	coldPatterns, err := cold.DecodePatterns()
+	if err != nil {
+		t.Fatalf("decode cold patterns: %v", err)
+	}
+	foundPair := false
+	for _, p := range coldPatterns {
+		if len(p.Items) == 2 && p.Items[0] == 20 && p.Items[1] == 21 {
+			foundPair = true
+			if p.Support != 30 {
+				t.Fatalf("planted pair support = %d, want 30", p.Support)
+			}
+		}
+	}
+	if !foundPair {
+		t.Fatal("planted pair {20,21} not mined")
+	}
+	warm, err := c.Mine(ctx, serve.QueryRequest{Scheme: "DFP", MinSupportCount: 25})
+	if err != nil {
+		t.Fatalf("warm mine: %v", err)
+	}
+	if !warm.Cached {
+		t.Fatal("identical second query was not cached")
+	}
+
+	// A write bumps the epoch and the next mine sees it.
+	wr, err := c.Txns(ctx, serve.TxnsRequest{Insert: [][]int32{{20, 21, 22}}})
+	if err != nil {
+		t.Fatalf("txns: %v", err)
+	}
+	if wr.Epoch != cold.Epoch+1 || wr.Inserted != 1 {
+		t.Fatalf("write result %+v, want 1 insert at epoch %d", wr, cold.Epoch+1)
+	}
+	after, err := c.Mine(ctx, serve.QueryRequest{Scheme: "DFP", MinSupportCount: 25})
+	if err != nil {
+		t.Fatalf("mine after write: %v", err)
+	}
+	if after.Cached || after.Epoch != wr.Epoch {
+		t.Fatalf("mine after write: cached=%v epoch=%d, want fresh at %d", after.Cached, after.Epoch, wr.Epoch)
+	}
+	afterPatterns, err := after.DecodePatterns()
+	if err != nil {
+		t.Fatalf("decode patterns after write: %v", err)
+	}
+	pairSupport := 0
+	for _, p := range afterPatterns {
+		if len(p.Items) == 2 && p.Items[0] == 20 && p.Items[1] == 21 {
+			pairSupport = p.Support
+		}
+	}
+	if pairSupport != 31 {
+		t.Fatalf("planted pair support after insert = %d, want 31", pairSupport)
+	}
+
+	// Stats reflect the same snapshot.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Epoch != wr.Epoch || st.Transactions != 61 || st.Live != 61 {
+		t.Fatalf("stats %+v, want 61 live transactions at epoch %d", st, wr.Epoch)
+	}
+
+	// The Prometheus exposition carries the server funnel.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"bbsd_test_server_queries",
+		"bbsd_test_server_cache_hits",
+		"bbsd_test_server_epoch",
+		"bbsd_test_server_write_batches",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition lacks %s", want)
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	c := startServer(t, fixedTxns(), nil)
+	ctx := context.Background()
+
+	// Bad scheme → 400.
+	_, err := c.Mine(ctx, serve.QueryRequest{Scheme: "NOPE", MinSupportCount: 2})
+	assertStatus(t, err, 400)
+
+	// Missing threshold → 400.
+	_, err = c.Mine(ctx, serve.QueryRequest{Scheme: "DFP"})
+	assertStatus(t, err, 400)
+
+	// Constrained dual filter → 400.
+	item := int32(20)
+	_, err = c.Mine(ctx, serve.QueryRequest{Scheme: "DFP", MinSupportCount: 2, ConstraintItem: &item})
+	assertStatus(t, err, 400)
+
+	// Bad write → 400.
+	_, err = c.Txns(ctx, serve.TxnsRequest{Delete: []int{12345}})
+	assertStatus(t, err, 400)
+
+	// Constrained single filter works and every pattern contains the item.
+	res, err := c.Mine(ctx, serve.QueryRequest{Scheme: "SFP", MinSupportCount: 10, ConstraintItem: &item})
+	if err != nil {
+		t.Fatalf("constrained mine: %v", err)
+	}
+	ps, err := res.DecodePatterns()
+	if err != nil {
+		t.Fatalf("decode constrained patterns: %v", err)
+	}
+	if len(ps) == 0 {
+		t.Fatal("constrained mine found nothing")
+	}
+}
+
+func assertStatus(t *testing.T, err error, code int) {
+	t.Helper()
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a StatusError", err)
+	}
+	if se.Code != code {
+		t.Fatalf("status %d, want %d (%s)", se.Code, code, se.Message)
+	}
+}

@@ -27,23 +27,25 @@ func (b *BBS) Delete(pos int, items []int32) error {
 	if b.live == nil {
 		b.live = bitvec.New(b.n)
 		b.live.SetAll()
+		b.cowLive = false // freshly built, shared with no snapshot
 	}
 	if !b.live.Get(pos) {
 		return fmt.Errorf("sigfile: position %d already deleted", pos)
 	}
-	b.live.Clear(pos)
+	b.mutableLive().Clear(pos)
 	b.deleted++
 
+	counts := b.mutableItemCounts()
 	seen := make(map[int32]struct{}, len(items))
 	for _, it := range items {
 		if _, dup := seen[it]; dup {
 			continue
 		}
 		seen[it] = struct{}{}
-		if c := b.itemCounts[it]; c > 1 {
-			b.itemCounts[it] = c - 1
+		if c := counts[it]; c > 1 {
+			counts[it] = c - 1
 		} else {
-			delete(b.itemCounts, it)
+			delete(counts, it)
 		}
 	}
 	return nil

@@ -21,7 +21,7 @@ func naiveCountInto(b *BBS, dst *bitvec.Vector, items []int32) int {
 		dst.SetAll()
 	}
 	for _, p := range sighash.SignatureBits(b.hasher, items) {
-		est = dst.AndCount(b.slices[p])
+		est = dst.AndCountZX(b.slices[p])
 		if est == 0 {
 			break
 		}

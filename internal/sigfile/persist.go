@@ -103,11 +103,22 @@ func (b *BBS) writeTo(w io.Writer) error {
 		}
 	}
 
+	// Slices grow lazily (see Insert), so a slice may back fewer than
+	// ceil(n/64) words; the file format stores every slice at full length,
+	// so the missing tail is written as explicit zero words.
+	fullWords := (b.n + 63) / 64
+	var zero [8]byte
 	for _, s := range b.slices {
-		for _, word := range s.Words() {
+		ws := s.Words()
+		for _, word := range ws {
 			binary.LittleEndian.PutUint64(wordBuf, word)
 			if _, err := w.Write(wordBuf); err != nil {
 				return fmt.Errorf("sigfile: write slice: %w", err)
+			}
+		}
+		for wi := len(ws); wi < fullWords; wi++ {
+			if _, err := w.Write(zero[:]); err != nil {
+				return fmt.Errorf("sigfile: write slice padding: %w", err)
 			}
 		}
 	}

@@ -49,6 +49,17 @@ type BBS struct {
 
 	maxTxnItems int // largest distinct-item count among inserted transactions
 
+	// Copy-on-write bookkeeping (see Snapshot). While cow[p] is set, slice p
+	// is shared with at least one snapshot and must be cloned before its
+	// first mutation; cowLive and cowItems guard the live mask and the exact
+	// 1-itemset counters the same way. All nil/false on an index that has
+	// never been snapshotted, so the non-serving paths pay nothing.
+	cow      []bool
+	cowLive  bool
+	cowItems bool
+
+	epoch uint64 // applied write batches; in-memory only, 0 after Load
+
 	stats *iostat.Stats
 	obs   *obs.Registry // nil unless a mining run attached telemetry
 }
@@ -99,14 +110,17 @@ func (b *BBS) Observer() *obs.Registry { return b.obs }
 // which must equal its ordinal position in the backing txdb.Store.
 // Items need not be sorted; duplicates contribute once to the exact
 // 1-itemset counters.
+//
+// Slices grow lazily: only the slices this transaction's signature touches
+// are lengthened, so a slice nobody has hashed to since the last Snapshot
+// stays short — and stays shared with the snapshot. The missing tail is
+// logically zero (no transaction set a bit there); the read paths apply it
+// through the zero-extending kernels (bitvec.AndCountZX).
 func (b *BBS) Insert(items []int32) {
 	pos := b.n
 	b.n++
-	for _, s := range b.slices {
-		s.Grow(b.n)
-	}
 	if b.live != nil {
-		b.live.Append(true)
+		b.mutableLive().Append(true)
 	}
 	// Fast path: txdb transactions arrive strictly ascending, so every item
 	// is distinct and counts can be bumped directly.
@@ -122,7 +136,7 @@ func (b *BBS) Insert(items []int32) {
 			b.maxTxnItems = len(items)
 		}
 		for _, it := range items {
-			b.itemCounts[it]++
+			b.bumpItemCount(it)
 			for _, p := range b.hasher.Positions(it) {
 				b.setSliceBit(p, pos)
 			}
@@ -135,7 +149,7 @@ func (b *BBS) Insert(items []int32) {
 			continue
 		}
 		seen[it] = struct{}{}
-		b.itemCounts[it]++
+		b.bumpItemCount(it)
 		for _, p := range b.hasher.Positions(it) {
 			b.setSliceBit(p, pos)
 		}
@@ -145,11 +159,24 @@ func (b *BBS) Insert(items []int32) {
 	}
 }
 
+// bumpItemCount increments one exact 1-itemset counter, cloning the map
+// first if a snapshot shares it.
+func (b *BBS) bumpItemCount(it int32) {
+	b.mutableItemCounts()[it]++
+}
+
 // setSliceBit sets bit pos of slice p, keeping the per-slice popcount in
 // step. Several items of one transaction can hash to the same slice, so the
-// count bumps only on a 0→1 transition.
+// count bumps only on a 0→1 transition. The slice is grown on demand (see
+// Insert) and cloned first when a snapshot shares it.
 func (b *BBS) setSliceBit(p, pos int) {
-	s := b.slices[p]
+	s := b.mutableSlice(p)
+	if s.Len() <= pos {
+		s.Grow(pos + 1)
+		s.Set(pos)
+		b.sliceOnes[p]++
+		return
+	}
 	if !s.Get(pos) {
 		s.Set(pos)
 		b.sliceOnes[p]++
@@ -242,7 +269,10 @@ func pagesForBytes(n int64) int64 {
 // is loaded and then operated on with bitwise instructions.
 func (b *BBS) AndSlice(dst *bitvec.Vector, p int) int {
 	b.stats.AddSliceAnd()
-	return dst.AndCount(b.slices[p])
+	// Slices grow lazily (see Insert), so slice p may be shorter than dst;
+	// the zero-extending kernel reads the missing tail as zeros. With equal
+	// lengths this is exactly AndCount.
+	return dst.AndCountZX(b.slices[p])
 }
 
 // ChargeFullRead charges one sequential pass over every slice — the cost of
@@ -408,10 +438,12 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 	nb.n = b.n
 	nb.slices = make([]*bitvec.Vector, keep)
 	for j := 0; j < keep; j++ {
-		nb.slices[j] = b.slices[j].Clone()
+		s := b.slices[j].Clone()
+		s.Grow(b.n) // normalize lazily-grown slices; folded slices are full length
+		nb.slices[j] = s
 	}
 	for p := keep; p < len(b.slices); p++ {
-		nb.slices[p%keep].Or(b.slices[p])
+		nb.slices[p%keep].OrZX(b.slices[p])
 	}
 	// The fold ORs slices together, so the folded popcounts cannot be
 	// derived from the originals; recount once (the slices are already in

@@ -65,7 +65,11 @@ func TestRunningExampleSlices(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			expect[i] = vectors[i][j]
 		}
-		got := b.slices[j].String()
+		// Slices grow lazily, so pad to the index length before comparing:
+		// the physical tail may be missing but is logically zero.
+		padded := b.slices[j].Clone()
+		padded.Grow(b.n)
+		got := padded.String()
 		if got != string(expect) {
 			t.Errorf("slice %d = %s, want %s", j, got, string(expect))
 		}

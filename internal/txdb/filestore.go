@@ -133,7 +133,7 @@ func (s *FileStore) Get(pos int) (Transaction, error) {
 	if pos+1 < len(s.offsets) {
 		end = s.offsets[pos+1]
 	}
-	s.stats.AddDBRandPages(s.cache.misses(start, end, s.size))
+	s.stats.AddDBRandPages(s.cache.misses(start, end, s.stats))
 	buf := make([]byte, end-start)
 	if _, err := s.f.ReadAt(buf, start); err != nil {
 		return Transaction{}, fmt.Errorf("txdb: read record %d: %w", pos, err)
@@ -191,7 +191,7 @@ func (s *FileStore) Append(tx Transaction) error {
 }
 
 // SetCacheLimit implements CacheLimiter.
-func (s *FileStore) SetCacheLimit(bytes int64) { s.cache.setLimit(bytes) }
+func (s *FileStore) SetCacheLimit(bytes int64) { s.cache.setLimit(bytes, s.stats) }
 
 // Sync flushes the file to stable storage.
 func (s *FileStore) Sync() error { return s.f.Sync() }

@@ -174,12 +174,12 @@ func (s *MemStore) Get(pos int) (Transaction, error) {
 	if pos+1 < len(s.offsets) {
 		end = s.offsets[pos+1]
 	}
-	s.stats.AddDBRandPages(s.cache.misses(start, end, s.size))
+	s.stats.AddDBRandPages(s.cache.misses(start, end, s.stats))
 	return s.txs[pos], nil
 }
 
 // SetCacheLimit implements CacheLimiter.
-func (s *MemStore) SetCacheLimit(bytes int64) { s.cache.setLimit(bytes) }
+func (s *MemStore) SetCacheLimit(bytes int64) { s.cache.setLimit(bytes, s.stats) }
 
 // Append implements Store.
 func (s *MemStore) Append(tx Transaction) error {

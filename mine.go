@@ -1,6 +1,7 @@
 package bbsmine
 
 import (
+	"context"
 	"fmt"
 
 	"bbsmine/internal/core"
@@ -31,6 +32,10 @@ type Result = core.Result
 
 // MineOptions parameterizes a mining run.
 type MineOptions struct {
+	// Ctx, when non-nil, cancels the run when it is done: Mine returns an
+	// error wrapping Ctx.Err(). Use it to bound a query's latency (deadline)
+	// or abandon it (cancellation); nil never cancels.
+	Ctx context.Context
 	// MinSupportFrac is the minimum support as a fraction of the database
 	// size (the paper's default is 0.003, i.e. 0.3%). Ignored when
 	// MinSupportCount is set.
@@ -93,6 +98,7 @@ func (db *Database) Mine(opts MineOptions) (*Result, error) {
 		return nil, err
 	}
 	return m.Mine(core.Config{
+		Ctx:              opts.Ctx,
 		MinSupport:       tau,
 		Scheme:           opts.Scheme,
 		MemoryBudget:     opts.MemoryBudget,
@@ -191,6 +197,7 @@ func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, e
 		return nil, err
 	}
 	return m.Mine(core.Config{
+		Ctx:              opts.Ctx,
 		MinSupport:       tau,
 		Scheme:           opts.Scheme,
 		MemoryBudget:     opts.MemoryBudget,
