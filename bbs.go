@@ -10,6 +10,14 @@
 // queries — including over non-frequent itemsets and under constraints —
 // that scan-based miners cannot answer without re-reading the data.
 //
+// The database can be partitioned horizontally into N shards
+// (Options.Shards), each owning its own slices, counters and data file.
+// Writes route round-robin by insertion order; ad-hoc counts fan out to the
+// shards and merge deterministically; a full mining run binds to a merged
+// read view whose results are byte-identical to an unsharded database over
+// the same transactions. Sharding changes throughput and layout, never an
+// answer.
+//
 // Quick start:
 //
 //	db, err := bbsmine.Open(dir, bbsmine.Options{})
@@ -22,12 +30,10 @@ package bbsmine
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"bbsmine/internal/core"
 	"bbsmine/internal/iostat"
-	"bbsmine/internal/sigfile"
+	"bbsmine/internal/shard"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
 )
@@ -41,6 +47,12 @@ type Options struct {
 	// K is the number of hash functions per item. Defaults to 4 (the four
 	// 32-bit groups of one MD5 digest).
 	K int
+	// Shards partitions the database horizontally. 0 means "whatever the
+	// directory already is" (1 for a new or unsharded directory). Opening
+	// an existing unsharded directory with Shards > 1 migrates it in place;
+	// opening a sharded directory with a different non-zero count is an
+	// error. Mining results are identical for every shard count.
+	Shards int
 }
 
 func (o *Options) applyDefaults() {
@@ -55,214 +67,103 @@ func (o *Options) applyDefaults() {
 // Database is a transaction database with a BBS index kept in sync.
 // It is not safe for concurrent use.
 type Database struct {
-	store txdb.Store
-	file  *txdb.FileStore // nil for in-memory databases
-	index *sigfile.BBS
+	sdb   *shard.DB
 	stats *iostat.Stats
-	dir   string // "" for in-memory databases
 }
 
-const (
-	dataFile  = "transactions.txdb"
-	indexFile = "index.bbs"
-)
-
-// Open opens (or creates) a persistent database in dir. If the index file
-// is missing or lags behind the transaction file — for example after a
+// Open opens (or creates) a persistent database in dir. If an index file
+// is missing or lags behind its transaction file — for example after a
 // crash between appends — the missing tail is re-indexed automatically.
 func Open(dir string, opts Options) (*Database, error) {
 	opts.applyDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("bbsmine: creating %s: %w", dir, err)
-	}
 	stats := &iostat.Stats{}
-	hasher := sighash.NewMD5(opts.M, opts.K)
-
-	dataPath := filepath.Join(dir, dataFile)
-	var file *txdb.FileStore
-	var err error
-	if _, statErr := os.Stat(dataPath); statErr == nil {
-		file, err = txdb.OpenFileStore(dataPath, stats)
-	} else {
-		file, err = txdb.CreateFileStore(dataPath, stats)
-	}
+	sdb, err := shard.Open(dir, opts.M, opts.K, opts.Shards, stats)
 	if err != nil {
 		return nil, err
 	}
-
-	indexPath := filepath.Join(dir, indexFile)
-	var index *sigfile.BBS
-	if _, statErr := os.Stat(indexPath); statErr == nil {
-		index, err = sigfile.Load(indexPath, hasher, stats)
-		if err != nil {
-			file.Close()
-			return nil, err
-		}
-	} else {
-		index = sigfile.New(hasher, stats)
-	}
-	if index.Len() > file.Len() {
-		file.Close()
-		return nil, fmt.Errorf("bbsmine: index covers %d transactions but store has only %d; index belongs to different data", index.Len(), file.Len())
-	}
-
-	db := &Database{store: file, file: file, index: index, stats: stats, dir: dir}
-	if err := db.reindexTail(); err != nil {
-		file.Close()
-		return nil, err
-	}
-	return db, nil
+	return &Database{sdb: sdb, stats: stats}, nil
 }
 
 // NewInMemory creates a volatile database, useful for tests, examples and
 // benchmarks.
 func NewInMemory(opts Options) *Database {
 	opts.applyDefaults()
-	stats := &iostat.Stats{}
-	return &Database{
-		store: txdb.NewMemStore(stats),
-		index: sigfile.New(sighash.NewMD5(opts.M, opts.K), stats),
-		stats: stats,
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1
 	}
+	stats := &iostat.Stats{}
+	sdb, err := shard.NewMem(sighash.NewMD5(opts.M, opts.K), shards, stats)
+	if err != nil {
+		// Only a non-positive shard count can fail; mirror the old API's
+		// no-error contract by treating it as a programming error.
+		panic(err)
+	}
+	return &Database{sdb: sdb, stats: stats}
 }
 
-// reindexTail inserts any transactions present in the store but not yet in
-// the index (crash recovery between data append and index save).
-func (db *Database) reindexTail() error {
-	if db.index.Len() == db.store.Len() {
-		return nil
-	}
-	from := db.index.Len()
-	return db.store.Scan(func(pos int, tx txdb.Transaction) bool {
-		if pos >= from {
-			db.index.Insert(tx.Items)
-		}
-		return true
-	})
-}
+// Shards returns the database's shard count (1 when unsharded).
+func (db *Database) Shards() int { return db.sdb.Shards() }
 
 // Append adds one transaction to the database and the index. Items are
-// normalized (sorted, deduplicated); the input slice is not retained.
+// normalized (sorted, deduplicated); the input slice is not retained. With
+// shards, the transaction routes round-robin to the shard of its insertion
+// ordinal.
 func (db *Database) Append(tid int64, items []int32) error {
-	tx := txdb.NewTransaction(tid, items)
-	if err := db.store.Append(tx); err != nil {
-		return err
-	}
-	db.index.Insert(tx.Items)
-	return nil
+	return db.sdb.Append(txdb.NewTransaction(tid, items))
 }
 
 // Len returns the number of transaction slots, including deleted ones.
-func (db *Database) Len() int { return db.store.Len() }
+func (db *Database) Len() int { return db.sdb.Len() }
 
 // Live returns the number of non-deleted transactions.
-func (db *Database) Live() int { return db.index.Live() }
+func (db *Database) Live() int { return db.sdb.Index().Live() }
 
 // Delete tombstones the transaction at ordinal position pos. The record
 // remains in the data file (Bloom bits cannot be unset) but disappears from
 // every estimate, count and mining result immediately; Compact reclaims the
 // space. Deleting twice or out of range is an error.
-func (db *Database) Delete(pos int) error {
-	tx, err := db.store.Get(pos)
-	if err != nil {
-		return err
-	}
-	return db.index.Delete(pos, tx.Items)
-}
+func (db *Database) Delete(pos int) error { return db.sdb.Delete(pos) }
 
 // Compact rewrites a persistent database without its deleted transactions
 // and rebuilds the index over the survivors. Positions shift; constraints
 // built earlier are invalidated (their length no longer matches). Only
-// persistent databases can be compacted.
-func (db *Database) Compact() error {
-	if db.dir == "" {
-		return fmt.Errorf("bbsmine: in-memory database cannot be compacted")
-	}
-	if db.index.Deleted() == 0 {
-		return nil
-	}
-	tmpPath := filepath.Join(db.dir, dataFile+".compact")
-	newStore, err := txdb.CreateFileStore(tmpPath, db.stats)
-	if err != nil {
-		return err
-	}
-	newIndex := sigfile.New(db.index.Hasher(), db.stats)
-	scanErr := db.store.Scan(func(pos int, tx txdb.Transaction) bool {
-		if !db.index.IsLive(pos) {
-			return true
-		}
-		if err = newStore.Append(tx); err != nil {
-			return false
-		}
-		newIndex.Insert(tx.Items)
-		return true
-	})
-	if scanErr != nil {
-		err = scanErr
-	}
-	if err != nil {
-		newStore.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("bbsmine: compacting: %w", err)
-	}
-	if err := newStore.Sync(); err != nil {
-		newStore.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("bbsmine: compacting: %w", err)
-	}
-	if err := db.file.Close(); err != nil {
-		newStore.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("bbsmine: compacting: %w", err)
-	}
-	newStore.Close()
-	dataPath := filepath.Join(db.dir, dataFile)
-	if err := os.Rename(tmpPath, dataPath); err != nil {
-		return fmt.Errorf("bbsmine: compacting: %w", err)
-	}
-	reopened, err := txdb.OpenFileStore(dataPath, db.stats)
-	if err != nil {
-		return fmt.Errorf("bbsmine: reopening after compaction: %w", err)
-	}
-	db.file = reopened
-	db.store = reopened
-	db.index = newIndex
-	return db.Save()
-}
+// persistent unsharded databases can be compacted: dropping rows would
+// renumber them across shards and break the round-robin routing.
+func (db *Database) Compact() error { return db.sdb.Compact() }
 
 // Get returns the transaction at ordinal position pos (0-based insertion
 // order) as (tid, items).
 func (db *Database) Get(pos int) (int64, []int32, error) {
-	tx, err := db.store.Get(pos)
+	tx, err := db.sdb.Get(pos)
 	if err != nil {
 		return 0, nil, err
 	}
 	return tx.TID, tx.Items, nil
 }
 
-// IndexBytes returns the resident size of the BBS index in bytes.
-func (db *Database) IndexBytes() int64 { return db.index.TotalBytes() }
+// IndexBytes returns the resident size of the BBS index in bytes, summed
+// over the shards.
+func (db *Database) IndexBytes() int64 {
+	var n int64
+	for s := 0; s < db.sdb.Shards(); s++ {
+		n += db.sdb.Index().Part(s).TotalBytes()
+	}
+	return n
+}
 
-// Save persists the index. Transaction data is durable as soon as Append
-// returns; the index is saved explicitly because it is cheap to rebuild a
-// short tail but expensive to write on every append.
+// Save persists every shard's index. Transaction data is durable as soon as
+// Append returns; the index is saved explicitly because it is cheap to
+// rebuild a short tail but expensive to write on every append.
 func (db *Database) Save() error {
-	if db.dir == "" {
+	if db.sdb.Dir() == "" {
 		return fmt.Errorf("bbsmine: in-memory database has nothing to save")
 	}
-	if err := db.file.Sync(); err != nil {
-		return fmt.Errorf("bbsmine: syncing data: %w", err)
-	}
-	return db.index.Save(filepath.Join(db.dir, indexFile))
+	return db.sdb.Save()
 }
 
 // Close releases the underlying files. In-memory databases are a no-op.
-func (db *Database) Close() error {
-	if db.file != nil {
-		return db.file.Close()
-	}
-	return nil
-}
+func (db *Database) Close() error { return db.sdb.Close() }
 
 // Stats returns a snapshot of the I/O and work counters accumulated so far.
 func (db *Database) Stats() iostat.Snapshot { return db.stats.Snapshot() }
@@ -270,7 +171,12 @@ func (db *Database) Stats() iostat.Snapshot { return db.stats.Snapshot() }
 // ResetStats zeroes the counters, typically before a measured run.
 func (db *Database) ResetStats() { db.stats.Reset() }
 
-// miner builds a core.Miner for the current state.
+// miner builds a core.Miner over the merged read view (with one shard, the
+// database's own index and store; the merge is cached between writes).
 func (db *Database) miner() (*core.Miner, error) {
-	return core.NewMiner(db.index, db.store, db.stats)
+	idx, store, err := db.sdb.Merged()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMiner(idx, store, db.stats)
 }

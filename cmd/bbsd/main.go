@@ -7,6 +7,12 @@
 //
 //	bbsd -db dataset/ -addr 127.0.0.1:8344
 //
+// -shards N serves the database as N horizontal shards, each with its own
+// index, data file and commit loop; writes to different shards commit
+// concurrently and queries mine a merged view whose answers are identical
+// to an unsharded server. Opening a flat directory with -shards N migrates
+// it in place; once sharded, the directory remembers its count.
+//
 // Endpoints:
 //
 //	POST /mine   {"scheme":"DFP","minsup":0.003}            → frequent patterns
@@ -19,10 +25,13 @@
 //
 // -bench skips serving: it seeds the paper's default dataset into a
 // scratch directory, measures cold-versus-cached /mine latency over real
-// HTTP and appends the records to -bench-out.
+// HTTP and appends the records to -bench-out. With -shards N it also
+// measures the sharded server: /txns write throughput into N commit loops
+// plus cold and cached /mine latency over the merged view.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,15 +51,13 @@ import (
 	"bbsmine/internal/obs"
 	"bbsmine/internal/serve"
 	"bbsmine/internal/serve/client"
+	"bbsmine/internal/shard"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
 )
 
-const (
-	dataFile  = "transactions.txdb"
-	indexFile = "index.bbs"
-)
+const dataFile = "transactions.txdb"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -62,10 +69,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bbsd", flag.ContinueOnError)
 	var (
-		dir  = fs.String("db", "", "database directory (required unless -bench; created if missing)")
-		m    = fs.Int("m", 1600, "signature bits for a new index")
-		k    = fs.Int("k", 4, "hash functions per item for a new index")
-		addr = fs.String("addr", "127.0.0.1:8344", "listen address")
+		dir    = fs.String("db", "", "database directory (required unless -bench; created if missing)")
+		m      = fs.Int("m", 1600, "signature bits for a new index")
+		k      = fs.Int("k", 4, "hash functions per item for a new index")
+		shards = fs.Int("shards", 0, "shard the database N ways (0 = whatever the directory already is; migrates a flat directory in place)")
+		addr   = fs.String("addr", "127.0.0.1:8344", "listen address")
 
 		workers     = fs.Int("workers", 0, "default mining worker pool per query (0 = one per CPU)")
 		cacheN      = fs.Int("cache", 128, "query cache capacity in results")
@@ -84,13 +92,13 @@ func run(args []string) error {
 	}
 
 	if *bench {
-		return runBench(*benchOut, *benchScale, *benchCached, *workers)
+		return runBench(*benchOut, *benchScale, *benchCached, *workers, *shards)
 	}
 	if *dir == "" {
 		return fmt.Errorf("-db is required")
 	}
 
-	engine, reg, cleanup, err := openEngine(*dir, *m, *k, serve.Options{
+	engine, reg, cleanup, err := openEngine(*dir, *m, *k, *shards, serve.Options{
 		Workers:        *workers,
 		CacheEntries:   *cacheN,
 		MaxInFlight:    *maxInflight,
@@ -117,7 +125,8 @@ func run(args []string) error {
 		}
 		errCh <- nil
 	}()
-	fmt.Fprintf(os.Stderr, "bbsd: serving %d transactions on http://%s\n", engine.Stats().Transactions, ln.Addr())
+	info := engine.Stats()
+	fmt.Fprintf(os.Stderr, "bbsd: serving %d transactions in %d shard(s) on http://%s\n", info.Transactions, info.Shards, ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -146,75 +155,46 @@ func run(args []string) error {
 	}
 }
 
-// openEngine opens (or creates) the database directory the same way
-// bbsmine does — data file plus saved index, reindexing any tail the index
-// missed — and wires a serving engine over it. The returned cleanup closes
-// what Close does not own (the data file).
-func openEngine(dir string, m, k int, opts serve.Options) (*serve.Engine, *obs.Registry, func(), error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, nil, fmt.Errorf("creating %s: %w", dir, err)
-	}
+// openEngine opens (or creates) the database directory through the shard
+// layer — the same layout and recovery path the bbsmine library uses,
+// including the flat-to-sharded migration when -shards asks for one — and
+// wires a serving engine over its parts: each shard's index, data file and
+// an in-memory append log loaded from it. The returned cleanup closes what
+// engine.Close does not own (the data files).
+func openEngine(dir string, m, k, shards int, opts serve.Options) (*serve.Engine, *obs.Registry, func(), error) {
 	stats := &iostat.Stats{}
-	hasher := sighash.NewMD5(m, k)
-
-	dataPath := filepath.Join(dir, dataFile)
-	var file *txdb.FileStore
-	var err error
-	if _, statErr := os.Stat(dataPath); statErr == nil {
-		file, err = txdb.OpenFileStore(dataPath, stats)
-	} else {
-		file, err = txdb.CreateFileStore(dataPath, stats)
-	}
+	sdb, err := shard.Open(dir, m, k, shards, stats)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-
-	indexPath := filepath.Join(dir, indexFile)
-	var index *sigfile.BBS
-	if _, statErr := os.Stat(indexPath); statErr == nil {
-		index, err = sigfile.Load(indexPath, hasher, stats)
-	} else {
-		index = sigfile.New(hasher, stats)
-	}
-	if err != nil {
-		_ = file.Close()
+	fail := func(err error) (*serve.Engine, *obs.Registry, func(), error) {
+		_ = sdb.Close()
 		return nil, nil, nil, err
 	}
-	if index.Len() > file.Len() {
-		_ = file.Close()
-		return nil, nil, nil, fmt.Errorf("index covers %d transactions but the store has %d; the index belongs to different data", index.Len(), file.Len())
-	}
-
-	log, err := txdb.LoadAppendLog(file, stats)
-	if err != nil {
-		_ = file.Close()
-		return nil, nil, nil, err
-	}
-	// Reindex any tail the saved index missed (crash between data append
-	// and index save).
-	for pos := index.Len(); pos < log.Len(); pos++ {
-		tx, getErr := log.Get(pos)
-		if getErr != nil {
-			_ = file.Close()
-			return nil, nil, nil, getErr
+	parts := make([]serve.ShardOptions, sdb.Shards())
+	for s := range parts {
+		file := sdb.File(s)
+		log, err := txdb.LoadAppendLog(file, stats)
+		if err != nil {
+			return fail(fmt.Errorf("loading shard %d's log: %w", s, err))
 		}
-		index.Insert(tx.Items)
+		parts[s] = serve.ShardOptions{
+			Index:     sdb.Index().Part(s),
+			Log:       log,
+			File:      file,
+			IndexPath: sdb.IndexPath(s),
+		}
 	}
-
 	reg := obs.New()
-	opts.Index = index
-	opts.Log = log
-	opts.File = file
-	opts.IndexPath = indexPath
+	opts.Shards = parts
 	opts.Observe = reg
 	engine, err := serve.New(opts)
 	if err != nil {
-		_ = file.Close()
-		return nil, nil, nil, err
+		return fail(err)
 	}
 	cleanup := func() {
-		if err := file.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "bbsd: closing data file:", err)
+		if err := sdb.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bbsd: closing data files:", err)
 		}
 	}
 	return engine, reg, cleanup, nil
@@ -224,14 +204,17 @@ func openEngine(dir string, m, k int, opts serve.Options) (*serve.Engine, *obs.R
 // JSON next to the per-scheme records; the scheme name is namespaced so
 // the funnel checks ignore it.
 type serverBenchRecord struct {
-	Scheme   string `json:"scheme"`
-	Tau      int    `json:"tau"`
-	WallNs   int64  `json:"wall_ns"`
-	P50Ns    int64  `json:"p50_ns,omitempty"`
-	P99Ns    int64  `json:"p99_ns,omitempty"`
-	Patterns int    `json:"patterns"`
-	Epoch    uint64 `json:"epoch"`
-	Speedup  float64
+	Scheme    string  `json:"scheme"`
+	Tau       int     `json:"tau"`
+	WallNs    int64   `json:"wall_ns"`
+	P50Ns     int64   `json:"p50_ns,omitempty"`
+	P99Ns     int64   `json:"p99_ns,omitempty"`
+	Patterns  int     `json:"patterns"`
+	Epoch     uint64  `json:"epoch"`
+	Shards    int     `json:"shards,omitempty"`
+	Ops       int     `json:"ops,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	Speedup   float64 `json:"-"` // emitted by MarshalJSON only when meaningful
 }
 
 // MarshalJSON keeps Speedup out of the cold record (it is meaningful only
@@ -250,10 +233,41 @@ func (r serverBenchRecord) MarshalJSON() ([]byte, error) {
 	}{plain: plain(r), Speedup: r.Speedup})
 }
 
+// mineLatencies runs one cold /mine and cachedReps cached hits, returning
+// the cold response plus the cold and cached-percentile latencies.
+func mineLatencies(ctx context.Context, c *client.Client, req serve.QueryRequest, cachedReps int) (cold *serve.QueryResponse, coldNs, p50, p99 int64, err error) {
+	start := time.Now()
+	cold, err = c.Mine(ctx, req)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("cold mine: %w", err)
+	}
+	coldNs = time.Since(start).Nanoseconds()
+	if cold.Cached {
+		return nil, 0, 0, 0, fmt.Errorf("first bench query was served from cache")
+	}
+	lat := make([]int64, 0, cachedReps)
+	for i := 0; i < cachedReps; i++ {
+		s := time.Now()
+		hit, err := c.Mine(ctx, req)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("cached mine %d: %w", i, err)
+		}
+		if !hit.Cached {
+			return nil, 0, 0, 0, fmt.Errorf("cached mine %d missed the cache", i)
+		}
+		lat = append(lat, time.Since(s).Nanoseconds())
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return cold, coldNs, lat[len(lat)/2], lat[(len(lat)*99)/100], nil
+}
+
 // runBench seeds the paper's default dataset into a scratch database,
 // serves it on a loopback port and measures one cold /mine followed by
-// repeated cached hits, all over real HTTP.
-func runBench(out string, scale float64, cachedReps, workers int) error {
+// repeated cached hits, all over real HTTP. With shards > 1 it then raises
+// a sharded server, measures /txns write throughput into the N commit
+// loops, re-measures /mine over the merged view and checks the sharded
+// answer byte-identical to the unsharded one.
+func runBench(out string, scale float64, cachedReps, workers, shards int) error {
 	p := exp.Defaults(scale)
 	txs, err := p.Dataset()
 	if err != nil {
@@ -307,43 +321,19 @@ func runBench(out string, scale float64, cachedReps, workers int) error {
 	ctx := context.Background()
 	req := serve.QueryRequest{Scheme: "DFP", MinSupportFrac: p.TauFrac}
 
-	start := time.Now()
-	cold, err := c.Mine(ctx, req)
+	cold, coldNs, p50, p99, err := mineLatencies(ctx, c, req, cachedReps)
 	if err != nil {
-		return fmt.Errorf("cold mine: %w", err)
-	}
-	coldNs := time.Since(start).Nanoseconds()
-	if cold.Cached {
-		return fmt.Errorf("first bench query was served from cache")
+		return err
 	}
 	coldPatterns, err := cold.DecodePatterns()
 	if err != nil {
 		return fmt.Errorf("cold mine: %w", err)
 	}
 
-	lat := make([]int64, 0, cachedReps)
-	for i := 0; i < cachedReps; i++ {
-		s := time.Now()
-		hit, err := c.Mine(ctx, req)
-		if err != nil {
-			return fmt.Errorf("cached mine %d: %w", i, err)
-		}
-		if !hit.Cached {
-			return fmt.Errorf("cached mine %d missed the cache", i)
-		}
-		lat = append(lat, time.Since(s).Nanoseconds())
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	p50 := lat[len(lat)/2]
-	p99 := lat[(len(lat)*99)/100]
-
 	records := []serverBenchRecord{
 		{Scheme: "DFP-server-cold", Tau: cold.Tau, WallNs: coldNs, Patterns: len(coldPatterns), Epoch: cold.Epoch},
 		{Scheme: "DFP-server-cached", Tau: cold.Tau, WallNs: p50, P50Ns: p50, P99Ns: p99,
 			Patterns: len(coldPatterns), Epoch: cold.Epoch, Speedup: float64(coldNs) / float64(p50)},
-	}
-	if err := appendBenchRecords(out, records); err != nil {
-		return err
 	}
 	fmt.Printf("bbsd bench: D=%d τ=%d patterns=%d cold=%.2fms cached p50=%.3fms p99=%.3fms speedup=%.0fx\n",
 		len(txs), cold.Tau, len(coldPatterns),
@@ -351,7 +341,90 @@ func runBench(out string, scale float64, cachedReps, workers int) error {
 	if coldNs < 10*p50 {
 		fmt.Fprintf(os.Stderr, "bbsd: warning: cached speedup %.1fx is below the 10x target\n", float64(coldNs)/float64(p50))
 	}
-	return nil
+
+	if shards > 1 {
+		srecs, err := benchSharded(ctx, p, txs, workers, shards, cachedReps, cold.Patterns)
+		if err != nil {
+			return err
+		}
+		records = append(records, srecs...)
+	}
+	return appendBenchRecords(out, records)
+}
+
+// benchSharded raises an N-shard server on a scratch directory, streams the
+// dataset in over /txns (the write-throughput measurement: every batch fans
+// out across the N commit loops), then measures cold and cached /mine over
+// the merged view. The sharded cold answer must be byte-identical to the
+// unsharded server's (want) — the scatter-gather determinism guarantee,
+// checked over real HTTP.
+func benchSharded(ctx context.Context, p exp.Params, txs []txdb.Transaction, workers, shards, cachedReps int, want json.RawMessage) ([]serverBenchRecord, error) {
+	dir, err := os.MkdirTemp("", "bbsd-bench-shard-")
+	if err != nil {
+		return nil, fmt.Errorf("creating sharded scratch dir: %w", err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	engine, _, cleanup, err := openEngine(dir, p.M, p.K, shards, serve.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	defer func() { _ = engine.Close() }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sharded bench listen: %w", err)
+	}
+	srv := &http.Server{Handler: engine.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	c := client.New("http://" + ln.Addr().String())
+	const batch = 256
+	var lastEpoch uint64
+	start := time.Now()
+	for i := 0; i < len(txs); i += batch {
+		end := i + batch
+		if end > len(txs) {
+			end = len(txs)
+		}
+		req := serve.TxnsRequest{Insert: make([][]int32, 0, end-i)}
+		for _, tx := range txs[i:end] {
+			req.Insert = append(req.Insert, tx.Items)
+		}
+		res, err := c.Txns(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("sharded insert batch at %d: %w", i, err)
+		}
+		lastEpoch = res.Epoch
+	}
+	insertNs := time.Since(start).Nanoseconds()
+
+	cold, coldNs, p50, p99, err := mineLatencies(ctx, c, serve.QueryRequest{Scheme: "DFP", MinSupportFrac: p.TauFrac}, cachedReps)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: %w", err)
+	}
+	if !bytes.Equal(cold.Patterns, want) {
+		return nil, fmt.Errorf("sharded answer differs from the unsharded one (%d vs %d pattern bytes)", len(cold.Patterns), len(want))
+	}
+	coldPatterns, err := cold.DecodePatterns()
+	if err != nil {
+		return nil, fmt.Errorf("sharded cold mine: %w", err)
+	}
+
+	opsPerSec := float64(len(txs)) / (float64(insertNs) / 1e9)
+	fmt.Printf("bbsd bench sharded(%d): insert=%d txns in %.2fms (%.0f ops/s) cold=%.2fms cached p50=%.3fms p99=%.3fms (answers byte-identical)\n",
+		shards, len(txs), float64(insertNs)/1e6, opsPerSec,
+		float64(coldNs)/1e6, float64(p50)/1e6, float64(p99)/1e6)
+	return []serverBenchRecord{
+		{Scheme: "DFP-server-sharded-insert", WallNs: insertNs, Epoch: lastEpoch, Shards: shards,
+			Ops: len(txs), OpsPerSec: opsPerSec},
+		{Scheme: "DFP-server-sharded-cold", Tau: cold.Tau, WallNs: coldNs, Patterns: len(coldPatterns),
+			Epoch: cold.Epoch, Shards: shards},
+		{Scheme: "DFP-server-sharded-cached", Tau: cold.Tau, WallNs: p50, P50Ns: p50, P99Ns: p99,
+			Patterns: len(coldPatterns), Epoch: cold.Epoch, Shards: shards, Speedup: float64(coldNs) / float64(p50)},
+	}, nil
 }
 
 // appendBenchRecords merges the server records into the existing bench

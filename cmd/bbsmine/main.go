@@ -11,6 +11,10 @@
 //
 //	bbsmine -db dataset/ -count 3,17,29
 //	bbsmine -db dataset/ -count 3,17 -where-tid-mod 7
+//
+// -shards N opens (or migrates to) an N-way sharded database: counts fan
+// out per shard, mining binds to a merged view, and every answer is
+// identical to an unsharded database over the same data.
 package main
 
 import (
@@ -42,6 +46,7 @@ func run(args []string) error {
 		importBasket = fs.String("import-basket", "", "append transactions from a basket-format text file (one transaction per line, space-separated items)")
 		m            = fs.Int("m", 1600, "signature bits")
 		k            = fs.Int("k", 4, "hash functions per item")
+		shards       = fs.Int("shards", 0, "shard the database N ways (0 = whatever the directory already is; migrates a flat directory in place)")
 
 		minsup  = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
 		scheme  = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
@@ -64,7 +69,7 @@ func run(args []string) error {
 		return fmt.Errorf("-db is required")
 	}
 
-	db, err := bbsmine.Open(*dir, bbsmine.Options{M: *m, K: *k})
+	db, err := bbsmine.Open(*dir, bbsmine.Options{M: *m, K: *k, Shards: *shards})
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,7 @@ type Params struct {
 	Scale   float64 // multiplies D (and the web-log sizes) for quick runs
 	Repeat  int     // timing repetitions; the median is reported
 	Workers int     // mining worker pool size; 1 (the default) keeps figure timings single-threaded
+	Shards  int     // BBS shard count for -json runs; mining binds the merged view, the answer never changes (1 = unsharded)
 }
 
 // Defaults returns the paper's default parameters at the given scale.
@@ -68,6 +69,7 @@ func Defaults(scale float64) Params {
 		Scale:   scale,
 		Repeat:  1,
 		Workers: 1,
+		Shards:  1,
 	}
 }
 
@@ -193,36 +195,7 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		for _, tx := range txs {
 			idx.Insert(tx.Items)
 		}
-		miner, err := core.NewMiner(idx, store, &stats)
-		if err != nil {
-			return Metrics{}, err
-		}
-		var reg *obs.Registry
-		if observe {
-			reg = obs.New()
-			reg.BindIO(&stats)
-		}
-		stats.Reset() // index construction is not part of the mining run
-		start := time.Now()
-		res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget, Workers: workers, Observe: reg})
-		if err != nil {
-			return Metrics{}, err
-		}
-		snap := stats.Snapshot()
-		met := Metrics{
-			Scheme:    name,
-			Wall:      time.Since(start),
-			Synthetic: iostat.DefaultCostModel.Charge(snap),
-			Patterns:  len(res.Patterns),
-			FDR:       res.FalseDropRatio(),
-			Certain:   res.Certain,
-			Snapshot:  snap,
-		}
-		if reg != nil {
-			om := reg.Metrics()
-			met.Obs = &om
-		}
-		return met, nil
+		return timeBBSMine(name, scheme, idx, store, &stats, tau, memBudget, workers, observe)
 	}
 
 	switch name {
@@ -254,6 +227,42 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		}, nil
 	}
 	return Metrics{}, fmt.Errorf("exp: unknown scheme %q", name)
+}
+
+// timeBBSMine times one mining run over an already-built (index, store)
+// pair — index construction is not part of a mining run, so stats reset
+// just before the clock starts. Shared by the flat and sharded runners.
+func timeBBSMine(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.Store, stats *iostat.Stats, tau int, memBudget int64, workers int, observe bool) (Metrics, error) {
+	miner, err := core.NewMiner(idx, store, stats)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var reg *obs.Registry
+	if observe {
+		reg = obs.New()
+		reg.BindIO(stats)
+	}
+	stats.Reset()
+	start := time.Now()
+	res, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, MemoryBudget: memBudget, Workers: workers, Observe: reg})
+	if err != nil {
+		return Metrics{}, err
+	}
+	snap := stats.Snapshot()
+	met := Metrics{
+		Scheme:    name,
+		Wall:      time.Since(start),
+		Synthetic: iostat.DefaultCostModel.Charge(snap),
+		Patterns:  len(res.Patterns),
+		FDR:       res.FalseDropRatio(),
+		Certain:   res.Certain,
+		Snapshot:  snap,
+	}
+	if reg != nil {
+		om := reg.Metrics()
+		met.Obs = &om
+	}
+	return met, nil
 }
 
 // Tau converts the params' fractional threshold for a database of n rows.

@@ -80,6 +80,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"10 obsdiscipline", // time.Since bypassing the Clock seam
 		}},
 		{"obsdiscipline/serveclock/internal/serve", nil}, // the sanctioned clock seam
+		{"errwrap/shard/internal/shard", []string{
+			"10 errwrap", // deferred silent discard in the sharded layout
+			"11 errwrap", // bare statement discard in the sharded layout
+		}},
+		{"obsdiscipline/shard/internal/shard", []string{
+			"10 determinism", // time.Now is also a determinism violation in shard
+			"10 obsdiscipline",
+			"11 determinism",
+			"11 obsdiscipline", // time.Since bypassing the registry
+		}},
 		{"suppress/internal/core", nil}, // both violations suppressed with reasons
 		{"suppress/fileignore/internal/core", nil},
 		{"malformed/internal/core", []string{
@@ -132,7 +142,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{ObsDiscipline, "bbsmine/internal/exp", false},
 		{ObsDiscipline, "bbsmine/internal/serve", true},        // the serving layer uses the Clock seam
 		{ObsDiscipline, "bbsmine/internal/serve/client", true}, // the client rides along
+		{ObsDiscipline, "bbsmine/internal/shard", true},        // the sharded index follows the engine's rules
 		{Determinism, "bbsmine/internal/serve", true},
+		{Determinism, "bbsmine/internal/shard", true}, // fan-out merge order must be deterministic
 		{PooledVec, "bbsmine/internal/core", true},
 		{PooledVec, "bbsmine/internal/bitvec", false}, // the pool itself may call New
 		{Determinism, "bbsmine/internal/core", true},

@@ -20,13 +20,16 @@ import (
 // The serving layer (internal/serve) is held to the same clock rule for a
 // different reason: its wall-clock reads must go through the injected
 // Clock seam so tests control served timestamps. The one sanctioned read —
-// SystemClock in clock.go — carries a file-ignore directive.
+// SystemClock in clock.go — carries a file-ignore directive. The sharded
+// index (internal/shard) sits between the engine and the serving layer and
+// follows the engine's rules: its fan-out accounting goes through the
+// registry, never through exposition imports or direct clock reads.
 var ObsDiscipline = &Analyzer{
 	Name: "obsdiscipline",
 	Doc:  "engine packages must route telemetry through internal/obs: no expvar/pprof imports, no direct wall-clock reads",
 	Applies: func(path string) bool {
 		return pathHasSegment(path, "internal/core") || pathHasSegment(path, "internal/sigfile") ||
-			pathHasSegment(path, "internal/serve")
+			pathHasSegment(path, "internal/serve") || pathHasSegment(path, "internal/shard")
 	},
 	Run: runObsDiscipline,
 }

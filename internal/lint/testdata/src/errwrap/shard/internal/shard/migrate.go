@@ -1,0 +1,13 @@
+// Package shard is an errwrap scope fixture: the sharded layout owns the
+// flat-to-sharded migration's file I/O, so bare error discards are flagged
+// here exactly as in txdb and serve.
+package shard
+
+import "os"
+
+// Migrate drops both cleanup errors on the floor.
+func Migrate(f *os.File) {
+	defer f.Sync()          // want: deferred silent discard
+	os.Remove("stale.txdb") // want: bare statement discard
+	_ = f.Close()           // explicit discard: allowed
+}

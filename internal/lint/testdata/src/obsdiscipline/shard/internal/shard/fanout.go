@@ -1,0 +1,12 @@
+// Package shard is an obsdiscipline fixture: the sharded index follows the
+// engine's telemetry rules — fan-out accounting goes through the registry,
+// never a direct wall-clock read.
+package shard
+
+import "time"
+
+// FanOut times the per-shard fan-out directly instead of using obs phases.
+func FanOut() time.Duration {
+	start := time.Now()      // want: direct wall-clock read
+	return time.Since(start) // want: direct wall-clock read
+}

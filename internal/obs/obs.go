@@ -184,6 +184,7 @@ type Registry struct {
 	cache  CacheStats
 	phases PhaseStats
 	server ServerStats
+	shards shardStats
 
 	mineLatency HistStats // whole-Mine wall time, ns
 	andDepth    HistStats // slice positions AND-ed per evaluation

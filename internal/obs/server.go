@@ -107,7 +107,9 @@ func (r *Registry) DecQueued() {
 }
 
 // AddWriteBatch records one committed write batch of ops operations,
-// feeding the batch-size histogram.
+// feeding the batch-size histogram. A sharded server commits per shard, so
+// a request touching three shards records three batches here (one per
+// commit loop) alongside the per-shard split in AddShardWriteBatch.
 func (r *Registry) AddWriteBatch(ops int64) {
 	if r == nil {
 		return
@@ -118,7 +120,9 @@ func (r *Registry) AddWriteBatch(ops int64) {
 	r.batchSize.Observe(ops)
 }
 
-// SetEpoch publishes the index's current epoch.
+// SetEpoch publishes the server's current epoch: the one index epoch on an
+// unsharded server, the sum of the per-shard epochs on a sharded one (the
+// vector itself goes through SetShardEpoch).
 func (r *Registry) SetEpoch(epoch uint64) {
 	if r == nil {
 		return
@@ -161,6 +165,11 @@ type ServerMetrics struct {
 	CacheEntries   int64       `json:"query_cache_entries"`
 	CacheEvictions int64       `json:"query_cache_evictions"`
 	BatchSize      HistMetrics `json:"write_batch_size"`
+
+	// Shards carries the per-shard counter split, in shard order; absent
+	// for unsharded servers. Flattened to the exposition as
+	// server_shards_<i>_<field> lines.
+	Shards []ShardMetrics `json:"shards,omitempty"`
 }
 
 // serverMetrics snapshots the server section; nil when no server traffic
@@ -183,5 +192,6 @@ func (r *Registry) serverMetrics() *ServerMetrics {
 		CacheEntries:   r.server.cacheEntries.Load(),
 		CacheEvictions: r.server.cacheEvictions.Load(),
 		BatchSize:      r.batchSize.Metrics(),
+		Shards:         r.shardMetrics(),
 	}
 }

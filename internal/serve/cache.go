@@ -8,12 +8,14 @@ import (
 	"bbsmine/internal/obs"
 )
 
-// queryKey identifies a mining result completely: the epoch pins the data,
-// the rest pins the question. Workers is deliberately absent — the engine's
-// determinism guarantee makes the result identical for every pool size, so
-// queries differing only in Workers share one cache entry.
+// queryKey identifies a mining result completely: the epoch vector pins the
+// data (encoded "e0.e1..." in shard order — every shard's epoch only grows,
+// so a vector never repeats with different contents), the rest pins the
+// question. Workers is deliberately absent — the engine's determinism
+// guarantee makes the result identical for every pool size, so queries
+// differing only in Workers share one cache entry.
 type queryKey struct {
-	epoch      uint64
+	epochs     string
 	scheme     core.Scheme
 	tau        int // resolved absolute threshold, never the input fraction
 	maxLen     int

@@ -1,21 +1,37 @@
-// Package serve implements bbsd's concurrent mining engine: a single BBS
-// index behind an HTTP front-end, with snapshot-isolated queries, batched
-// writes and an epoch-keyed query cache.
+// Package serve implements bbsd's concurrent mining engine: one or more
+// BBS shards behind an HTTP front-end, with snapshot-isolated queries,
+// batched per-shard writes and an epoch-keyed query cache.
 //
-// The concurrency model has one writer and many readers. All writes funnel
-// through a commit loop that drains whatever requests have queued, applies
-// them to the master index and log, bumps the epoch once per batch, and
-// publishes a fresh immutable snapshot (a copy-on-write sigfile.Snapshot
-// plus a txdb.LogView taken at the same commit point). Queries never touch
-// the master: each one loads the current snapshot pointer and mines a
-// private QueryClone, so a query admitted at epoch e sees exactly the data
-// of epoch e no matter how many batches commit while it runs.
+// The concurrency model is scatter-gather over N shards (N = 1 is the
+// unsharded special case, not a separate code path). A small router assigns
+// every inserted transaction a global ordinal and routes it round-robin —
+// ordinal g lives in shard g mod N — then hands each shard its slice of the
+// request. Each shard owns a commit loop: the loop drains whatever
+// sub-requests have queued, applies them to that shard's index and log,
+// bumps that shard's epoch once per batch, and publishes a fresh immutable
+// per-shard snapshot (a copy-on-write sigfile.Snapshot plus a txdb.LogView
+// taken at the same commit point). Shards never wait for each other, which
+// is the point: with N shards there are N independent writers instead of
+// one.
 //
-// Identical queries are answered once: results are cached per (epoch,
-// scheme, τ, maxlen, budget, constraint), and concurrent identical misses
-// collapse into a single mine via single-flight. Admission control bounds
-// the number of concurrent cold mines and the queue behind them; everything
-// past that is rejected immediately rather than piling up.
+// Queries never touch the masters: each one loads the N snapshot pointers —
+// an epoch vector (e_0, ..., e_{N-1}) — and mines a private view of it.
+// The isolation guarantee is per shard: a query sees shard s exactly at
+// epoch e_s, never a half-applied batch, but the vector is not a global
+// cut — a multi-shard write becomes visible shard by shard, and a query
+// may observe one shard's half of it before another's. Requests validate
+// atomically in the router (a rejected request changes nothing anywhere);
+// what relaxes under sharding is only cross-shard apply atomicity. For
+// mining, the per-shard snapshots are block-concatenated into one merged
+// index (a row permutation of the unsharded index, so every answer is
+// byte-identical to an unsharded engine holding the same data at the same
+// epochs); the merge is built once per epoch vector and cached.
+//
+// Identical queries are answered once: results are cached per (epoch
+// vector, scheme, τ, maxlen, budget, constraint), and concurrent identical
+// misses collapse into a single mine via single-flight. Admission control
+// bounds the number of concurrent cold mines and the queue behind them;
+// everything past that is rejected immediately rather than piling up.
 package serve
 
 import (
@@ -23,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,20 +75,38 @@ const (
 	writeQueueDepth     = 128
 )
 
-// Options configures an Engine. Index and Log are required and must cover
-// the same transactions; everything else has a serviceable zero value.
-type Options struct {
-	// Index is the master BBS index the engine owns from now on: nothing
-	// else may mutate it while the engine is open.
+// ShardOptions is one shard's state: its index, its in-memory log, and
+// optionally its durable store and index path. Index and Log are required
+// and must cover the same transactions.
+type ShardOptions struct {
+	// Index is the shard's master BBS index, owned by the engine from now
+	// on: nothing else may mutate it while the engine is open.
 	Index *sigfile.BBS
 	// Log is the in-memory transaction log backing the index, same
 	// ownership rule.
 	Log *txdb.AppendLog
-	// File, when non-nil, is the durable store: the commit loop appends
-	// every insert to it before the in-memory apply, and Close syncs it.
+	// File, when non-nil, is the shard's durable store: the shard's commit
+	// loop appends every insert to it before the in-memory apply, and Close
+	// syncs it.
 	File *txdb.FileStore
-	// IndexPath, when non-empty, is where Close saves the index.
+	// IndexPath, when non-empty, is where Close saves the shard's index.
 	IndexPath string
+}
+
+// Options configures an Engine. Provide either the single-shard sugar
+// fields (Index, Log, File, IndexPath — exactly one shard) or Shards, not
+// both; everything else has a serviceable zero value.
+type Options struct {
+	// Index, Log, File and IndexPath configure a one-shard engine; they are
+	// shorthand for Shards with a single entry.
+	Index     *sigfile.BBS
+	Log       *txdb.AppendLog
+	File      *txdb.FileStore
+	IndexPath string
+	// Shards configures one entry per shard. The shards' lengths must
+	// satisfy the round-robin layout (shard i holds ceil((n-i)/N) of the n
+	// transactions), which is what shard.Open produces.
+	Shards []ShardOptions
 	// Workers is the default mining pool size per query (0 = one per CPU);
 	// a request may override it, which never changes the answer.
 	Workers int
@@ -84,8 +119,8 @@ type Options struct {
 	CacheEntries int
 	// RequestTimeout bounds each mine's run time (0 = unbounded).
 	RequestTimeout time.Duration
-	// PageCacheLimit bounds the durable store's page cache in bytes
-	// (default 64 MiB); ignored when File is nil.
+	// PageCacheLimit bounds the durable stores' page caches in bytes
+	// (default 64 MiB), split evenly across the shards that have files.
 	PageCacheLimit int64
 	// Observe receives the server and mining telemetry; nil disables it.
 	Observe *obs.Registry
@@ -94,50 +129,101 @@ type Options struct {
 	Clock Clock
 }
 
-// snapshot is one immutable (index, log) pair published at a commit point.
-// Queries clone from it; the commit loop replaces it wholesale.
+// snapshot is one shard's immutable (index, log) pair published at a commit
+// point. Queries clone from it; the shard's commit loop replaces it
+// wholesale.
 type snapshot struct {
 	epoch uint64
 	idx   *sigfile.BBS
 	log   *txdb.LogView
 }
 
-// Engine is the serving core: one writer (the commit loop), any number of
-// snapshot-isolated readers.
-type Engine struct {
-	obs       *obs.Registry
-	stats     *iostat.Stats
-	clock     Clock
-	start     time.Time
-	idx       *sigfile.BBS // master; commit loop only after New returns
+// engineShard is one shard's serving state: the master index and log its
+// commit loop owns, the published snapshot readers load, and the channel
+// the router feeds.
+type engineShard struct {
+	id        int
+	idx       *sigfile.BBS // master; this shard's commit loop only after New returns
 	log       *txdb.AppendLog
 	file      *txdb.FileStore
 	indexPath string
-	workers   int
-	maxQueue  int
-	timeout   time.Duration
-	cache     *queryCache
-	admitCh   chan struct{} // in-flight mine slots
-	queueLen  atomic.Int64
 	snap      atomic.Pointer[snapshot]
-	writeCh   chan *writeReq
+	writeCh   chan *shardWrite
 	loopDone  chan struct{}
-
-	wmu    sync.Mutex // orders writeCh sends against close(writeCh)
-	closed bool
 }
 
-// New validates the components, publishes the initial snapshot and starts
-// the commit loop. The engine owns Index and Log from here on.
+// Engine is the serving core: N per-shard writers (the commit loops) behind
+// a thin router, and any number of snapshot-isolated readers.
+type Engine struct {
+	obs      *obs.Registry
+	stats    *iostat.Stats
+	clock    Clock
+	start    time.Time
+	shards   []*engineShard
+	workers  int
+	maxQueue int
+	timeout  time.Duration
+	cache    *queryCache
+	admitCh  chan struct{} // in-flight mine slots
+	queueLen atomic.Int64
+	wedged   atomic.Pointer[wedgeState] // set on an apply I/O error; fails all later writes
+
+	// merged is the one-entry cache of the block-concatenated mining view,
+	// keyed by epoch vector; unused (and never built) with one shard.
+	merged struct {
+		mu  sync.Mutex
+		key string
+		idx *sigfile.BBS
+	}
+
+	// The router: assigns global ordinals, validates requests whole,
+	// splits them across the shards and tracks tombstones. rmu also orders
+	// writeCh sends against close(writeCh).
+	rmu     sync.Mutex
+	closed  bool
+	nextPos int          // next global ordinal to assign
+	dead    map[int]bool // every tombstoned global position, seeded at New
+}
+
+// wedgeState records the first apply-path I/O error. Inserts are assigned
+// global ordinals before they reach a shard, so an insert that fails to
+// apply would leave a hole in the round-robin layout; rather than serve a
+// corrupted layout, the engine stops accepting writes and reports the
+// error. Queries keep working against the published snapshots.
+type wedgeState struct{ err error }
+
+// New validates the components, publishes the initial snapshots and starts
+// one commit loop per shard. The engine owns the indexes and logs from here
+// on.
 func New(opts Options) (*Engine, error) {
-	if opts.Index == nil || opts.Log == nil {
-		return nil, fmt.Errorf("serve: Options.Index and Options.Log are required")
+	parts := opts.Shards
+	if len(parts) == 0 {
+		if opts.Index == nil || opts.Log == nil {
+			return nil, fmt.Errorf("serve: Options.Index and Options.Log are required")
+		}
+		parts = []ShardOptions{{Index: opts.Index, Log: opts.Log, File: opts.File, IndexPath: opts.IndexPath}}
+	} else if opts.Index != nil || opts.Log != nil || opts.File != nil || opts.IndexPath != "" {
+		return nil, fmt.Errorf("serve: set Options.Shards or the single-shard fields, not both")
 	}
-	if opts.Index.Len() != opts.Log.Len() {
-		return nil, fmt.Errorf("serve: index covers %d transactions but the log has %d", opts.Index.Len(), opts.Log.Len())
+	n := len(parts)
+	total := 0
+	for s, p := range parts {
+		if p.Index == nil || p.Log == nil {
+			return nil, fmt.Errorf("serve: shard %d needs Index and Log", s)
+		}
+		if p.Index.Len() != p.Log.Len() {
+			return nil, fmt.Errorf("serve: shard %d index covers %d transactions but the log has %d", s, p.Index.Len(), p.Log.Len())
+		}
+		if p.File != nil && p.File.Len() != p.Log.Len() {
+			return nil, fmt.Errorf("serve: shard %d data file has %d transactions but the log has %d", s, p.File.Len(), p.Log.Len())
+		}
+		total += p.Index.Len()
 	}
-	if opts.File != nil && opts.File.Len() != opts.Log.Len() {
-		return nil, fmt.Errorf("serve: data file has %d transactions but the log has %d", opts.File.Len(), opts.Log.Len())
+	for s, p := range parts {
+		want := (total - s + n - 1) / n
+		if p.Index.Len() != want {
+			return nil, fmt.Errorf("serve: shard %d holds %d rows, round-robin layout over %d rows needs %d", s, p.Index.Len(), total, want)
+		}
 	}
 	maxInFlight := opts.MaxInFlight
 	if maxInFlight <= 0 {
@@ -155,72 +241,164 @@ func New(opts Options) (*Engine, error) {
 	if clock == nil {
 		clock = SystemClock()
 	}
-	if opts.File != nil {
+	files := 0
+	for _, p := range parts {
+		if p.File != nil {
+			files++
+		}
+	}
+	if files > 0 {
 		limit := opts.PageCacheLimit
 		if limit <= 0 {
 			limit = defaultPageCache
 		}
-		opts.File.SetCacheLimit(limit)
+		per := limit / int64(files)
+		for _, p := range parts {
+			if p.File != nil {
+				p.File.SetCacheLimit(per)
+			}
+		}
 	}
 	e := &Engine{
-		obs:       opts.Observe,
-		stats:     opts.Index.Stats(),
-		clock:     clock,
-		start:     clock.Now(),
-		idx:       opts.Index,
-		log:       opts.Log,
-		file:      opts.File,
-		indexPath: opts.IndexPath,
-		workers:   opts.Workers,
-		maxQueue:  maxQueue,
-		timeout:   opts.RequestTimeout,
-		cache:     newQueryCache(cacheEntries, opts.Observe),
-		admitCh:   make(chan struct{}, maxInFlight),
-		writeCh:   make(chan *writeReq, writeQueueDepth),
-		loopDone:  make(chan struct{}),
+		obs:      opts.Observe,
+		stats:    parts[0].Index.Stats(),
+		clock:    clock,
+		start:    clock.Now(),
+		workers:  opts.Workers,
+		maxQueue: maxQueue,
+		timeout:  opts.RequestTimeout,
+		cache:    newQueryCache(cacheEntries, opts.Observe),
+		admitCh:  make(chan struct{}, maxInFlight),
+		nextPos:  total,
+		dead:     make(map[int]bool),
 	}
-	e.publish()
-	e.obs.SetEpoch(e.idx.Epoch())
-	go e.commitLoop()
+	e.shards = make([]*engineShard, n)
+	for s, p := range parts {
+		sh := &engineShard{
+			id:        s,
+			idx:       p.Index,
+			log:       p.Log,
+			file:      p.File,
+			indexPath: p.IndexPath,
+			writeCh:   make(chan *shardWrite, writeQueueDepth),
+			loopDone:  make(chan struct{}),
+		}
+		for local := 0; local < p.Index.Len(); local++ {
+			if !p.Index.IsLive(local) {
+				e.dead[local*n+s] = true
+			}
+		}
+		sh.publish()
+		e.obs.SetShardEpoch(s, sh.idx.Epoch())
+		e.shards[s] = sh
+	}
+	e.obs.SetEpoch(e.Epoch())
+	for _, sh := range e.shards {
+		go e.shardLoop(sh)
+	}
 	return e, nil
 }
 
-// publish snapshots the master state. Called from New and the commit loop
-// only — the single-writer rule is what makes Snapshot/View safe here.
-func (e *Engine) publish() {
-	e.snap.Store(&snapshot{
-		epoch: e.idx.Epoch(),
-		idx:   e.idx.Snapshot(),
-		log:   e.log.View(),
+// publish snapshots the shard's master state. Called from New and the
+// shard's own commit loop only — the per-shard single-writer rule is what
+// makes Snapshot/View safe here.
+func (sh *engineShard) publish() {
+	sh.snap.Store(&snapshot{
+		epoch: sh.idx.Epoch(),
+		idx:   sh.idx.Snapshot(),
+		log:   sh.log.View(),
 	})
 }
 
-// Epoch returns the epoch of the currently published snapshot.
-func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
 
-// Close stops accepting writes, drains and commits what is already queued,
-// syncs the data file and saves the index if IndexPath is set. In-flight
-// queries finish against their snapshots. Safe to call more than once.
+// loadSnaps loads every shard's current snapshot pointer. The result is an
+// epoch vector, not a global cut: each shard is internally consistent at
+// its own epoch.
+func (e *Engine) loadSnaps() []*snapshot {
+	snaps := make([]*snapshot, len(e.shards))
+	for i, sh := range e.shards {
+		snaps[i] = sh.snap.Load()
+	}
+	return snaps
+}
+
+// epochKey encodes an epoch vector as the cache-key string "e0.e1...".
+func epochKey(snaps []*snapshot) string {
+	if len(snaps) == 1 {
+		return strconv.FormatUint(snaps[0].epoch, 10)
+	}
+	buf := make([]byte, 0, 4*len(snaps))
+	for i, sn := range snaps {
+		if i > 0 {
+			buf = append(buf, '.')
+		}
+		buf = strconv.AppendUint(buf, sn.epoch, 10)
+	}
+	return string(buf)
+}
+
+// epochSum collapses an epoch vector into the scalar the wire format
+// reports: each term only grows, so the sum is monotone and an unsharded
+// engine's sum is its one epoch, unchanged.
+func epochSum(snaps []*snapshot) uint64 {
+	var sum uint64
+	for _, sn := range snaps {
+		sum += sn.epoch
+	}
+	return sum
+}
+
+// epochVector returns the per-shard epochs of a snapshot vector.
+func epochVector(snaps []*snapshot) []uint64 {
+	out := make([]uint64, len(snaps))
+	for i, sn := range snaps {
+		out[i] = sn.epoch
+	}
+	return out
+}
+
+// Epoch returns the sum of the currently published per-shard epochs (the
+// shard epoch itself when unsharded).
+func (e *Engine) Epoch() uint64 { return epochSum(e.loadSnaps()) }
+
+// EpochVector returns the currently published per-shard epochs, in shard
+// order.
+func (e *Engine) EpochVector() []uint64 { return epochVector(e.loadSnaps()) }
+
+// Close stops accepting writes, drains and commits what is already queued
+// in every shard, syncs the data files and saves the indexes where an
+// IndexPath is set. In-flight queries finish against their snapshots. Safe
+// to call more than once.
 func (e *Engine) Close() error {
-	e.wmu.Lock()
+	e.rmu.Lock()
 	if e.closed {
-		e.wmu.Unlock()
-		<-e.loopDone
+		e.rmu.Unlock()
+		for _, sh := range e.shards {
+			<-sh.loopDone
+		}
 		return nil
 	}
 	e.closed = true
-	close(e.writeCh)
-	e.wmu.Unlock()
-	<-e.loopDone
-	var firstErr error
-	if e.file != nil {
-		if err := e.file.Sync(); err != nil {
-			firstErr = fmt.Errorf("serve: syncing the data file: %w", err)
-		}
+	for _, sh := range e.shards {
+		close(sh.writeCh)
 	}
-	if e.indexPath != "" {
-		if err := e.idx.Save(e.indexPath); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("serve: saving the index: %w", err)
+	e.rmu.Unlock()
+	for _, sh := range e.shards {
+		<-sh.loopDone
+	}
+	var firstErr error
+	for _, sh := range e.shards {
+		if sh.file != nil {
+			if err := sh.file.Sync(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("serve: syncing shard %d's data file: %w", sh.id, err)
+			}
+		}
+		if sh.indexPath != "" {
+			if err := sh.idx.Save(sh.indexPath); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("serve: saving shard %d's index: %w", sh.id, err)
+			}
 		}
 	}
 	return firstErr
@@ -238,65 +416,164 @@ type TxnsRequest struct {
 }
 
 // TxnsResponse reports the outcome: every operation of the request is
-// visible to queries at or after Epoch.
+// visible to queries at or after Epoch. On a sharded engine Epoch is the
+// sum of the per-shard epochs and Epochs carries the vector itself; the
+// request's operations become visible shard by shard as each commit loop
+// publishes, and the response is sent only after the last one has.
 type TxnsResponse struct {
-	Epoch    uint64 `json:"epoch"`
-	Inserted int    `json:"inserted"`
-	Deleted  int    `json:"deleted"`
+	Epoch    uint64   `json:"epoch"`
+	Epochs   []uint64 `json:"epochs,omitempty"`
+	Inserted int      `json:"inserted"`
+	Deleted  int      `json:"deleted"`
 }
 
-type writeReq struct {
-	req  TxnsRequest
-	resp chan writeResult
+// localDel is one routed delete: the shard-local position plus the global
+// one for error messages.
+type localDel struct {
+	local  int
+	global int
 }
 
-type writeResult struct {
-	res TxnsResponse
-	err error
+// shardWrite is one shard's slice of a validated request.
+type shardWrite struct {
+	job  *applyJob
+	txs  []txdb.Transaction // inserts in ordinal order, TIDs pre-assigned
+	dels []localDel
 }
 
-// Apply submits a write and waits for its batch to commit. Requests are
-// validated whole before anything applies, so the common failure modes
-// (bad items, bad positions) are atomic; a mid-request data-file I/O error
-// is not, and the response counts report how far the apply got. A done ctx
-// stops the wait, not the commit.
+// applyJob gathers the per-shard outcomes of one request. The last shard
+// to finish closes done; epochs holds each participating shard's commit
+// epoch.
+type applyJob struct {
+	mu       sync.Mutex
+	inserted int
+	deleted  int
+	err      error // first per-shard apply error
+	epochs   map[int]uint64
+	pending  int
+	done     chan struct{}
+}
+
+// Apply submits a write and waits for every involved shard to commit its
+// slice of it. The request is validated whole in the router before anything
+// is enqueued, so every validation failure is atomic — nothing applied
+// anywhere. A mid-apply data-file I/O error is not atomic: the response
+// counts report how far the apply got, and the engine stops accepting
+// writes (the error would otherwise leave a hole in the round-robin
+// layout). A done ctx stops the wait, not the commits.
 func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, error) {
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
-		return TxnsResponse{Epoch: e.Epoch()}, nil
+		snaps := e.loadSnaps()
+		res := TxnsResponse{Epoch: epochSum(snaps)}
+		if len(e.shards) > 1 {
+			res.Epochs = epochVector(snaps)
+		}
+		return res, nil
 	}
-	wr := &writeReq{req: req, resp: make(chan writeResult, 1)}
-	e.wmu.Lock()
+	if w := e.wedged.Load(); w != nil {
+		return TxnsResponse{}, fmt.Errorf("serve: write path disabled by an earlier apply error: %w", w.err)
+	}
+	n := len(e.shards)
+	job := &applyJob{epochs: make(map[int]uint64), done: make(chan struct{})}
+
+	e.rmu.Lock()
 	if e.closed {
-		e.wmu.Unlock()
+		e.rmu.Unlock()
 		return TxnsResponse{}, ErrClosed
 	}
-	e.writeCh <- wr // under wmu: blocking here backpressures writers and Close alike
-	e.wmu.Unlock()
-	if ctx == nil {
-		r := <-wr.resp
-		return r.res, r.err
+	base := e.nextPos
+	end := base + len(req.Insert)
+	writes := make([]*shardWrite, n)
+	sub := func(s int) *shardWrite {
+		if writes[s] == nil {
+			writes[s] = &shardWrite{job: job}
+		}
+		return writes[s]
 	}
+	for i, items := range req.Insert {
+		tx := txdb.NewTransaction(int64(base+i), items)
+		if err := tx.Validate(); err != nil {
+			e.rmu.Unlock()
+			return TxnsResponse{}, fmt.Errorf("%w: insert %d: %w", ErrInvalid, i, err)
+		}
+		s := (base + i) % n
+		sub(s).txs = append(sub(s).txs, tx)
+	}
+	seen := make(map[int]bool, len(req.Delete))
+	for _, pos := range req.Delete {
+		if pos < 0 || pos >= end {
+			e.rmu.Unlock()
+			return TxnsResponse{}, fmt.Errorf("%w: delete position %d out of range [0,%d)", ErrInvalid, pos, end)
+		}
+		if seen[pos] {
+			e.rmu.Unlock()
+			return TxnsResponse{}, fmt.Errorf("%w: duplicate delete of position %d", ErrInvalid, pos)
+		}
+		if pos < base && e.dead[pos] {
+			e.rmu.Unlock()
+			return TxnsResponse{}, fmt.Errorf("%w: position %d is already deleted", ErrInvalid, pos)
+		}
+		seen[pos] = true
+		sub(pos % n).dels = append(sub(pos%n).dels, localDel{local: pos / n, global: pos})
+	}
+	// The request is valid as a whole: commit the routing decisions and
+	// fan the slices out. Holding rmu through the sends keeps shard
+	// channel order equal to ordinal order, so a delete of a just-inserted
+	// position always lands behind its insert.
+	e.nextPos = end
+	for _, pos := range req.Delete {
+		e.dead[pos] = true
+	}
+	for _, w := range writes {
+		if w != nil {
+			job.pending++
+		}
+	}
+	for s, w := range writes {
+		if w != nil {
+			e.shards[s].writeCh <- w
+		}
+	}
+	e.rmu.Unlock()
+
 	select {
-	case r := <-wr.resp:
-		return r.res, r.err
+	case <-job.done:
 	case <-ctx.Done():
-		return TxnsResponse{}, fmt.Errorf("serve: write abandoned (the batch still commits): %w", ctx.Err())
+		if ctx.Err() != nil {
+			return TxnsResponse{}, fmt.Errorf("serve: write abandoned (the batches still commit): %w", ctx.Err())
+		}
 	}
+	res := TxnsResponse{Inserted: job.inserted, Deleted: job.deleted}
+	epochs := make([]uint64, n)
+	for s := range e.shards {
+		if ep, ok := job.epochs[s]; ok {
+			epochs[s] = ep
+		} else {
+			epochs[s] = e.shards[s].snap.Load().epoch
+		}
+	}
+	for _, ep := range epochs {
+		res.Epoch += ep
+	}
+	if n > 1 {
+		res.Epochs = epochs
+	}
+	return res, job.err
 }
 
-// commitLoop is the single writer: it blocks for one request, greedily
-// drains whatever else has queued, and commits them as one batch with one
-// epoch bump.
-func (e *Engine) commitLoop() {
-	defer close(e.loopDone)
-	for wr := range e.writeCh {
-		batch := []*writeReq{wr}
+// shardLoop is shard sh's single writer: it blocks for one sub-request,
+// greedily drains whatever else has queued for this shard, and commits them
+// as one batch with one epoch bump.
+func (e *Engine) shardLoop(sh *engineShard) {
+	defer close(sh.loopDone)
+	for w := range sh.writeCh {
+		batch := []*shardWrite{w}
 	drain:
 		for {
 			select {
-			case more, ok := <-e.writeCh:
+			case more, ok := <-sh.writeCh:
 				if !ok {
-					e.commit(batch)
+					e.shardCommit(sh, batch)
 					return
 				}
 				batch = append(batch, more)
@@ -304,85 +581,86 @@ func (e *Engine) commitLoop() {
 				break drain
 			}
 		}
-		e.commit(batch)
+		e.shardCommit(sh, batch)
 	}
 }
 
-// commit applies a batch to the master state, bumps the epoch once if
-// anything changed, publishes the new snapshot and answers every request
-// with the commit's epoch.
-func (e *Engine) commit(batch []*writeReq) {
-	results := make([]writeResult, len(batch))
-	var ops int64
-	for i, wr := range batch {
-		res, err := e.applyOne(wr.req)
-		results[i] = writeResult{res: res, err: err}
-		ops += int64(res.Inserted + res.Deleted)
+// shardCommit applies a batch to the shard's master state, bumps the
+// shard's epoch once if anything changed, publishes the new snapshot and
+// reports each sub-request's outcome to its job.
+func (e *Engine) shardCommit(sh *engineShard, batch []*shardWrite) {
+	type outcome struct {
+		inserted, deleted int
+		err               error
 	}
-	epoch := e.idx.Epoch()
+	outs := make([]outcome, len(batch))
+	var ops int64
+	for i, w := range batch {
+		ins, del, err := e.applySub(sh, w)
+		outs[i] = outcome{inserted: ins, deleted: del, err: err}
+		ops += int64(ins + del)
+	}
+	epoch := sh.idx.Epoch()
 	if ops > 0 {
-		epoch = e.idx.BumpEpoch()
-		e.publish()
-		e.obs.SetEpoch(epoch)
+		epoch = sh.idx.BumpEpoch()
+		sh.publish()
+		e.obs.SetShardEpoch(sh.id, epoch)
+		e.obs.AddShardWriteBatch(sh.id, ops)
+		e.obs.SetEpoch(e.Epoch())
 		e.obs.AddWriteBatch(ops)
 	}
-	for i, wr := range batch {
-		results[i].res.Epoch = epoch
-		wr.resp <- results[i]
+	for i, w := range batch {
+		j := w.job
+		j.mu.Lock()
+		j.inserted += outs[i].inserted
+		j.deleted += outs[i].deleted
+		j.epochs[sh.id] = epoch
+		if outs[i].err != nil && j.err == nil {
+			j.err = outs[i].err
+		}
+		j.pending--
+		if j.pending == 0 {
+			close(j.done)
+		}
+		j.mu.Unlock()
 	}
 }
 
-// applyOne validates one request in full, then applies inserts (data file,
-// then log, then index — the recovery-friendly order bbsmine.Open already
-// understands) and deletes.
-func (e *Engine) applyOne(req TxnsRequest) (TxnsResponse, error) {
-	base := e.log.Len()
-	txs := make([]txdb.Transaction, len(req.Insert))
-	for i, items := range req.Insert {
-		tx := txdb.NewTransaction(int64(base+i), items)
-		if err := tx.Validate(); err != nil {
-			return TxnsResponse{}, fmt.Errorf("%w: insert %d: %w", ErrInvalid, i, err)
-		}
-		txs[i] = tx
+// applySub applies one routed sub-request to the shard: inserts (data
+// file, then log, then index — the recovery-friendly order shard.Open
+// understands) and then deletes. The router already validated the request,
+// so the only failures left are I/O; one wedges the engine's write path.
+func (e *Engine) applySub(sh *engineShard, w *shardWrite) (inserted, deleted int, err error) {
+	if s := e.wedged.Load(); s != nil {
+		return 0, 0, fmt.Errorf("serve: write path disabled by an earlier apply error: %w", s.err)
 	}
-	n := base + len(txs)
-	seen := make(map[int]bool, len(req.Delete))
-	for _, pos := range req.Delete {
-		if pos < 0 || pos >= n {
-			return TxnsResponse{}, fmt.Errorf("%w: delete position %d out of range [0,%d)", ErrInvalid, pos, n)
-		}
-		if seen[pos] {
-			return TxnsResponse{}, fmt.Errorf("%w: duplicate delete of position %d", ErrInvalid, pos)
-		}
-		if pos < base && !e.idx.IsLive(pos) {
-			return TxnsResponse{}, fmt.Errorf("%w: position %d is already deleted", ErrInvalid, pos)
-		}
-		seen[pos] = true
+	wedge := func(err error) error {
+		e.wedged.CompareAndSwap(nil, &wedgeState{err: err})
+		return err
 	}
-	var resp TxnsResponse
-	for _, tx := range txs {
-		if e.file != nil {
-			if err := e.file.Append(tx); err != nil {
-				return resp, fmt.Errorf("serve: appending to the data file: %w", err)
+	for _, tx := range w.txs {
+		if sh.file != nil {
+			if err := sh.file.Append(tx); err != nil {
+				return inserted, deleted, wedge(fmt.Errorf("serve: appending to shard %d's data file: %w", sh.id, err))
 			}
 		}
-		if err := e.log.Append(tx); err != nil {
-			return resp, fmt.Errorf("serve: appending to the log: %w", err)
+		if err := sh.log.Append(tx); err != nil {
+			return inserted, deleted, wedge(fmt.Errorf("serve: appending to shard %d's log: %w", sh.id, err))
 		}
-		e.idx.Insert(tx.Items)
-		resp.Inserted++
+		sh.idx.Insert(tx.Items)
+		inserted++
 	}
-	for _, pos := range req.Delete {
-		tx, err := e.log.Get(pos)
+	for _, d := range w.dels {
+		tx, err := sh.log.Get(d.local)
 		if err != nil {
-			return resp, fmt.Errorf("serve: resolving delete of position %d: %w", pos, err)
+			return inserted, deleted, wedge(fmt.Errorf("serve: resolving delete of position %d: %w", d.global, err))
 		}
-		if err := e.idx.Delete(pos, tx.Items); err != nil {
-			return resp, fmt.Errorf("serve: deleting position %d: %w", pos, err)
+		if err := sh.idx.Delete(d.local, tx.Items); err != nil {
+			return inserted, deleted, wedge(fmt.Errorf("serve: deleting position %d: %w", d.global, err))
 		}
-		resp.Deleted++
+		deleted++
 	}
-	return resp, nil
+	return inserted, deleted, nil
 }
 
 // ---- query path ----
@@ -416,13 +694,14 @@ type PatternJSON struct {
 }
 
 // QueryResponse is one /mine answer. Patterns is canonical-order and
-// depends only on (epoch, scheme, τ, maxlen, budget, constraint) — never
-// on Workers, the cache, or concurrent writes. It is kept in encoded form:
-// the pattern set can run to hundreds of thousands of itemsets, and the
-// cache serves the same bytes to every hit rather than re-encoding them
-// per request. Call DecodePatterns for the typed view.
+// depends only on (epoch vector, scheme, τ, maxlen, budget, constraint) —
+// never on Workers, the cache, the shard count, or concurrent writes. It is
+// kept in encoded form: the pattern set can run to hundreds of thousands of
+// itemsets, and the cache serves the same bytes to every hit rather than
+// re-encoding them per request. Call DecodePatterns for the typed view.
 type QueryResponse struct {
 	Epoch          uint64          `json:"epoch"`
+	Epochs         []uint64        `json:"epochs,omitempty"`
 	Scheme         string          `json:"scheme"`
 	Tau            int             `json:"tau"`
 	Cached         bool            `json:"cached"`
@@ -488,8 +767,8 @@ func parseScheme(s string) (core.Scheme, error) {
 	return 0, fmt.Errorf("%w: unknown scheme %q (want SFS, SFP, DFS or DFP)", ErrInvalid, s)
 }
 
-// Query answers one mining request against the current snapshot: cache
-// hit, single-flight join, or a fresh mine under admission control.
+// Query answers one mining request against the current snapshot vector:
+// cache hit, single-flight join, or a fresh mine under admission control.
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -514,13 +793,17 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	}
 	e.obs.AddServerQuery()
 	for {
-		snap := e.snap.Load()
+		snaps := e.loadSnaps()
+		total := 0
+		for _, sn := range snaps {
+			total += sn.idx.Len()
+		}
 		tau := req.MinSupportCount
 		if tau <= 0 {
-			tau = mining.MinSupportCount(req.MinSupportFrac, snap.idx.Len())
+			tau = mining.MinSupportCount(req.MinSupportFrac, total)
 		}
 		key := queryKey{
-			epoch:      snap.epoch,
+			epochs:     epochKey(snaps),
 			scheme:     scheme,
 			tau:        tau,
 			maxLen:     req.MaxLen,
@@ -530,7 +813,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		cached, f, leader := e.cache.join(key)
 		if cached != nil {
 			e.obs.AddCacheHit()
-			return buildResponse(snap.epoch, scheme, tau, cached, true, false), nil
+			return e.buildResponse(snaps, scheme, tau, cached, true, false), nil
 		}
 		if !leader {
 			e.obs.AddSharedFlight()
@@ -540,7 +823,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 				return nil, fmt.Errorf("serve: query abandoned: %w", ctx.Err())
 			}
 			if f.err == nil {
-				return buildResponse(snap.epoch, scheme, tau, f.res, false, true), nil
+				return e.buildResponse(snaps, scheme, tau, f.res, false, true), nil
 			}
 			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
 				// The leader died of its own deadline, not of the query.
@@ -554,7 +837,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 			return nil, f.err
 		}
 		e.obs.AddCacheMiss()
-		res, mineErr := e.mine(ctx, snap, req, scheme, tau)
+		res, mineErr := e.mine(ctx, snaps, key.epochs, req, scheme, tau)
 		var ans *answer
 		if mineErr == nil {
 			ans, mineErr = renderAnswer(res)
@@ -563,13 +846,46 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		if mineErr != nil {
 			return nil, mineErr
 		}
-		return buildResponse(snap.epoch, scheme, tau, ans, false, false), nil
+		return e.buildResponse(snaps, scheme, tau, ans, false, false), nil
 	}
 }
 
-// mine runs one cold query against a snapshot: admission slot, per-request
-// deadline, private index clone and log view, then core.Mine.
-func (e *Engine) mine(ctx context.Context, snap *snapshot, req QueryRequest, scheme core.Scheme, tau int) (*core.Result, error) {
+// mineView binds a snapshot vector to the (index, store) pair one mine
+// runs over. One shard: a private copy-on-write clone of the shard's
+// snapshot, exactly the unsharded engine. More: the block-concatenated
+// merged index (built once per epoch vector, cached, then cloned per query
+// so concurrent mines don't share mutable position caches) over the
+// concatenation of the per-shard log views.
+func (e *Engine) mineView(snaps []*snapshot, key string) (*sigfile.BBS, txdb.Store, error) {
+	if len(snaps) == 1 {
+		return snaps[0].idx.QueryClone(e.stats), snaps[0].log.Clone(), nil
+	}
+	e.merged.mu.Lock()
+	base := e.merged.idx
+	if base == nil || e.merged.key != key {
+		parts := make([]*sigfile.BBS, len(snaps))
+		for i, sn := range snaps {
+			parts[i] = sn.idx
+		}
+		m, err := sigfile.Merge(parts, e.stats)
+		if err != nil {
+			e.merged.mu.Unlock()
+			return nil, nil, fmt.Errorf("serve: merging the snapshot vector: %w", err)
+		}
+		e.merged.key, e.merged.idx = key, m
+		base = m
+	}
+	e.merged.mu.Unlock()
+	stores := make([]txdb.Store, len(snaps))
+	for i, sn := range snaps {
+		stores[i] = sn.log.Clone()
+	}
+	return base.QueryClone(e.stats), txdb.Concat(stores...), nil
+}
+
+// mine runs one cold query against a snapshot vector: admission slot,
+// per-request deadline, private mining view, then core.Mine.
+func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req QueryRequest, scheme core.Scheme, tau int) (*core.Result, error) {
 	release, err := e.admit(ctx)
 	if err != nil {
 		return nil, err
@@ -581,8 +897,10 @@ func (e *Engine) mine(ctx context.Context, snap *snapshot, req QueryRequest, sch
 		mineCtx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
-	idx := snap.idx.QueryClone(e.stats)
-	store := snap.log.Clone()
+	idx, store, err := e.mineView(snaps, key)
+	if err != nil {
+		return nil, err
+	}
 	var constraint *bitvec.Vector
 	if req.ConstraintItem != nil {
 		want := []txdb.Item{*req.ConstraintItem}
@@ -646,9 +964,9 @@ func (e *Engine) admit(ctx context.Context) (func(), error) {
 	}, nil
 }
 
-func buildResponse(epoch uint64, scheme core.Scheme, tau int, ans *answer, cached, shared bool) *QueryResponse {
-	return &QueryResponse{
-		Epoch:          epoch,
+func (e *Engine) buildResponse(snaps []*snapshot, scheme core.Scheme, tau int, ans *answer, cached, shared bool) *QueryResponse {
+	r := &QueryResponse{
+		Epoch:          epochSum(snaps),
 		Scheme:         scheme.String(),
 		Tau:            tau,
 		Cached:         cached,
@@ -659,35 +977,52 @@ func buildResponse(epoch uint64, scheme core.Scheme, tau int, ans *answer, cache
 		Certain:        ans.certain,
 		ProbedPatterns: ans.probedPatterns,
 	}
+	if len(snaps) > 1 {
+		r.Epochs = epochVector(snaps)
+	}
+	return r
 }
 
 // ---- stats ----
 
-// StatsInfo is the /stats answer: a consistent view of one snapshot.
+// StatsInfo is the /stats answer: a consistent view of one snapshot vector.
 type StatsInfo struct {
-	Epoch         uint64  `json:"epoch"`
-	Transactions  int     `json:"transactions"`
-	Live          int     `json:"live"`
-	Deleted       int     `json:"deleted"`
-	Items         int     `json:"items"`
-	SliceCount    int     `json:"m"`
-	IndexBytes    int64   `json:"index_bytes"`
-	CachedQueries int     `json:"cached_queries"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Epoch         uint64   `json:"epoch"`
+	Epochs        []uint64 `json:"epochs,omitempty"`
+	Shards        int      `json:"shards"`
+	Transactions  int      `json:"transactions"`
+	Live          int      `json:"live"`
+	Deleted       int      `json:"deleted"`
+	Items         int      `json:"items"`
+	SliceCount    int      `json:"m"`
+	IndexBytes    int64    `json:"index_bytes"`
+	CachedQueries int      `json:"cached_queries"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
 }
 
-// Stats reports the published snapshot's shape plus cache residency.
+// Stats reports the published snapshot vector's shape plus cache residency.
 func (e *Engine) Stats() StatsInfo {
-	snap := e.snap.Load()
-	return StatsInfo{
-		Epoch:         snap.epoch,
-		Transactions:  snap.idx.Len(),
-		Live:          snap.idx.Live(),
-		Deleted:       snap.idx.Deleted(),
-		Items:         len(snap.idx.Items()),
-		SliceCount:    snap.idx.M(),
-		IndexBytes:    snap.idx.TotalBytes(),
+	snaps := e.loadSnaps()
+	info := StatsInfo{
+		Epoch:         epochSum(snaps),
+		Shards:        len(snaps),
+		SliceCount:    snaps[0].idx.M(),
 		CachedQueries: e.cache.len(),
 		UptimeSeconds: e.clock.Now().Sub(e.start).Seconds(),
 	}
+	if len(snaps) > 1 {
+		info.Epochs = epochVector(snaps)
+	}
+	items := make(map[int32]struct{})
+	for _, sn := range snaps {
+		info.Transactions += sn.idx.Len()
+		info.Live += sn.idx.Live()
+		info.Deleted += sn.idx.Deleted()
+		info.IndexBytes += sn.idx.TotalBytes()
+		for _, it := range sn.idx.Items() {
+			items[it] = struct{}{}
+		}
+	}
+	info.Items = len(items)
+	return info
 }

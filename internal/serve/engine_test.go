@@ -258,7 +258,7 @@ func TestConstrainedQueryMatchesDirectMine(t *testing.T) {
 	}
 
 	// Re-mine directly against a private snapshot clone.
-	snap := e.snap.Load()
+	snap := e.shards[0].snap.Load()
 	stats := &iostat.Stats{}
 	store := snap.log.Clone()
 	constraint, err := core.BuildConstraint(store, func(_ int, tx txdb.Transaction) bool {
@@ -435,7 +435,7 @@ func TestEpochConsistencyUnderConcurrentWrites(t *testing.T) {
 
 	// The writer records every snapshot it publishes; it is the only
 	// writer, so the captured sequence covers every epoch.
-	snapshots := map[uint64]*snapshot{e.Epoch(): e.snap.Load()}
+	snapshots := map[uint64]*snapshot{e.Epoch(): e.shards[0].snap.Load()}
 	var smu sync.Mutex
 	writerErr := make(chan error, 1)
 	go func() {
@@ -457,7 +457,7 @@ func TestEpochConsistencyUnderConcurrentWrites(t *testing.T) {
 			}
 			live += res.Inserted
 			smu.Lock()
-			snapshots[res.Epoch] = e.snap.Load()
+			snapshots[res.Epoch] = e.shards[0].snap.Load()
 			smu.Unlock()
 		}
 		writerErr <- nil

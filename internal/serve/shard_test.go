@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/sigfile"
+	"bbsmine/internal/sighash"
+	"bbsmine/internal/txdb"
+)
+
+// newShardedTestEngine builds an in-memory N-shard engine over txs, routed
+// round-robin by global ordinal exactly as the engine's own writes are.
+func newShardedTestEngine(t *testing.T, txs [][]int32, m, k, shards int, opts Options) *Engine {
+	t.Helper()
+	stats := &iostat.Stats{}
+	parts := make([]ShardOptions, shards)
+	for s := range parts {
+		parts[s] = ShardOptions{
+			Index: sigfile.New(sighash.NewFNV(m, k), stats),
+			Log:   txdb.NewAppendLog(stats),
+		}
+	}
+	for g, items := range txs {
+		s := g % shards
+		tx := txdb.NewTransaction(int64(g), items)
+		if err := parts[s].Log.Append(tx); err != nil {
+			t.Fatalf("seeding shard %d: %v", s, err)
+		}
+		parts[s].Index.Insert(tx.Items)
+	}
+	opts.Shards = parts
+	e, err := New(opts)
+	if err != nil {
+		t.Fatalf("New (sharded): %v", err)
+	}
+	t.Cleanup(func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return e
+}
+
+// TestShardedAnswersMatchUnsharded pins the serving-layer face of the
+// sharding invariant: a 4-shard engine answers every query byte-identically
+// to a 1-shard engine over the same transactions, and its responses carry
+// the per-shard epoch vector.
+func TestShardedAnswersMatchUnsharded(t *testing.T) {
+	txs := genTxns(20, 240, 40, 6)
+	flat := newTestEngine(t, txs, 256, 3, Options{})
+	shd := newShardedTestEngine(t, txs, 256, 3, 4, Options{})
+	ctx := context.Background()
+
+	item := int32(5)
+	for name, req := range map[string]QueryRequest{
+		"DFP":         {Scheme: "DFP", MinSupportCount: 5},
+		"SFS":         {Scheme: "SFS", MinSupportCount: 4},
+		"SFP frac":    {Scheme: "SFP", MinSupportFrac: 0.02},
+		"constrained": {Scheme: "SFP", MinSupportCount: 3, ConstraintItem: &item},
+	} {
+		want, err := flat.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("%s unsharded: %v", name, err)
+		}
+		got, err := shd.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", name, err)
+		}
+		if string(got.Patterns) != string(want.Patterns) {
+			t.Errorf("%s: sharded answer differs from unsharded (%d vs %d patterns)",
+				name, len(decodePatterns(t, got)), len(decodePatterns(t, want)))
+		}
+		if len(got.Epochs) != 4 {
+			t.Errorf("%s: sharded response epochs = %v, want a 4-vector", name, got.Epochs)
+		}
+		if len(want.Epochs) != 0 {
+			t.Errorf("%s: unsharded response leaked an epoch vector: %v", name, want.Epochs)
+		}
+	}
+
+	fs, ss := flat.Stats(), shd.Stats()
+	if fs.Shards != 1 || ss.Shards != 4 {
+		t.Fatalf("stats shards = %d/%d, want 1/4", fs.Shards, ss.Shards)
+	}
+	if ss.Transactions != fs.Transactions || ss.Live != fs.Live || ss.Items != fs.Items {
+		t.Fatalf("sharded stats diverge: %+v vs %+v", ss, fs)
+	}
+	if len(ss.Epochs) != 4 {
+		t.Fatalf("sharded stats epochs = %v, want a 4-vector", ss.Epochs)
+	}
+}
+
+// TestShardedWritesCommitIndependently checks the per-shard commit loops:
+// a write touching one shard bumps only that shard's epoch, the response
+// epoch is the vector sum, and validation failures leave every shard's
+// epoch untouched.
+func TestShardedWritesCommitIndependently(t *testing.T) {
+	const shards = 3
+	e := newShardedTestEngine(t, genTxns(21, 30, 25, 4), 128, 3, shards, Options{})
+	ctx := context.Background()
+
+	before := e.EpochVector()
+
+	// Position 4 routes to shard 4 mod 3 = 1: only its epoch may move.
+	res, err := e.Apply(ctx, TxnsRequest{Delete: []int{4}})
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if len(res.Epochs) != shards {
+		t.Fatalf("epochs = %v, want a %d-vector", res.Epochs, shards)
+	}
+	for s, got := range res.Epochs {
+		want := before[s]
+		if s == 1 {
+			want++
+		}
+		if got != want {
+			t.Fatalf("shard %d epoch after single-shard delete = %d, want %d (vector %v)", s, got, want, res.Epochs)
+		}
+	}
+	if sum := res.Epochs[0] + res.Epochs[1] + res.Epochs[2]; res.Epoch != sum {
+		t.Fatalf("response epoch %d != vector sum %d", res.Epoch, sum)
+	}
+
+	// Two inserts land at global positions 30 and 31 — shards 0 and 1.
+	after := e.EpochVector()
+	res, err = e.Apply(ctx, TxnsRequest{Insert: [][]int32{{1, 2, 3}, {4, 5, 6}}})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	for s, got := range res.Epochs {
+		want := after[s]
+		if s == 0 || s == 1 {
+			want++
+		}
+		if got != want {
+			t.Fatalf("shard %d epoch after two inserts = %d, want %d", s, got, want)
+		}
+	}
+
+	// A request that fails validation — insert plus an out-of-range delete —
+	// must not advance any shard's epoch or insert any row.
+	vec := e.EpochVector()
+	n := e.Stats().Transactions
+	_, err = e.Apply(ctx, TxnsRequest{Insert: [][]int32{{7, 8}}, Delete: []int{9999}})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid cross-shard request returned %v, want ErrInvalid", err)
+	}
+	got := e.EpochVector()
+	for s := range vec {
+		if got[s] != vec[s] {
+			t.Fatalf("failed request moved shard %d epoch %d -> %d", s, vec[s], got[s])
+		}
+	}
+	if e.Stats().Transactions != n {
+		t.Fatal("failed request inserted rows")
+	}
+}
+
+// TestShardedConcurrentWritersConverge drives concurrent single-row writers
+// (whose rows scatter across the shards and commit through independent
+// loops) alongside readers, then checks the final answer is byte-identical
+// to an unsharded engine holding the same rows. Run with -race.
+func TestShardedConcurrentWritersConverge(t *testing.T) {
+	const (
+		shards  = 4
+		writers = 4
+		rows    = 15
+	)
+	seedTxs := genTxns(22, 100, 30, 5)
+	e := newShardedTestEngine(t, seedTxs, 128, 3, shards, Options{MaxInFlight: 4, MaxQueue: 64})
+	ctx := context.Background()
+
+	extra := make([][][]int32, writers)
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		extra[w] = genTxns(uint64(2000+w), rows, 30, 5)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, items := range extra[w] {
+				if _, err := e.Apply(ctx, TxnsRequest{Insert: [][]int32{items}}); err != nil {
+					errs[w] = fmt.Errorf("row %d: %w", i, err)
+					return
+				}
+				if i%5 == 0 {
+					if _, err := e.Query(ctx, QueryRequest{Scheme: "DFP", MinSupportCount: 5}); err != nil {
+						errs[w] = fmt.Errorf("interleaved query: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+
+	if got, want := e.Stats().Transactions, len(seedTxs)+writers*rows; got != want {
+		t.Fatalf("transactions = %d, want %d", got, want)
+	}
+
+	// Mining is invariant under row order, so any interleaving must yield
+	// the same patterns as an unsharded engine over the same row multiset.
+	all := append(append([][]int32{}, seedTxs...), extra[0]...)
+	for w := 1; w < writers; w++ {
+		all = append(all, extra[w]...)
+	}
+	flat := newTestEngine(t, all, 128, 3, Options{})
+	for _, tau := range []int{4, 6} {
+		req := QueryRequest{Scheme: "DFP", MinSupportCount: tau}
+		want, err := flat.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("flat query: %v", err)
+		}
+		got, err := e.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("sharded query: %v", err)
+		}
+		if string(got.Patterns) != string(want.Patterns) {
+			t.Fatalf("τ=%d: answer after concurrent sharded writes differs from unsharded reference", tau)
+		}
+	}
+}
+
+// TestShardedOptionsValidation: the single-shard sugar fields and the Shards
+// list are mutually exclusive, and the parts must satisfy the round-robin
+// layout.
+func TestShardedOptionsValidation(t *testing.T) {
+	stats := &iostat.Stats{}
+	part := func(rows int) ShardOptions {
+		p := ShardOptions{Index: sigfile.New(sighash.NewFNV(64, 2), stats), Log: txdb.NewAppendLog(stats)}
+		for i := 0; i < rows; i++ {
+			tx := txdb.NewTransaction(int64(i), []int32{int32(i)})
+			if err := p.Log.Append(tx); err != nil {
+				t.Fatal(err)
+			}
+			p.Index.Insert(tx.Items)
+		}
+		return p
+	}
+
+	both := Options{Index: sigfile.New(sighash.NewFNV(64, 2), stats), Shards: []ShardOptions{part(0)}}
+	if _, err := New(both); err == nil {
+		t.Error("Options with both single-shard fields and Shards accepted")
+	}
+
+	// Two rows in part 1, zero in part 0: round-robin needs 1 and 1.
+	if _, err := New(Options{Shards: []ShardOptions{part(0), part(2)}}); err == nil {
+		t.Error("non-round-robin shard layout accepted")
+	}
+
+	ok, err := New(Options{Shards: []ShardOptions{part(2), part(1)}})
+	if err != nil {
+		t.Fatalf("valid 2-shard layout rejected: %v", err)
+	}
+	if ok.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", ok.Shards())
+	}
+	if err := ok.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package sigfile
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/bitvec"
+	"bbsmine/internal/sighash"
+)
+
+// bitAt reads bit i of a possibly lazily-grown vector: bits past the
+// vector's current length are zero by the tail invariant.
+func bitAt(v *bitvec.Vector, i int) bool { return i < v.Len() && v.Get(i) }
+
+// genItemsets returns n random itemsets over a small alphabet.
+func genItemsets(seed int64, n, maxLen, alphabet int) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int32, n)
+	for i := range sets {
+		l := 1 + rng.Intn(maxLen)
+		items := make([]int32, l)
+		for j := range items {
+			items[j] = int32(rng.Intn(alphabet))
+		}
+		sets[i] = items
+	}
+	return sets
+}
+
+// TestMergeMatchesBlockOrderInsert checks the core claim: merging N parts is
+// identical — slices, counters, statistics and per-row candidates — to one
+// index built by inserting every part's rows in block order.
+func TestMergeMatchesBlockOrderInsert(t *testing.T) {
+	h := sighash.NewFNV(128, 3)
+	rows := genItemsets(7, 90, 6, 30)
+	const parts = 4
+
+	shards := make([]*BBS, parts)
+	for s := range shards {
+		shards[s] = New(h, nil)
+	}
+	for i, items := range rows {
+		shards[i%parts].Insert(items)
+	}
+	ref := New(h, nil)
+	for s := 0; s < parts; s++ {
+		for i := s; i < len(rows); i += parts {
+			ref.Insert(rows[i])
+		}
+	}
+
+	merged, err := Merge(shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != ref.Len() || merged.Live() != ref.Live() {
+		t.Fatalf("merged len/live = %d/%d, want %d/%d", merged.Len(), merged.Live(), ref.Len(), ref.Live())
+	}
+	if !reflect.DeepEqual(merged.Items(), ref.Items()) {
+		t.Fatal("merged item universe differs from block-order insert")
+	}
+	for _, it := range ref.Items() {
+		if merged.ExactCount(it) != ref.ExactCount(it) {
+			t.Fatalf("item %d: merged exact count %d, want %d", it, merged.ExactCount(it), ref.ExactCount(it))
+		}
+	}
+	if merged.MaxTransactionItems() != ref.MaxTransactionItems() {
+		t.Fatalf("merged maxTxnItems %d, want %d", merged.MaxTransactionItems(), ref.MaxTransactionItems())
+	}
+	for p := 0; p < merged.M(); p++ {
+		if merged.SliceOnes(p) != ref.SliceOnes(p) {
+			t.Fatalf("slice %d: merged ones %d, want %d", p, merged.SliceOnes(p), ref.SliceOnes(p))
+		}
+		// Compare bit by bit: the reference grows slices lazily, so its raw
+		// word slices can be shorter than the merge's with the same bits set.
+		mv, rv := merged.ResultSlice(p), ref.ResultSlice(p)
+		for i := 0; i < ref.Len(); i++ {
+			if bitAt(mv, i) != bitAt(rv, i) {
+				t.Fatalf("slice %d row %d: merged bit %v, want %v", p, i, bitAt(mv, i), bitAt(rv, i))
+			}
+		}
+	}
+	for _, q := range genItemsets(8, 40, 3, 30) {
+		em, vm := merged.CountItemSet(q)
+		er, vr := ref.CountItemSet(q)
+		if em != er {
+			t.Fatalf("itemset %v: merged estimate %d, want %d", q, em, er)
+		}
+		if !reflect.DeepEqual(vm.Words(), vr.Words()) {
+			t.Fatalf("itemset %v: merged candidate vector differs", q)
+		}
+	}
+}
+
+// TestMergeCarriesTombstones deletes rows in the parts and checks the block
+// positions of the merge agree row by row.
+func TestMergeCarriesTombstones(t *testing.T) {
+	h := sighash.NewFNV(64, 2)
+	rows := genItemsets(11, 40, 5, 20)
+	const parts = 3
+
+	shards := make([]*BBS, parts)
+	for s := range shards {
+		shards[s] = New(h, nil)
+	}
+	for i, items := range rows {
+		shards[i%parts].Insert(items)
+	}
+	// Tombstone one row in shard 0 and two in shard 2 (local positions).
+	del := map[int][]int{0: {2}, 2: {0, 5}}
+	for s, ps := range del {
+		for _, local := range ps {
+			items := rows[local*parts+s]
+			if err := shards[s].Delete(local, items); err != nil {
+				t.Fatalf("shard %d delete %d: %v", s, local, err)
+			}
+		}
+	}
+
+	merged, err := Merge(shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeleted := 3
+	if merged.Deleted() != wantDeleted || merged.Live() != len(rows)-wantDeleted {
+		t.Fatalf("merged deleted/live = %d/%d, want %d/%d", merged.Deleted(), merged.Live(), wantDeleted, len(rows)-wantDeleted)
+	}
+	// Block position of part s local row r is offset(s) + r.
+	offset := func(s int) int {
+		o := 0
+		for i := 0; i < s; i++ {
+			o += shards[i].Len()
+		}
+		return o
+	}
+	for s := 0; s < parts; s++ {
+		for local := 0; local < shards[s].Len(); local++ {
+			if got, want := merged.IsLive(offset(s)+local), shards[s].IsLive(local); got != want {
+				t.Fatalf("block row for shard %d local %d: live=%v, want %v", s, local, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(nil, nil); err == nil {
+		t.Error("merge of zero parts accepted")
+	}
+	a := New(sighash.NewFNV(64, 2), nil)
+	b := New(sighash.NewFNV(128, 2), nil)
+	if _, err := Merge([]*BBS{a, b}, nil); err == nil {
+		t.Error("merge of mismatched m accepted")
+	}
+	c := New(sighash.NewFNV(64, 3), nil)
+	if _, err := Merge([]*BBS{a, c}, nil); err == nil {
+		t.Error("merge of mismatched k accepted")
+	}
+}

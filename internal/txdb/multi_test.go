@@ -1,0 +1,113 @@
+package txdb
+
+import (
+	"testing"
+)
+
+// memWith builds a MemStore holding one transaction per TID, items = {TID}.
+func memWith(t *testing.T, tids ...int64) *MemStore {
+	t.Helper()
+	s := NewMemStore(nil)
+	for _, tid := range tids {
+		if err := s.Append(NewTransaction(tid, []int32{int32(tid)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestConcatSinglePartIsIdentity(t *testing.T) {
+	s := memWith(t, 1, 2)
+	if got := Concat(s); got != Store(s) {
+		t.Fatal("single-part concat did not return the part itself")
+	}
+}
+
+func TestConcatBlockOrder(t *testing.T) {
+	// Round-robin split of TIDs 0..6 across 3 parts; the concatenation must
+	// read back in block order (all of part 0, then part 1, then part 2).
+	parts := []Store{memWith(t, 0, 3, 6), memWith(t, 1, 4), memWith(t, 2, 5)}
+	c := Concat(parts...)
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", c.Len())
+	}
+	want := []int64{0, 3, 6, 1, 4, 2, 5}
+	for pos, tid := range want {
+		tx, err := c.Get(pos)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", pos, err)
+		}
+		if tx.TID != tid {
+			t.Fatalf("Get(%d).TID = %d, want %d", pos, tx.TID, tid)
+		}
+	}
+	var seen []int64
+	lastPos := -1
+	if err := c.Scan(func(pos int, tx Transaction) bool {
+		if pos != lastPos+1 {
+			t.Fatalf("scan position %d after %d", pos, lastPos)
+		}
+		lastPos = pos
+		seen = append(seen, tx.TID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("scan visited %d rows, want %d", len(seen), len(want))
+	}
+	for i, tid := range want {
+		if seen[i] != tid {
+			t.Fatalf("scan row %d TID = %d, want %d", i, seen[i], tid)
+		}
+	}
+}
+
+func TestConcatScanEarlyStop(t *testing.T) {
+	c := Concat(memWith(t, 0, 2), memWith(t, 1, 3))
+	visited := 0
+	if err := c.Scan(func(pos int, tx Transaction) bool {
+		visited++
+		return pos < 2 // stop inside part 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 3 {
+		t.Fatalf("scan visited %d rows after early stop, want 3", visited)
+	}
+}
+
+func TestConcatPinsLengthsAtConstruction(t *testing.T) {
+	a, b := memWith(t, 0, 2), memWith(t, 1)
+	c := Concat(a, b)
+	if err := a.Append(NewTransaction(4, []int32{4})); err != nil {
+		t.Fatal(err)
+	}
+	// The appended row is invisible: lengths were captured at Concat time.
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after append to part, want 3", c.Len())
+	}
+	var tids []int64
+	if err := c.Scan(func(pos int, tx Transaction) bool {
+		tids = append(tids, tx.TID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 3 || tids[0] != 0 || tids[1] != 2 || tids[2] != 1 {
+		t.Fatalf("scan after append saw %v, want [0 2 1]", tids)
+	}
+}
+
+func TestConcatIsReadOnly(t *testing.T) {
+	c := Concat(memWith(t, 0), memWith(t, 1))
+	if err := c.Append(NewTransaction(9, []int32{9})); err == nil {
+		t.Fatal("append to a concatenated store accepted")
+	}
+	if _, err := c.Get(-1); err == nil {
+		t.Fatal("Get(-1) accepted")
+	}
+	if _, err := c.Get(2); err == nil {
+		t.Fatal("Get past the end accepted")
+	}
+}

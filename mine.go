@@ -74,6 +74,13 @@ type MineOptions struct {
 	// Nil disables observability at a cost of one branch per hook site;
 	// telemetry never changes the mining result.
 	Observe *Observer
+
+	// Shards is a guard, not a knob: 0 (the default) accepts whatever the
+	// database is, any other value must equal the database's shard count or
+	// the run is rejected. Mining results never depend on the shard count —
+	// set this only to assert a deployment assumption (e.g. a benchmark
+	// that must run sharded).
+	Shards int
 }
 
 func (o MineOptions) threshold(n int) (int, error) {
@@ -87,8 +94,19 @@ func (o MineOptions) threshold(n int) (int, error) {
 	return mining.MinSupportCount(o.MinSupportFrac, n), nil
 }
 
+// checkShards enforces MineOptions.Shards as a deployment assertion.
+func (db *Database) checkShards(opts MineOptions) error {
+	if opts.Shards != 0 && opts.Shards != db.Shards() {
+		return fmt.Errorf("bbsmine: MineOptions.Shards is %d but the database has %d shards", opts.Shards, db.Shards())
+	}
+	return nil
+}
+
 // Mine returns the frequent patterns of the database under the options.
 func (db *Database) Mine(opts MineOptions) (*Result, error) {
+	if err := db.checkShards(opts); err != nil {
+		return nil, err
+	}
 	tau, err := opts.threshold(db.Len())
 	if err != nil {
 		return nil, err
@@ -115,6 +133,9 @@ func (db *Database) Mine(opts MineOptions) (*Result, error) {
 // work extension): fastest possible answer, supports are estimates, the
 // pattern set is a superset of the true frequent patterns.
 func (db *Database) MineApprox(opts MineOptions) ([]Pattern, error) {
+	if err := db.checkShards(opts); err != nil {
+		return nil, err
+	}
 	tau, err := opts.threshold(db.Len())
 	if err != nil {
 		return nil, err
@@ -128,7 +149,13 @@ func (db *Database) MineApprox(opts MineOptions) ([]Pattern, error) {
 
 // Count estimates and exactly counts the occurrences of an arbitrary
 // itemset — frequent or not — using one index lookup plus targeted probes.
+// On a sharded database the count fans out: each shard ANDs its own slices
+// and probes its own candidates, and the per-shard results merge by shard
+// index, so no merged view is built for an ad-hoc query.
 func (db *Database) Count(items []int32) (estimate, exact int, err error) {
+	if db.Shards() > 1 {
+		return db.sdb.Count(items)
+	}
 	m, err := db.miner()
 	if err != nil {
 		return 0, 0, err
@@ -156,9 +183,16 @@ type Constraint struct {
 	n   int
 }
 
-// NewConstraint materializes a constraint from a predicate over TIDs.
+// NewConstraint materializes a constraint from a predicate over TIDs. The
+// constraint is laid out in the merged read view's row order, which is what
+// constrained counting and mining consume; it is opaque to callers either
+// way.
 func (db *Database) NewConstraint(pred func(tid int64) bool) (*Constraint, error) {
-	v, err := core.BuildConstraint(db.store, func(_ int, tx txdbTransaction) bool {
+	_, store, err := db.sdb.Merged()
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.BuildConstraint(store, func(_ int, tx txdbTransaction) bool {
 		return pred(tx.TID)
 	})
 	if err != nil {
@@ -185,6 +219,9 @@ func (db *Database) CountConstrained(items []int32, c *Constraint) (estimate, ex
 // dual filter's exact 1-itemset counts are unconstrained, so DFS and DFP
 // are rejected.
 func (db *Database) MineConstrained(opts MineOptions, c *Constraint) (*Result, error) {
+	if err := db.checkShards(opts); err != nil {
+		return nil, err
+	}
 	if c.n != db.Len() {
 		return nil, fmt.Errorf("bbsmine: constraint built over %d transactions, database now has %d", c.n, db.Len())
 	}

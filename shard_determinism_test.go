@@ -1,0 +1,144 @@
+package bbsmine
+
+import (
+	"reflect"
+	"testing"
+
+	"bbsmine/internal/txdb"
+)
+
+// shardPair builds one unsharded and one 4-sharded in-memory database over
+// the same transactions, with the same tombstones.
+func shardPair(t *testing.T, seed int64, n int, deletes []int) (*Database, *Database, []txdb.Transaction) {
+	t.Helper()
+	db1 := NewInMemory(Options{M: 128, K: 3, Shards: 1})
+	txs := fillRandom(t, db1, seed, n, 7, 25)
+	db4 := NewInMemory(Options{M: 128, K: 3, Shards: 4})
+	for _, tx := range txs {
+		if err := db4.Append(tx.TID, tx.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pos := range deletes {
+		if err := db1.Delete(pos); err != nil {
+			t.Fatal(err)
+		}
+		if err := db4.Delete(pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db1, db4, txs
+}
+
+// TestShardedMiningByteIdentical pins the tentpole invariant: for every
+// scheme, with and without a memory budget, a 4-sharded database returns a
+// Result deeply equal to the unsharded one — and the observability funnel
+// (candidates, certificates, false drops, probes) agrees total for total,
+// because every counter is a function of per-row predicates and their sums,
+// never of row order.
+func TestShardedMiningByteIdentical(t *testing.T) {
+	db1, db4, _ := shardPair(t, 41, 200, []int{3, 77, 150})
+	for _, scheme := range []Scheme{SFS, SFP, DFS, DFP} {
+		for _, budget := range []int64{0, 4 << 10} {
+			o1, o4 := NewObserver(), NewObserver()
+			res1, err := db1.Mine(MineOptions{MinSupportCount: 5, Scheme: scheme, MemoryBudget: budget, Observe: o1})
+			if err != nil {
+				t.Fatalf("%v budget=%d unsharded: %v", scheme, budget, err)
+			}
+			res4, err := db4.Mine(MineOptions{MinSupportCount: 5, Scheme: scheme, MemoryBudget: budget, Observe: o4})
+			if err != nil {
+				t.Fatalf("%v budget=%d sharded: %v", scheme, budget, err)
+			}
+			if !reflect.DeepEqual(res1, res4) {
+				t.Errorf("%v budget=%d: sharded result differs from unsharded (%d vs %d patterns)",
+					scheme, budget, len(res4.Patterns), len(res1.Patterns))
+			}
+			if f1, f4 := o1.Metrics().Funnel, o4.Metrics().Funnel; !reflect.DeepEqual(f1, f4) {
+				t.Errorf("%v budget=%d: sharded funnel differs from unsharded:\n  shards=1: %+v\n  shards=4: %+v",
+					scheme, budget, f1, f4)
+			}
+		}
+	}
+}
+
+// TestShardedConstrainedMiningMatches covers the constrained path: the
+// constraint is laid out in merged-view row order on both sides, so SFS and
+// SFP return identical results under the same TID predicate.
+func TestShardedConstrainedMiningMatches(t *testing.T) {
+	db1, db4, _ := shardPair(t, 42, 160, nil)
+	pred := func(tid int64) bool { return tid%3 != 0 }
+	c1, err := db1.NewConstraint(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := db4.NewConstraint(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SFS, SFP} {
+		res1, err := db1.MineConstrained(MineOptions{MinSupportCount: 4, Scheme: scheme}, c1)
+		if err != nil {
+			t.Fatalf("%v unsharded: %v", scheme, err)
+		}
+		res4, err := db4.MineConstrained(MineOptions{MinSupportCount: 4, Scheme: scheme}, c4)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(res1, res4) {
+			t.Errorf("%v: constrained sharded result differs from unsharded", scheme)
+		}
+	}
+}
+
+// TestShardedCountsMatch checks the per-shard fan-out (no merged view) gives
+// the same estimates and exact counts as the unsharded index, for plain and
+// constrained ad-hoc queries.
+func TestShardedCountsMatch(t *testing.T) {
+	db1, db4, _ := shardPair(t, 43, 120, []int{10})
+	queries := [][]int32{{1}, {2, 5}, {7, 11, 13}, {24}}
+	for _, q := range queries {
+		e1, x1, err := db1.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e4, x4, err := db4.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1 != e4 || x1 != x4 {
+			t.Errorf("Count(%v): sharded est/exact = %d/%d, unsharded %d/%d", q, e4, x4, e1, x1)
+		}
+	}
+	pred := func(tid int64) bool { return tid%7 == 0 }
+	for _, q := range queries {
+		e1, x1, err := db1.CountWhere(q, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e4, x4, err := db4.CountWhere(q, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1 != e4 || x1 != x4 {
+			t.Errorf("CountWhere(%v): sharded est/exact = %d/%d, unsharded %d/%d", q, e4, x4, e1, x1)
+		}
+	}
+}
+
+// TestMineOptionsShardsGuard: Shards is an assertion about the deployment,
+// not a knob — a mismatch is an error, 0 and the true count are accepted.
+func TestMineOptionsShardsGuard(t *testing.T) {
+	db := NewInMemory(Options{M: 64, Shards: 4})
+	fillRandom(t, db, 44, 40, 5, 12)
+	if _, err := db.Mine(MineOptions{MinSupportCount: 2, Shards: 2}); err == nil {
+		t.Error("Shards mismatch accepted")
+	}
+	for _, ok := range []int{0, 4} {
+		if _, err := db.Mine(MineOptions{MinSupportCount: 2, Shards: ok}); err != nil {
+			t.Errorf("Shards=%d rejected: %v", ok, err)
+		}
+	}
+	if _, err := db.MineApprox(MineOptions{MinSupportCount: 2, Shards: 3}); err == nil {
+		t.Error("MineApprox accepted a Shards mismatch")
+	}
+}
