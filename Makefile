@@ -13,7 +13,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint bench fuzz check
+.PHONY: all build test race vet lint lint-fix-scope bench fuzz check
 
 all: build
 
@@ -34,12 +34,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-## lint: the project-specific analyzers — concurrency and determinism
-## invariants of the mining engine (atomicfield, pooledvec, lockdiscipline,
-## determinism, errwrap). Exit 1 means findings; fix them or suppress with
+## lint: the project-specific analyzers — ten checks covering concurrency,
+## determinism, snapshot immutability, ctx flow, goroutine lifecycle and
+## hot-path allocation (see internal/lint/README.md for the catalogue).
+## Exit 1 means findings; fix them or suppress with
 ## //lint:ignore <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/bbslint ./...
+
+## lint-fix-scope: per-analyzer counts of //lint:ignore suppression
+## directives — the debt the linter is not seeing. Keep it flat or
+## shrinking.
+lint-fix-scope:
+	$(GO) run ./cmd/bbslint -suppressions ./...
 
 ## bench: the paper-figure benchmarks plus the workers sweep (quick form;
 ## see bench_results_full.txt for a full bbsbench run)

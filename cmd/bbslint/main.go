@@ -1,8 +1,8 @@
 // Command bbslint runs the project's static-analysis suite (internal/lint)
-// over the module: five analyzers that enforce the concurrency and
-// determinism invariants of the parallel mining engine. It is built on the
-// standard library alone — no go/packages, no external deps — so the module
-// stays dependency-free.
+// over the module: ten analyzers that enforce the concurrency, determinism
+// and snapshot-immutability invariants of the mining engine and its
+// serving layer. It is built on the standard library alone — no
+// go/packages, no external deps — so the module stays dependency-free.
 //
 // Usage:
 //
@@ -10,6 +10,13 @@
 //
 // Patterns are package directories, optionally ending in /... for a whole
 // subtree; the default is ./... (the module of the current directory).
+//
+// The driver analyzes packages in parallel (-parallel) and caches
+// per-package facts and findings on disk keyed by content hash (-cache),
+// so warm runs skip type-checking packages whose transitive sources are
+// unchanged. Output is deterministic at any parallelism: -json emitted at
+// -parallel 1 and -parallel 4 is byte-identical, and CI asserts exactly
+// that.
 //
 // Exit codes: 0 — no findings; 1 — findings reported; 2 — usage or load
 // error.
@@ -20,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"bbsmine/internal/lint"
@@ -44,9 +53,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	var (
-		listFlag  = fs.Bool("list", false, "list the analyzers and exit")
-		testsFlag = fs.Bool("tests", false, "also analyze in-package _test.go files")
-		enable    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		listFlag     = fs.Bool("list", false, "list the analyzers and exit")
+		testsFlag    = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		enable       = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		parallelFlag = fs.Int("parallel", 0, "worker count for package analysis (0 = GOMAXPROCS)")
+		jsonFlag     = fs.Bool("json", false, "emit findings as JSON on stdout instead of text")
+		sarifFlag    = fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (- for stdout)")
+		cacheFlag    = fs.String("cache", "", "fact/finding cache directory (default: user cache dir; 'off' disables)")
+		supprFlag    = fs.Bool("suppressions", false, "print per-analyzer suppression directive counts and exit")
+		verboseFlag  = fs.Bool("v", false, "print driver statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -97,23 +112,97 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	var pkgs []*lint.Package
-	for _, p := range paths {
-		pkg, err := loader.Load(p)
+	if *supprFlag {
+		counts, err := lint.DirectiveCounts(loader, paths)
 		if err != nil {
 			fmt.Fprintf(stderr, "bbslint: %v\n", err)
 			return exitUsage
 		}
-		pkgs = append(pkgs, pkg)
+		names := make([]string, 0, len(counts))
+		total := 0
+		for name, n := range counts {
+			names = append(names, name)
+			total += n
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stdout, "%-16s %d\n", name, counts[name])
+		}
+		fmt.Fprintf(stdout, "%-16s %d\n", "total", total)
+		return exitClean
 	}
 
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	driver := &lint.Driver{
+		Loader:    loader,
+		Analyzers: analyzers,
+		Parallel:  *parallelFlag,
+		CacheDir:  cacheDir(*cacheFlag),
+	}
+	findings, err := driver.RunPaths(paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbslint: %v\n", err)
+		return exitUsage
+	}
+	if *verboseFlag {
+		s := driver.Stats
+		fmt.Fprintf(stderr, "bbslint: %d packages (%d type-checked), facts %d computed/%d cached, findings %d computed/%d cached\n",
+			s.Packages, s.Loaded, s.FactsComputed, s.FactsCached, s.FindingsComputed, s.FindingsCached)
+	}
+
+	if *sarifFlag != "" {
+		w := stdout
+		var f *os.File
+		if *sarifFlag != "-" {
+			f, err = os.Create(*sarifFlag)
+			if err != nil {
+				fmt.Fprintf(stderr, "bbslint: %v\n", err)
+				return exitUsage
+			}
+			w = f
+		}
+		err = lint.EmitSARIF(w, findings, analyzers, loader.ModuleRoot)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "bbslint: %v\n", err)
+			return exitUsage
+		}
+	}
+
+	if *jsonFlag {
+		if err := lint.EmitJSON(stdout, findings, loader.ModuleRoot); err != nil {
+			fmt.Fprintf(stderr, "bbslint: %v\n", err)
+			return exitUsage
+		}
+	} else if *sarifFlag != "-" {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "bbslint: %d finding(s)\n", len(findings))
 		return exitFindings
 	}
 	return exitClean
+}
+
+// cacheDir resolves the -cache flag: "off" disables the cache, empty picks
+// a per-user default, anything else is used as given. Cache failures only
+// cost speed, so an unresolvable default silently disables caching.
+func cacheDir(flagValue string) string {
+	switch flagValue {
+	case "off":
+		return ""
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(base, "bbslint")
+	default:
+		return flagValue
+	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -96,7 +98,10 @@ func TestAnalyzerSubset(t *testing.T) {
 // TestList prints every analyzer with its doc line.
 func TestList(t *testing.T) {
 	_, stdout, _ := runLint(t, "-list")
-	for _, name := range []string{"atomicfield", "pooledvec", "lockdiscipline", "determinism", "errwrap"} {
+	for _, name := range []string{
+		"atomicfield", "pooledvec", "lockdiscipline", "determinism", "errwrap",
+		"obsdiscipline", "snapshotsafety", "ctxflow", "goroutinelife", "hotpathalloc",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output lacks %s", name)
 		}
@@ -109,5 +114,116 @@ func TestRepoClean(t *testing.T) {
 	code, stdout, stderr := runLint(t, "../../...")
 	if code != 0 {
 		t.Errorf("bbslint over the repo: exit %d\n%s%s", code, stdout, stderr)
+	}
+}
+
+// TestJSONOutput: -json replaces the text rendering with a machine-parsed
+// array whose entries carry analyzer, module-relative file, and position.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-json", "-cache", "off", fixtures+"pooledvec/bad/internal/core")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "pooledvec" || findings[0].Line != 9 {
+		t.Fatalf("decoded findings = %+v, want one pooledvec at line 9", findings)
+	}
+	if !strings.HasPrefix(findings[0].File, "internal/lint/testdata/") {
+		t.Errorf("file %q is not module-relative", findings[0].File)
+	}
+
+	// A clean package emits the empty array, not empty output.
+	_, stdout, _ = runLint(t, "-json", "-cache", "off", fixtures+"pooledvec/good/internal/core")
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestSARIFOutput: -sarif - writes a SARIF 2.1.0 log with one rule per
+// analyzer and one result per finding.
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-sarif", "-", "-cache", "off", fixtures+"pooledvec/bad/internal/core")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "bbslint" {
+		t.Fatalf("SARIF header wrong: %+v", log)
+	}
+	if len(log.Runs[0].Results) != 1 || log.Runs[0].Results[0].RuleID != "pooledvec" {
+		t.Errorf("SARIF results = %+v, want one pooledvec result", log.Runs[0].Results)
+	}
+}
+
+// TestParallelByteIdentical is the smoke-test CI runs: the same package
+// set at -parallel 1 and -parallel 4 emits byte-identical JSON.
+func TestParallelByteIdentical(t *testing.T) {
+	_, seq, _ := runLint(t, "-json", "-cache", "off", "-parallel", "1", fixtures+"snapshotsafety/...")
+	_, par, _ := runLint(t, "-json", "-cache", "off", "-parallel", "4", fixtures+"snapshotsafety/...")
+	if seq != par {
+		t.Errorf("-parallel 1 and -parallel 4 output differ:\n--- 1 ---\n%s\n--- 4 ---\n%s", seq, par)
+	}
+	if strings.TrimSpace(seq) == "[]" {
+		t.Error("snapshotsafety fixtures produced no findings; the comparison is vacuous")
+	}
+}
+
+// TestSuppressionCounts: -suppressions tallies directives per analyzer
+// without running any analysis.
+func TestSuppressionCounts(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-suppressions", fixtures+"suppress/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "total") {
+		t.Errorf("-suppressions output %q lacks the total row", stdout)
+	}
+	if !strings.Contains(stdout, "determinism") && !strings.Contains(stdout, "pooledvec") {
+		t.Errorf("-suppressions output %q names no suppressed analyzer", stdout)
+	}
+}
+
+// TestCacheWarm: with -cache pointed at a scratch directory, the second
+// run type-checks nothing, and says so under -v.
+func TestCacheWarm(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	target := fixtures + "determinism/bad/internal/core"
+	code, _, _ := runLint(t, "-v", "-cache", cacheDir, target)
+	if code != 1 {
+		t.Fatalf("cold run exit = %d, want 1", code)
+	}
+	code, stdout, stderr := runLint(t, "-v", "-cache", cacheDir, target)
+	if code != 1 {
+		t.Fatalf("warm run exit = %d, want 1 (findings must survive the cache)", code)
+	}
+	if !strings.Contains(stderr, "(0 type-checked)") {
+		t.Errorf("warm -v stats %q: want 0 packages type-checked", stderr)
+	}
+	if !strings.Contains(stdout, "[determinism]") {
+		t.Errorf("warm findings %q lost the determinism diagnostics", stdout)
 	}
 }

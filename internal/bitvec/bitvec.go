@@ -196,6 +196,8 @@ func (v *Vector) And(other *Vector) {
 // caller's call — MaybeSummarize — because building the summary costs a
 // word sweep that only pays off when the vector is AND-ed again. The
 // result bits are identical either way.
+//
+//lint:hotpath
 func (v *Vector) AndCount(other *Vector) int {
 	v.sameLen(other)
 	if v.summary != nil {

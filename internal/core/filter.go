@@ -244,6 +244,8 @@ func (r *run) filter() {
 // exit once the count falls below τ; the ablation knobs
 // (Config.NoIncrementalAnd, Config.NoEarlyExit) fall back to the naive
 // evaluations the benchmarks compare against.
+//
+//lint:hotpath
 func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it txdb.Item, itemPos []int, newPos *[]int) int {
 	r.m.stats.AddCountCall()
 	for _, p := range itemPos {
@@ -257,7 +259,13 @@ func (r *run) evalExtension(scratch, parentVec *bitvec.Vector, parentEst int, it
 		// what the ablation measures.
 		scratch.CopyFrom(r.rootVec)
 		est := r.rootEst
-		for _, member := range append(r.itemset, it) {
+		// Iterate r.itemset then it by index: append(r.itemset, it) would
+		// copy the itemset into a fresh array on every candidate.
+		for i := 0; i <= len(r.itemset); i++ {
+			member := it
+			if i < len(r.itemset) {
+				member = r.itemset[i]
+			}
 			for _, p := range r.idx.Hasher().Positions(member) {
 				est = r.idx.AndSlice(scratch, p)
 				if est < r.tau && !r.cfg.NoEarlyExit {

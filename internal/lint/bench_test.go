@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"testing"
+)
+
+// BenchmarkLint measures a full driver run over the repository, the way
+// `make lint` executes it: cold type-checks all 28-odd packages from
+// scratch; warm serves every fact and finding from a primed content-hash
+// cache and type-checks nothing. The warm number is what developers feel.
+func BenchmarkLint(b *testing.B) {
+	expand := func() []string {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := loader.Expand([]string{"../../..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return paths
+	}
+
+	run := func(b *testing.B, cacheDir string) {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &Driver{Loader: loader, Analyzers: Analyzers(), CacheDir: cacheDir}
+		if _, err := d.RunPaths(expand()); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, "")
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		cacheDir := b.TempDir()
+		run(b, cacheDir) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cacheDir)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow keeps the commit and mine paths cancellable: an unbounded
+// `for {}` loop in internal/core, internal/serve or internal/shard must
+// observe cancellation on each iteration — receive from a channel (the
+// ctx.Done() pattern), run a select, or consult Context.Err() — directly
+// or through a same-package helper like the miner's cancelled(). A commit
+// loop that spins without a cancellation check turns graceful drain into a
+// goroutine leak and a mine that ignores its deadline holds a worker slot
+// forever; both failure modes only show up under production load.
+//
+// Bounded loops (a condition or a range clause) are exempt: the engine's
+// grow/evict/batch loops terminate by construction, and flagging them
+// would bury the real findings in noise.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "unbounded for-loops in core/serve/shard must observe cancellation each iteration",
+	Applies: func(path string) bool {
+		return pathHasSegment(path, "internal/core") ||
+			pathHasSegment(path, "internal/serve") ||
+			pathHasSegment(path, "internal/shard")
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	decls := packageFuncBodies(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if observesCancellation(pass, loop.Body, decls, 2) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"unbounded loop never observes cancellation; receive from ctx.Done(), select, or check Context.Err() each iteration")
+			return true
+		})
+	}
+}
+
+// packageFuncBodies indexes the package's function declarations by their
+// object, so the cancellation scan can follow same-package helper calls.
+func packageFuncBodies(pass *Pass) map[*types.Func]*ast.BlockStmt {
+	decls := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd.Body
+			}
+		}
+	}
+	return decls
+}
+
+// observesCancellation reports whether the block contains a channel
+// receive, a select, a Context.Err() call, or (up to depth levels deep) a
+// call to a same-package function that does.
+func observesCancellation(pass *Pass, body ast.Node, decls map[*types.Func]*ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isContextErrCall(pass, n) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if fn := calleeFunc(pass, n); fn != nil {
+					if callee, ok := decls[fn]; ok && observesCancellation(pass, callee, decls, depth-1) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextErrCall recognizes x.Err() where x is a context.Context.
+func isContextErrCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Err" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named := derefNamed(tv.Type)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

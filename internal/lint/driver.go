@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Driver runs the analyzer suite over a set of target packages with
+// package-level parallelism and an on-disk fact/finding cache.
+//
+// The run proceeds in three phases. Discovery parses import clauses only
+// and builds the module-local import graph of the targets plus every
+// dependency, hashing each package's file contents; a package's closure
+// hash folds in its transitive dependencies' hashes, so editing any file a
+// package can see invalidates its cache entries. The cache probe then
+// satisfies as many (package, analyzer) fact and finding entries as it
+// can without type-checking anything. Finally, the packages that still
+// need work — and their dependencies, which must be type-checked so their
+// importers can be — are scheduled across Parallel workers in dependency
+// order: a package's task type-checks it, computes missing facts (facts
+// run for every package, Applies gates diagnostics only), and, for
+// targets, runs the missing analyzers with suppressions applied.
+//
+// Output is deterministic at any parallelism: findings are merged and
+// sorted by (file, line, column, analyzer, message), a total order.
+type Driver struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	// Parallel is the worker count; values < 1 mean GOMAXPROCS.
+	Parallel int
+	// CacheDir roots the fact/finding cache; empty disables caching.
+	CacheDir string
+
+	// Stats describes the last Run.
+	Stats DriverStats
+}
+
+// DriverStats reports what one Driver.Run actually did, mostly so tests
+// can prove the cache serves unchanged packages and re-analyzes edited
+// ones.
+type DriverStats struct {
+	Packages         int // packages in the analysis universe (targets + deps)
+	Loaded           int // packages type-checked this run
+	FactsComputed    int // (package, analyzer) facts computed
+	FactsCached      int // (package, analyzer) facts served from cache
+	FindingsComputed int // (package, analyzer) diagnostic runs
+	FindingsCached   int // (package, analyzer) diagnostic results from cache
+}
+
+// driverNode is one package in the discovery graph.
+type driverNode struct {
+	path    string
+	imports []string // module-local imports, sorted
+	hash    string   // sha256 of the package's own loadable files
+	closure string   // hash folding in transitive dependency hashes
+	target  bool
+
+	needFacts    []*Analyzer // fact analyzers with no cached fact
+	needFindings []*Analyzer // applicable analyzers with no cached findings
+	needDirs     bool        // malformed-directive findings not cached
+	load         bool        // must be type-checked this run
+}
+
+// Run expands the patterns and analyzes the matching packages, returning
+// the sorted findings.
+func (d *Driver) Run(patterns []string) ([]Finding, error) {
+	paths, err := d.Loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	return d.RunPaths(paths)
+}
+
+// RunPaths analyzes the given import paths (all module-local).
+func (d *Driver) RunPaths(targets []string) ([]Finding, error) {
+	d.Stats = DriverStats{}
+	nodes, order, err := d.discover(targets)
+	if err != nil {
+		return nil, err
+	}
+	d.Stats.Packages = len(order)
+
+	cache := newFactCache(d.CacheDir)
+	store := NewFactStore()
+	results := map[string][]Finding{}
+	d.probeCache(cache, store, nodes, order, results)
+	d.markLoads(nodes, order)
+
+	if err := d.schedule(cache, store, nodes, order, results); err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for _, path := range order {
+		if nodes[path].target {
+			findings = append(findings, results[path]...)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// discover builds the module-local import graph reachable from the targets
+// and returns it with a topological order (imports before importers).
+func (d *Driver) discover(targets []string) (map[string]*driverNode, []string, error) {
+	l := d.Loader
+	fset := token.NewFileSet() // throwaway: discovery positions are never reported
+	nodes := map[string]*driverNode{}
+	queue := append([]string(nil), targets...)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if nodes[path] != nil {
+			continue
+		}
+		n := &driverNode{path: path}
+		nodes[path] = n
+
+		dir := l.Dir(path)
+		names, err := l.goFileNames(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := sha256.New()
+		seen := map[string]bool{}
+		pkgName := ""
+		for _, name := range names {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %w", err)
+			}
+			f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %w", err)
+			}
+			// Mirror parseAndCheck's file selection exactly: the hash must
+			// cover precisely the files the type-checker will see.
+			fname := f.Name.Name
+			if hasSuffixPair(name, fname) {
+				continue // external test package
+			}
+			if pkgName == "" {
+				pkgName = fname
+			}
+			if fname != pkgName {
+				continue // mixed-package stray
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(src))
+			h.Write(src)
+			for _, spec := range f.Imports {
+				ip, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || !l.local(ip) || seen[ip] {
+					continue
+				}
+				seen[ip] = true
+				n.imports = append(n.imports, ip)
+			}
+		}
+		if pkgName == "" {
+			return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		n.hash = hex.EncodeToString(h.Sum(nil))
+		sort.Strings(n.imports)
+		queue = append(queue, n.imports...)
+	}
+	for _, t := range targets {
+		nodes[t].target = true
+	}
+
+	order, err := topoSort(nodes, targets)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, path := range order {
+		n := nodes[path]
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", d.Loader.ModuleRoot, path, n.hash)
+		for _, imp := range n.imports {
+			fmt.Fprintf(h, "%s\x00%s\x00", imp, nodes[imp].closure)
+		}
+		n.closure = hex.EncodeToString(h.Sum(nil))
+	}
+	return nodes, order, nil
+}
+
+// hasSuffixPair reports an external test file: name *_test.go with a
+// package clause ending in _test.
+func hasSuffixPair(fileName, pkgName string) bool {
+	return len(fileName) > len("_test.go") && fileName[len(fileName)-len("_test.go"):] == "_test.go" &&
+		len(pkgName) > len("_test") && pkgName[len(pkgName)-len("_test"):] == "_test"
+}
+
+// topoSort orders the graph imports-first, erroring on cycles.
+func topoSort(nodes map[string]*driverNode, roots []string) ([]string, error) {
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	order := make([]string, 0, len(nodes))
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = 1
+		for _, imp := range nodes[path].imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range sorted {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// probeCache satisfies facts and findings from the disk cache where the
+// closure hashes still match, decoding cached facts into the store and
+// cached findings into results.
+func (d *Driver) probeCache(cache *factCache, store *FactStore, nodes map[string]*driverNode, order []string, results map[string][]Finding) {
+	for _, path := range order {
+		n := nodes[path]
+		for _, a := range d.Analyzers {
+			if a.Facts == nil {
+				continue
+			}
+			entry, ok := cache.load(hashKey("facts", a.Name, n.closure))
+			if !ok {
+				n.needFacts = append(n.needFacts, a)
+				continue
+			}
+			d.Stats.FactsCached++
+			if len(entry.Fact) > 0 {
+				fv := a.NewFact()
+				if err := json.Unmarshal(entry.Fact, fv); err == nil {
+					store.put(a.Name, path, fv)
+				}
+			}
+		}
+		if !n.target {
+			continue
+		}
+		if entry, ok := cache.load(hashKey("findings", "bbslint", n.closure)); ok {
+			results[path] = append(results[path], entry.Findings...)
+		} else {
+			n.needDirs = true
+		}
+		for _, a := range d.Analyzers {
+			if a.Applies != nil && !a.Applies(path) {
+				continue
+			}
+			entry, ok := cache.load(hashKey("findings", a.Name, n.closure))
+			if !ok {
+				n.needFindings = append(n.needFindings, a)
+				continue
+			}
+			d.Stats.FindingsCached++
+			results[path] = append(results[path], entry.Findings...)
+		}
+	}
+}
+
+// markLoads flags every package that must be type-checked: those with
+// uncached work, plus (transitively) their dependencies, which importers
+// need loaded even when the dependencies' own results are all cached.
+func (d *Driver) markLoads(nodes map[string]*driverNode, order []string) {
+	var need func(path string)
+	need = func(path string) {
+		n := nodes[path]
+		if n.load {
+			return
+		}
+		n.load = true
+		for _, imp := range n.imports {
+			need(imp)
+		}
+	}
+	for _, path := range order {
+		n := nodes[path]
+		if len(n.needFacts) > 0 || len(n.needFindings) > 0 || n.needDirs {
+			need(path)
+		}
+	}
+}
+
+// schedule type-checks and analyzes every marked package across the worker
+// pool, honoring import order: a package becomes ready only when all its
+// marked imports completed.
+func (d *Driver) schedule(cache *factCache, store *FactStore, nodes map[string]*driverNode, order []string, results map[string][]Finding) error {
+	var tasks []string
+	for _, path := range order {
+		if nodes[path].load {
+			tasks = append(tasks, path)
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, path := range tasks {
+		for _, imp := range nodes[path].imports {
+			if nodes[imp].load {
+				indeg[path]++
+				dependents[imp] = append(dependents[imp], path)
+			}
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     []string
+		remaining = len(tasks)
+		firstErr  error
+	)
+	for _, path := range tasks {
+		if indeg[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+
+	workers := d.Parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && remaining > 0 && firstErr == nil {
+					cond.Wait()
+				}
+				if remaining == 0 || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				path := ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				mu.Unlock()
+
+				found, stats, err := d.analyzeNode(cache, store, nodes[path])
+
+				mu.Lock()
+				remaining--
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					results[path] = append(results[path], found...)
+					d.Stats.Loaded++
+					d.Stats.FactsComputed += stats.FactsComputed
+					d.Stats.FindingsComputed += stats.FindingsComputed
+					for _, dep := range dependents[path] {
+						indeg[dep]--
+						if indeg[dep] == 0 {
+							ready = append(ready, dep)
+						}
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// analyzeNode is one worker task: type-check the package, compute missing
+// facts, and run missing diagnostics for targets.
+func (d *Driver) analyzeNode(cache *factCache, store *FactStore, n *driverNode) ([]Finding, DriverStats, error) {
+	var stats DriverStats
+	pkg, err := d.Loader.loadOne(n.path)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	for _, a := range n.needFacts {
+		pass := &Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, Info: pkg.Info, facts: store,
+		}
+		fact := a.Facts(pass)
+		stats.FactsComputed++
+		var entry cacheEntry
+		if fact != nil {
+			store.put(a.Name, n.path, fact)
+			if data, err := json.Marshal(fact); err == nil {
+				entry.Fact = data
+			}
+		}
+		cache.store(hashKey("facts", a.Name, n.closure), entry)
+	}
+
+	var found []Finding
+	if n.needDirs || len(n.needFindings) > 0 {
+		dirs, bad := collectDirectives(pkg.Fset, pkg.Files)
+		if n.needDirs {
+			found = append(found, bad...)
+			cache.store(hashKey("findings", "bbslint", n.closure), cacheEntry{Findings: bad})
+		}
+		for _, a := range n.needFindings {
+			var fs []Finding
+			pass := &Pass{
+				Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+				Pkg: pkg.Types, Info: pkg.Info, findings: &fs, facts: store,
+			}
+			a.Run(pass)
+			stats.FindingsComputed++
+			fs = applySuppressions(fs, 0, dirs)
+			found = append(found, fs...)
+			cache.store(hashKey("findings", a.Name, n.closure), cacheEntry{Findings: fs})
+		}
+	}
+	return found, stats, nil
+}
+
+// DirectiveCounts tallies the //lint:ignore and //lint:file-ignore
+// directives per analyzer across the given packages without type-checking
+// anything (parse only). Malformed directives count under "bbslint". It
+// backs `bbslint -suppressions` / `make lint-fix-scope`, which keep
+// suppression creep visible in review.
+func DirectiveCounts(l *Loader, paths []string) (map[string]int, error) {
+	counts := map[string]int{}
+	fset := token.NewFileSet()
+	for _, path := range paths {
+		dir := l.Dir(path)
+		names, err := l.goFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		dirs, bad := collectDirectives(fset, files)
+		for _, d := range dirs {
+			counts[d.analyzer]++
+		}
+		if len(bad) > 0 {
+			counts["bbslint"] += len(bad)
+		}
+	}
+	return counts, nil
+}

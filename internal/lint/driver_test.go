@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree writes a file tree under a temp dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tmpSigfile = `// Package sigfile is a scratch copy of the master/snapshot split.
+package sigfile
+
+type Index struct {
+	keys []uint32
+}
+
+func (ix *Index) Insert(k uint32) {
+	ix.keys = append(ix.keys, k)
+}
+
+func (ix *Index) Snapshot() *Index {
+	out := &Index{keys: make([]uint32, len(ix.keys))}
+	copy(out.keys, ix.keys)
+	return out
+}
+
+func (ix *Index) Freeze() *Index {
+	return ix.Snapshot()
+}
+`
+
+const tmpServeClean = `// Package serve exercises the sigfile snapshot contract.
+package serve
+
+import "tmpserve/internal/sigfile"
+
+func Grow(master *sigfile.Index) *sigfile.Index {
+	sn := master.Freeze()
+	master.Insert(7)
+	return sn
+}
+`
+
+const tmpServeMutated = `// Package serve exercises the sigfile snapshot contract.
+package serve
+
+import "tmpserve/internal/sigfile"
+
+func Grow(master *sigfile.Index) *sigfile.Index {
+	sn := master.Freeze()
+	sn.Insert(7) // mutates the published view
+	return sn
+}
+`
+
+// driverOn builds a fresh Driver rooted at the given module dir; a fresh
+// loader per run is what a new bbslint process would have.
+func driverOn(t *testing.T, root, cacheDir string, parallel int) *Driver {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return &Driver{Loader: loader, Analyzers: Analyzers(), Parallel: parallel, CacheDir: cacheDir}
+}
+
+// TestDriverCacheInvalidation proves the content-hash cache end to end on
+// a scratch module: a warm run type-checks nothing; editing the target
+// re-analyzes it against its dependency's CACHED fact (the cross-package
+// snapshotsafety diagnostic appears without re-computing the dep); and
+// editing the dependency invalidates the unchanged target through the
+// closure hash.
+func TestDriverCacheInvalidation(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                  "module tmpserve\n\ngo 1.22\n",
+		"internal/sigfile/bbs.go": tmpSigfile,
+		"internal/serve/serve.go": tmpServeClean,
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	targets := []string{"tmpserve/internal/serve"}
+
+	// Cold: everything computed, nothing found.
+	d := driverOn(t, root, cacheDir, 2)
+	findings, err := d.RunPaths(targets)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("cold run findings = %v, want none", findings)
+	}
+	if d.Stats.Packages != 2 || d.Stats.Loaded != 2 || d.Stats.FactsCached != 0 {
+		t.Fatalf("cold stats = %+v, want 2 packages loaded, 0 cached", d.Stats)
+	}
+
+	// Warm: the cache satisfies everything; no package is type-checked.
+	d = driverOn(t, root, cacheDir, 2)
+	if _, err := d.RunPaths(targets); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if d.Stats.Loaded != 0 || d.Stats.FactsComputed != 0 || d.Stats.FindingsComputed != 0 {
+		t.Fatalf("warm stats = %+v, want nothing recomputed", d.Stats)
+	}
+	if d.Stats.FactsCached == 0 || d.Stats.FindingsCached == 0 {
+		t.Fatalf("warm stats = %+v, want cache hits", d.Stats)
+	}
+
+	// Edit the target: it is re-analyzed; the dependency's fact comes from
+	// the cache (FactsCached) yet still powers the cross-package finding.
+	if err := os.WriteFile(filepath.Join(root, "internal/serve/serve.go"), []byte(tmpServeMutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d = driverOn(t, root, cacheDir, 2)
+	findings, err = d.RunPaths(targets)
+	if err != nil {
+		t.Fatalf("edited-target run: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "snapshotsafety" {
+		t.Fatalf("edited-target findings = %v, want one snapshotsafety", findings)
+	}
+	if d.Stats.FactsComputed != 1 || d.Stats.FactsCached != 1 {
+		t.Fatalf("edited-target stats = %+v, want target fact recomputed, dep fact cached", d.Stats)
+	}
+
+	// Edit the dependency: the unchanged target's closure hash moves, so
+	// both are recomputed and the finding survives.
+	if err := os.WriteFile(filepath.Join(root, "internal/sigfile/bbs.go"),
+		[]byte(tmpSigfile+"\nfunc (ix *Index) Len() int { return len(ix.keys) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d = driverOn(t, root, cacheDir, 2)
+	findings, err = d.RunPaths(targets)
+	if err != nil {
+		t.Fatalf("edited-dep run: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "snapshotsafety" {
+		t.Fatalf("edited-dep findings = %v, want one snapshotsafety", findings)
+	}
+	if d.Stats.FactsComputed != 2 || d.Stats.FactsCached != 0 {
+		t.Fatalf("edited-dep stats = %+v, want both facts recomputed", d.Stats)
+	}
+}
+
+// TestDriverParallelByteIdentical pins the determinism contract CI relies
+// on: JSON output over a findings-heavy package set is byte-identical at
+// -parallel 1 and -parallel 4.
+func TestDriverParallelByteIdentical(t *testing.T) {
+	paths := []string{
+		"bbsmine/internal/lint/testdata/src/snapshotsafety/bad/internal/serve",
+		"bbsmine/internal/lint/testdata/src/snapshotsafety/xpkg/internal/serve",
+		"bbsmine/internal/lint/testdata/src/ctxflow/bad/internal/core",
+		"bbsmine/internal/lint/testdata/src/goroutinelife/bad/internal/serve",
+		"bbsmine/internal/lint/testdata/src/hotpathalloc/bad/internal/core",
+		"bbsmine/internal/lint/testdata/src/lockdiscipline/atomic/cache",
+		"bbsmine/internal/lint/testdata/src/determinism/bad/internal/core",
+	}
+	emit := func(parallel int) []byte {
+		d := driverOn(t, ".", "", parallel)
+		findings, err := d.RunPaths(paths)
+		if err != nil {
+			t.Fatalf("RunPaths(parallel=%d): %v", parallel, err)
+		}
+		if len(findings) == 0 {
+			t.Fatalf("RunPaths(parallel=%d) found nothing; the comparison is vacuous", parallel)
+		}
+		var buf bytes.Buffer
+		if err := EmitJSON(&buf, findings, d.Loader.ModuleRoot); err != nil {
+			t.Fatalf("EmitJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	seq := emit(1)
+	par := emit(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-parallel 1 and -parallel 4 JSON differ:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}
+
+// TestDriverFactsCrossPackage runs the fact fixture through the driver
+// (rather than the in-process Run helper) and checks the dependent-package
+// diagnostic that only exported facts can produce.
+func TestDriverFactsCrossPackage(t *testing.T) {
+	d := driverOn(t, ".", "", 0)
+	findings, err := d.RunPaths([]string{"bbsmine/internal/lint/testdata/src/snapshotsafety/xpkg/internal/serve"})
+	if err != nil {
+		t.Fatalf("RunPaths: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "snapshotsafety" || findings[0].Pos.Line != 11 {
+		t.Fatalf("findings = %v, want the line-11 cross-package snapshotsafety diagnostic", findings)
+	}
+}

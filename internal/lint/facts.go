@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// factsVersion salts every cache key. Bump it whenever an analyzer's fact
+// shape or diagnostic logic changes, so stale cache entries from older
+// binaries can never satisfy a newer run.
+const factsVersion = "bbslint-v2"
+
+// FactStore holds the per-(analyzer, package) facts computed or decoded
+// during one run. It is safe for concurrent use: the driver computes facts
+// for independent packages in parallel.
+type FactStore struct {
+	mu sync.RWMutex
+	m  map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	pkg      string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]any{}}
+}
+
+func (s *FactStore) get(analyzer, pkg string) any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[factKey{analyzer, pkg}]
+}
+
+func (s *FactStore) put(analyzer, pkg string, fact any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{analyzer, pkg}] = fact
+}
+
+// has reports whether a fact is recorded (even a nil-valued one is not;
+// analyzers that export nothing simply have no entry).
+func (s *FactStore) has(analyzer, pkg string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.m[factKey{analyzer, pkg}]
+	return ok
+}
+
+// cacheEntry is the on-disk form of one cached (package, analyzer) result:
+// the exported fact (if the analyzer exports one) and, for target packages,
+// the surviving findings. Facts and findings are cached under separate keys
+// because a package can be a dependency in one run and a target in another.
+type cacheEntry struct {
+	Fact     json.RawMessage `json:"fact,omitempty"`
+	Findings []Finding       `json:"findings"`
+}
+
+// factCache is a content-addressed directory of cacheEntry files. A nil
+// *factCache is valid and caches nothing, which is how the driver degrades
+// when the cache directory cannot be created.
+type factCache struct {
+	dir string
+}
+
+// newFactCache opens (creating if needed) a cache rooted at dir. An empty
+// dir disables caching.
+func newFactCache(dir string) *factCache {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &factCache{dir: dir}
+}
+
+func (c *factCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load reads the entry stored under key, reporting ok=false on any miss or
+// decode failure — a corrupt entry is treated as absent and overwritten.
+func (c *factCache) load(key string) (cacheEntry, bool) {
+	if c == nil {
+		return cacheEntry{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// store writes the entry under key. Cache writes are best-effort: a full
+// disk degrades to a slower lint run, not a failed one.
+func (c *factCache) store(key string, e cacheEntry) {
+	if c == nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(key))
+}
+
+// hashKey derives a cache key from the analyzer, the kind of entry
+// ("facts" or "findings") and the package's closure hash.
+func hashKey(kind, analyzer, closureHash string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", factsVersion, kind, analyzer, closureHash)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

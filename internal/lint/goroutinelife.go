@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLife makes every goroutine the serving layer spawns provably
+// drainable: the spawned function must signal completion — close a
+// channel, send on one, call WaitGroup.Done — or observe cancellation
+// through a select, directly or via a same-package helper. The engine's
+// graceful shutdown waits for its commit loops through exactly such
+// signals (shardLoop's deferred close of loopDone); a goroutine with no
+// join signal and no cancellation path is a leak the drain can neither
+// wait for nor stop, and it keeps mutating state while the process saves
+// its index.
+//
+// A plain channel receive is deliberately NOT a join signal: a goroutine
+// ranging over a work channel does terminate when the channel closes, but
+// nothing can wait for its in-flight work to finish — precisely the bug
+// this analyzer exists to catch.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "goroutines in serve/shard must be joined (close/send/Done) or ctx-cancelled",
+	Applies: func(path string) bool {
+		return pathHasSegment(path, "internal/serve") ||
+			pathHasSegment(path, "internal/shard")
+	},
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) {
+	decls := packageFuncBodies(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, g, decls)
+			if body != nil && signalsCompletion(pass, body, decls, 2) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine has no join signal (close/send/WaitGroup.Done) and no select on cancellation; it leaks on drain")
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the body of the function a go statement launches:
+// a function literal's own body, or a same-package declaration's. Nil when
+// the target is outside the package — an unprovable spawn is a finding.
+func spawnedBody(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.BlockStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(pass, g.Call); fn != nil {
+		return decls[fn]
+	}
+	return nil
+}
+
+// signalsCompletion reports whether the block closes a channel, sends on
+// one, calls WaitGroup.Done, or selects — here or (up to depth levels) in
+// a same-package callee.
+func signalsCompletion(pass *Pass, body ast.Node, decls map[*types.Func]*ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					found = true
+					return false
+				}
+			}
+			if isWaitGroupDone(pass, n) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if fn := calleeFunc(pass, n); fn != nil {
+					if callee, ok := decls[fn]; ok && signalsCompletion(pass, callee, decls, depth-1) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone recognizes wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named := derefNamed(tv.Type)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

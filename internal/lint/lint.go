@@ -1,12 +1,41 @@
 // Package lint is the project's static-analysis suite: a small analyzer
-// framework plus the analyzers that encode the engine's concurrency and
-// determinism invariants — the unwritten rules the parallel mining engine
-// (internal/core) relies on and that ordinary tests only catch when they
-// happen to race.
+// framework plus the ten analyzers that encode the engine's concurrency
+// and determinism invariants — the unwritten rules the parallel mining
+// engine (internal/core), the bit-sliced index (internal/sigfile/shard)
+// and the serving layer (internal/serve) rely on, and that ordinary tests
+// only catch when they happen to race.
 //
 // The framework deliberately uses nothing outside the standard library
 // (go/parser, go/types, go/importer), so go.mod stays dependency-free.
 // cmd/bbslint is the command-line driver; `make lint` runs it over ./...
+// See README.md in this directory for the full analyzer catalogue.
+//
+// Analyzer scopes (what each analyzer's Applies predicate covers):
+//
+//	atomicfield     internal/iostat, internal/obs
+//	pooledvec       internal/core
+//	lockdiscipline  every package
+//	determinism     every package except internal/exp, internal/weblog,
+//	                internal/quest, internal/obs, cmd, examples
+//	errwrap         every package (discard rule scoped to internal/txdb,
+//	                internal/sigfile, internal/serve, internal/shard)
+//	obsdiscipline   internal/core, internal/sigfile, internal/serve,
+//	                internal/shard (not internal/obs itself)
+//	snapshotsafety  internal/core, internal/sigfile, internal/serve,
+//	                internal/shard (facts exported from every package)
+//	ctxflow         internal/core, internal/serve, internal/shard
+//	goroutinelife   internal/serve, internal/shard
+//	hotpathalloc    every package (only //lint:hotpath functions checked)
+//
+// Analyzers may export per-package facts (Analyzer.Facts): serializable
+// summaries — which types a package publishes as immutable snapshots,
+// which methods mutate them — that analyses of dependent packages consume
+// through Pass.Fact. Facts are computed for every module-local package in
+// dependency order regardless of Applies, so a diagnostic in internal/serve
+// can know that sigfile.BBS.Insert mutates its receiver. The Driver in
+// driver.go runs packages in parallel and caches facts and findings on
+// disk keyed by content hash; Run below is the small sequential entry
+// point the tests use.
 //
 // Findings can be suppressed at the reporting site:
 //
@@ -33,10 +62,19 @@ type Analyzer struct {
 	// Doc is a one-line description of the rule the analyzer enforces.
 	Doc string
 	// Applies reports whether the analyzer checks the package with the
-	// given import path. A nil Applies checks every package.
+	// given import path. A nil Applies checks every package. Applies gates
+	// diagnostics only: facts are computed for every module-local package.
 	Applies func(pkgPath string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// Facts, when non-nil, computes the package's exported fact. It runs
+	// before any diagnostics, for every module-local package in dependency
+	// order, so Run can read its imports' facts through Pass.Fact. The
+	// returned value must round-trip through encoding/json.
+	Facts func(*Pass) any
+	// NewFact returns a zero fact value (a pointer) for decoding cached
+	// facts. Required when Facts is set.
+	NewFact func() any
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -48,6 +86,7 @@ type Pass struct {
 	Info     *types.Info
 
 	findings *[]Finding
+	facts    *FactStore
 }
 
 // Reportf records a finding at pos.
@@ -57,6 +96,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Fact returns this analyzer's fact for the package with the given import
+// path — the pass's own package or any module-local dependency — or nil if
+// none was exported.
+func (p *Pass) Fact(pkgPath string) any {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.get(p.Analyzer.Name, pkgPath)
 }
 
 // Finding is one reported violation.
@@ -81,19 +130,64 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		ErrWrap,
 		ObsDiscipline,
+		SnapshotSafety,
+		CtxFlow,
+		GoroutineLife,
+		HotPathAlloc,
 	}
 }
 
 // Run applies each analyzer to each package it covers and returns the
 // surviving findings (suppressions applied), sorted by position. Malformed
 // suppression directives are themselves reported, under the "bbslint" name.
+//
+// Facts are computed first, sequentially, for the supplied packages and
+// every module-local package they (transitively) import, in dependency
+// order — the loader has those dependencies cached from type-checking.
+// This is the simple in-memory path; cmd/bbslint uses the parallel,
+// disk-cached Driver.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	store := NewFactStore()
+	computeFacts(factUniverse(pkgs), analyzers, store)
+
 	var findings []Finding
 	for _, pkg := range pkgs {
-		dirs, bad := collectDirectives(pkg.Fset, pkg.Files)
-		findings = append(findings, bad...)
+		findings = append(findings, analyzePackage(pkg, analyzers, store)...)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// analyzePackage runs every applicable analyzer over one package, applies
+// suppressions and returns the surviving findings, unsorted.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, store *FactStore) []Finding {
+	dirs, findings := collectDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			findings: &findings,
+			facts:    store,
+		}
+		before := len(findings)
+		a.Run(pass)
+		findings = applySuppressions(findings, before, dirs)
+	}
+	return findings
+}
+
+// computeFacts evaluates every fact-exporting analyzer over the packages,
+// which must already be in dependency order (imports before importers).
+func computeFacts(ordered []*Package, analyzers []*Analyzer, store *FactStore) {
+	for _, pkg := range ordered {
 		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pkg.Path) {
+			if a.Facts == nil {
 				continue
 			}
 			pass := &Pass{
@@ -102,13 +196,72 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				findings: &findings,
+				facts:    store,
 			}
-			before := len(findings)
-			a.Run(pass)
-			findings = applySuppressions(findings, before, dirs)
+			if fact := a.Facts(pass); fact != nil {
+				store.put(a.Name, pkg.Path, fact)
+			}
 		}
 	}
+}
+
+// factUniverse returns the supplied packages plus every module-local
+// package they transitively import (available from the loader cache after
+// type-checking), topologically sorted so imports precede importers.
+func factUniverse(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	var add func(p *Package)
+	add = func(p *Package) {
+		if p == nil || byPath[p.Path] != nil {
+			return
+		}
+		byPath[p.Path] = p
+		if p.loader == nil {
+			return
+		}
+		for _, imp := range p.Types.Imports() {
+			if dep := p.loader.cached(imp.Path()); dep != nil {
+				add(dep)
+			}
+		}
+	}
+	for _, p := range pkgs {
+		add(p)
+	}
+
+	paths := make([]string, 0, len(byPath))
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	// Depth-first over imports gives a topological order; visit roots in
+	// sorted order (and imports in go/types' stable order) so the result
+	// is deterministic.
+	ordered := make([]*Package, 0, len(byPath))
+	done := map[string]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if p == nil || done[p.Path] {
+			return
+		}
+		done[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			visit(byPath[imp.Path()])
+		}
+		ordered = append(ordered, p)
+	}
+	for _, path := range paths {
+		visit(byPath[path])
+	}
+	// Packages reachable only through the loader cache (not the roots)
+	// were all added by add() through import edges of the roots, so the
+	// visit above covered everything in byPath.
+	return ordered
+}
+
+// sortFindings orders findings by position, then analyzer, then message —
+// a total order, so concurrent runs at any parallelism render identically.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -120,9 +273,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
 // pathHasSegment reports whether the slash-separated import path contains

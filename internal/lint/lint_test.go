@@ -90,6 +90,40 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"11 determinism",
 			"11 obsdiscipline", // time.Since bypassing the registry
 		}},
+		{"snapshotsafety/bad/internal/serve", []string{
+			"20 snapshotsafety", // s.epoch++ after snap.Load()
+			"28 snapshotsafety", // field store after snap.Store()
+			"37 snapshotsafety", // element of a loaded-snapshot vector
+		}},
+		{"snapshotsafety/good/internal/serve", nil}, // build-then-Store, vector building, reads
+		{"snapshotsafety/badmethod/internal/sigfile", []string{
+			"24 snapshotsafety", // Insert on a Snapshot() result
+		}},
+		{"snapshotsafety/goodmethod/internal/sigfile", nil}, // mutating the master after Snapshot
+		{"snapshotsafety/xpkg/internal/sigfile", nil},       // the fact-exporting package itself is clean
+		{"snapshotsafety/xpkg/internal/serve", []string{
+			"11 snapshotsafety", // cross-package mutator on a cross-package publisher, via facts
+		}},
+		{"ctxflow/bad/internal/core", []string{
+			"7 ctxflow",  // bare spin loop
+			"17 ctxflow", // loop over a helper that never observes ctx
+		}},
+		{"ctxflow/good/internal/core", nil}, // select, Err(), receive, helper
+		{"goroutinelife/bad/internal/serve", []string{
+			"8 goroutinelife",  // leaked function literal
+			"15 goroutinelife", // leaked named method
+		}},
+		{"goroutinelife/good/internal/serve", nil}, // Done, close, select, named-loop join
+		{"hotpathalloc/bad/internal/core", []string{
+			"9 hotpathalloc",  // make
+			"13 hotpathalloc", // new
+			"22 hotpathalloc", // append growth into a fresh array
+			"23 hotpathalloc", // capturing closure
+		}},
+		{"hotpathalloc/good/internal/core", nil}, // self-appends and an unannotated allocator
+		{"lockdiscipline/atomic/cache", []string{
+			"31 lockdiscipline", // the guarded map, unlocked; the atomic fields are exempt
+		}},
 		{"suppress/internal/core", nil}, // both violations suppressed with reasons
 		{"suppress/fileignore/internal/core", nil},
 		{"malformed/internal/core", []string{
@@ -156,6 +190,21 @@ func TestAnalyzerScopes(t *testing.T) {
 		{Determinism, "bbsmine/internal/quest", false},
 		{Determinism, "bbsmine/cmd/bbsbench", false},
 		{Determinism, "bbsmine/examples/retail", false},
+		{SnapshotSafety, "bbsmine/internal/serve", true},
+		{SnapshotSafety, "bbsmine/internal/shard", true},
+		{SnapshotSafety, "bbsmine/internal/sigfile", true}, // the master/snapshot split lives here
+		{SnapshotSafety, "bbsmine/internal/core", true},
+		{SnapshotSafety, "bbsmine/internal/obs", false},
+		{SnapshotSafety, "bbsmine/internal/bitvec", false},
+		{CtxFlow, "bbsmine/internal/core", true},
+		{CtxFlow, "bbsmine/internal/serve", true},
+		{CtxFlow, "bbsmine/internal/shard", true},
+		{CtxFlow, "bbsmine/internal/sigfile", false}, // no long-running loops take a ctx here
+		{GoroutineLife, "bbsmine/internal/serve", true},
+		{GoroutineLife, "bbsmine/internal/shard", true},
+		{GoroutineLife, "bbsmine/internal/core", false}, // the engine spawns nothing itself
+		{HotPathAlloc, "bbsmine/internal/bitvec", true}, // directive-driven: applies everywhere
+		{HotPathAlloc, "bbsmine/cmd/bbsbench", true},
 	}
 	for _, tt := range tests {
 		applies := tt.analyzer.Applies == nil || tt.analyzer.Applies(tt.path)

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -21,6 +22,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader // back-reference for fact-universe walks; nil in hand-built packages
 }
 
 // Loader parses and type-checks packages of one module using only the
@@ -29,6 +32,12 @@ type Package struct {
 // source importer. There is no go/packages and no external dependency —
 // the price is that only the host module and the standard library are
 // loadable, which is exactly the closed world this repository lives in.
+//
+// The package cache and the standard-library importer are mutex-guarded,
+// so the Driver may type-check independent packages concurrently (it
+// schedules them in dependency order, so a package's module-local imports
+// are always cached before its own check begins). The recursive Load path
+// remains sequential.
 type Loader struct {
 	ModulePath string
 	ModuleRoot string
@@ -37,10 +46,27 @@ type Loader struct {
 	// cannot be type-checked together with the package under test.
 	IncludeTests bool
 
-	fset    *token.FileSet
-	std     types.ImporterFrom
+	fset *token.FileSet
+	std  *lockedImporter
+
+	mu      sync.Mutex
 	cache   map[string]*Package
 	loading map[string]bool
+}
+
+// lockedImporter serializes the compiler source importer, which is not
+// documented as safe for concurrent use. Standard-library packages load
+// once and are cached inside it, so the serialization only gates first
+// loads.
+type lockedImporter struct {
+	mu  sync.Mutex
+	std types.ImporterFrom
+}
+
+func (li *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.std.ImportFrom(path, dir, mode)
 }
 
 // NewLoader locates the enclosing module of dir (walking up to the go.mod)
@@ -70,7 +96,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		ModuleRoot: root,
 		fset:       fset,
-		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		std:        &lockedImporter{std: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)},
 		cache:      map[string]*Package{},
 		loading:    map[string]bool{},
 	}, nil
@@ -99,6 +125,24 @@ func (l *Loader) Dir(importPath string) string {
 	return filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(importPath, l.ModulePath)))
 }
 
+// local reports whether the import path belongs to this module.
+func (l *Loader) local(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// cached returns the already-loaded package for the path, or nil.
+func (l *Loader) cached(importPath string) *Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cache[importPath]
+}
+
+// importStd resolves a standard-library import through the serialized
+// source importer.
+func (l *Loader) importStd(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.std.ImportFrom(path, dir, mode)
+}
+
 // importPathOf maps an absolute directory inside the module to its import path.
 func (l *Loader) importPathOf(dir string) (string, error) {
 	rel, err := filepath.Rel(l.ModuleRoot, dir)
@@ -119,44 +163,76 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // ImportFrom implements types.ImporterFrom: module-local packages load
 // through the loader itself, everything else through the source importer.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
-	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+	if l.local(path) {
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
-	return l.std.ImportFrom(path, dir, mode)
+	return l.importStd(path, dir, mode)
 }
 
-// Load parses and type-checks the package at the given module import path.
+// cacheOnlyImporter resolves module-local imports strictly from the loader
+// cache. The Driver type-checks packages in dependency order, so a miss
+// means its import scan and the type-checker disagree about the import
+// graph — an internal error worth failing loudly on, not recursing past.
+type cacheOnlyImporter struct{ l *Loader }
+
+func (c cacheOnlyImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c cacheOnlyImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if c.l.local(path) {
+		if pkg := c.l.cached(path); pkg != nil {
+			return pkg.Types, nil
+		}
+		return nil, fmt.Errorf("lint: internal error: %s not preloaded", path)
+	}
+	return c.l.importStd(path, dir, mode)
+}
+
+// Load parses and type-checks the package at the given module import path,
+// recursively loading module-local imports. Sequential: concurrent loading
+// goes through the Driver, which schedules loadOne in dependency order.
 func (l *Loader) Load(importPath string) (*Package, error) {
+	l.mu.Lock()
 	if pkg, ok := l.cache[importPath]; ok {
+		l.mu.Unlock()
 		return pkg, nil
 	}
 	if l.loading[importPath] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
 	}
 	l.loading[importPath] = true
-	defer delete(l.loading, importPath)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, importPath)
+		l.mu.Unlock()
+	}()
+	return l.parseAndCheck(importPath, l)
+}
 
+// loadOne type-checks one package whose module-local imports are already
+// cached. It is the Driver's concurrent entry point.
+func (l *Loader) loadOne(importPath string) (*Package, error) {
+	if pkg := l.cached(importPath); pkg != nil {
+		return pkg, nil
+	}
+	return l.parseAndCheck(importPath, cacheOnlyImporter{l})
+}
+
+// parseAndCheck does the real work of loading: select files, parse, run
+// the type checker with the given import resolver, and cache the result.
+func (l *Loader) parseAndCheck(importPath string, imp types.Importer) (*Package, error) {
 	dir := l.Dir(importPath)
-	ents, err := os.ReadDir(dir)
+	names, err := l.goFileNames(dir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
+		return nil, err
 	}
-	var names []string
-	for _, e := range ents {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
-			continue
-		}
-		if !l.IncludeTests && strings.HasSuffix(n, "_test.go") {
-			continue
-		}
-		names = append(names, n)
-	}
-	sort.Strings(names)
 
 	var files []*ast.File
 	pkgName := ""
@@ -192,7 +268,7 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l,
+		Importer: imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, _ := conf.Check(importPath, l.fset, files, info)
@@ -201,15 +277,40 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	}
 
 	pkg := &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   importPath,
+		Dir:    dir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
+	l.mu.Lock()
 	l.cache[importPath] = pkg
+	l.mu.Unlock()
 	return pkg, nil
+}
+
+// goFileNames lists the loadable Go file names of dir in sorted order,
+// applying the same filters Load and the Driver's import scan share.
+func (l *Loader) goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // Expand resolves command-line patterns to import paths. A pattern is a

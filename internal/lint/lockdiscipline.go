@@ -74,7 +74,12 @@ func runLockDiscipline(pass *Pass) {
 }
 
 // collectGuarded returns the guard layout of a struct, or nil if it has no
-// sync mutex field. Fields after the first mutex field are guarded.
+// sync mutex field. Fields after the first mutex field are guarded —
+// except sync/atomic fields (atomic.Pointer[T], Int64, Bool, Value, ...),
+// which synchronize themselves: the engine publishes snapshots through an
+// atomic.Pointer that deliberately lives below a mutex guarding unrelated
+// state, and demanding a lock around an already-atomic Store would invite
+// exactly the double-locking the snapshot design avoids.
 func collectGuarded(pass *Pass, st *ast.StructType) *guardedStruct {
 	var gs *guardedStruct
 	for _, field := range st.Fields.List {
@@ -89,6 +94,9 @@ func collectGuarded(pass *Pass, st *ast.StructType) *guardedStruct {
 				}
 				gs = &guardedStruct{mutexName: name, guarded: map[*types.Var]bool{}}
 			}
+			continue
+		}
+		if isAtomicType(t) {
 			continue
 		}
 		for _, name := range field.Names {

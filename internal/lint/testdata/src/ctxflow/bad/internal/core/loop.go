@@ -1,0 +1,33 @@
+// Package core is a ctxflow fixture: unbounded loops that never observe
+// cancellation, directly or through a helper.
+package core
+
+// SpinForever polls without ever checking the context.
+func SpinForever(work func() bool) {
+	for { // want: unbounded loop with no cancellation path
+		if work() {
+			continue
+		}
+	}
+}
+
+// DrainForever loops over a poll helper that cannot observe
+// cancellation either.
+func DrainForever(q *queue) {
+	for { // want: unbounded loop with no cancellation path
+		q.pop()
+	}
+}
+
+type queue struct {
+	items []int
+}
+
+func (q *queue) pop() int {
+	if len(q.items) == 0 {
+		return 0
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}

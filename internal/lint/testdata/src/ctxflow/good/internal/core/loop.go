@@ -1,0 +1,57 @@
+// Package core is the ctxflow negative fixture: every unbounded loop
+// observes cancellation through one of the sanctioned shapes — a select,
+// a Context.Err check, a blocking channel receive, or a same-package
+// helper that does one of those.
+package core
+
+import "context"
+
+// SelectLoop observes ctx.Done through a select.
+func SelectLoop(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}
+
+// ErrLoop polls Context.Err each iteration.
+func ErrLoop(ctx context.Context, work func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// RecvLoop blocks on a channel receive; closing the channel unblocks it.
+func RecvLoop(work chan int) int {
+	total := 0
+	for {
+		v, ok := <-work
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// HelperLoop observes cancellation through a same-package helper.
+func HelperLoop(ctx context.Context, work func()) {
+	for {
+		if done(ctx) {
+			return
+		}
+		work()
+	}
+}
+
+// done reports whether the context is cancelled.
+func done(ctx context.Context) bool {
+	return ctx.Err() != nil
+}

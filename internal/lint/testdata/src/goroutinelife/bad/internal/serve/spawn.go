@@ -1,0 +1,24 @@
+// Package serve is a goroutinelife fixture: goroutines with no join
+// signal and no cancellation path. The drain can neither wait for them
+// nor stop them.
+package serve
+
+// LeakLiteral spawns a literal nothing can wait for.
+func LeakLiteral(work func()) {
+	go func() { // want: no join signal
+		work()
+	}()
+}
+
+// LeakNamed spawns a named method with no signal either.
+func LeakNamed(s *server) {
+	go s.refresh() // want: no join signal
+}
+
+type server struct {
+	hits int
+}
+
+func (s *server) refresh() {
+	s.hits++
+}

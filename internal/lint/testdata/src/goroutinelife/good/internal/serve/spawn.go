@@ -1,0 +1,59 @@
+// Package serve is the goroutinelife negative fixture: every spawn
+// either signals completion (WaitGroup.Done, a deferred close, a send)
+// or observes cancellation through a select.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitGroupJoin signals completion through wg.Done.
+func WaitGroupJoin(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// ChannelJoin closes a done channel the drain can wait on.
+func ChannelJoin(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// CtxSelect observes cancellation inside its loop.
+func CtxSelect(ctx context.Context, work chan int, handle func(int)) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// NamedJoin joins a named loop through its deferred close — the engine's
+// own shardLoop shape.
+func NamedJoin(s *server) chan struct{} {
+	loopDone := make(chan struct{})
+	go s.loop(loopDone)
+	return loopDone
+}
+
+type server struct {
+	hits int
+}
+
+func (s *server) loop(done chan struct{}) {
+	defer close(done)
+	s.hits++
+}

@@ -1,0 +1,26 @@
+// Package core is a hotpathalloc fixture: allocations inside functions
+// annotated //lint:hotpath.
+package core
+
+// sum allocates twice in the steady state.
+//
+//lint:hotpath
+func sum(rows [][]int) []int {
+	out := make([]int, 0) // want: make allocates per call
+	for _, r := range rows {
+		out = append(out, len(r))
+	}
+	box := new(int) // want: new allocates per call
+	*box = len(out)
+	return out
+}
+
+// gather grows into a fresh array and captures a variable.
+//
+//lint:hotpath
+func gather(dst []int, rows []int) []int {
+	extra := append(rows, 1)             // want: growth into a fresh backing array
+	f := func() int { return len(rows) } // want: the capture escapes
+	dst = append(dst, extra[0]+f())
+	return dst
+}

@@ -1,0 +1,19 @@
+// Package core is the hotpathalloc negative fixture: the sanctioned
+// self-append shapes, and an unannotated function free to allocate.
+package core
+
+// countInto reuses the caller's buffer, including the (*p)[:0] reslice
+// spelling the real kernels use.
+//
+//lint:hotpath
+func countInto(buf *[]int, rows [][]int) {
+	*buf = append((*buf)[:0], 0)
+	for _, r := range rows {
+		*buf = append(*buf, len(r))
+	}
+}
+
+// scratch carries no annotation; it may allocate freely.
+func scratch(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,38 @@
+// Package serve is a snapshotsafety fixture: mutations of values
+// published through an atomic.Pointer — after Load, after Store, and
+// through a container of loaded snapshots.
+package serve
+
+import "sync/atomic"
+
+type snapshot struct {
+	epoch uint64
+	rows  []int
+}
+
+type shard struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// MutateAfterLoad pokes a snapshot other goroutines already share.
+func MutateAfterLoad(sh *shard) uint64 {
+	s := sh.snap.Load()
+	s.epoch++ // want: increments a published snapshot
+	return s.epoch
+}
+
+// MutateAfterStore keeps writing through the pointer it just published.
+func MutateAfterStore(sh *shard, rows []int) {
+	next := &snapshot{rows: rows}
+	sh.snap.Store(next)
+	next.epoch = 1 // want: stores into a published snapshot
+}
+
+// MutateElement reaches into a container of published snapshots.
+func MutateElement(shards []*shard) {
+	snaps := make([]*snapshot, len(shards))
+	for i, sh := range shards {
+		snaps[i] = sh.snap.Load()
+	}
+	snaps[0].epoch = 9 // want: an element read from a holds container is published
+}

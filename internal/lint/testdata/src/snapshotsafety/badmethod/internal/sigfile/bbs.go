@@ -1,0 +1,26 @@
+// Package sigfile is a snapshotsafety fixture: a mutating method invoked
+// on a value returned from Snapshot, within one package.
+package sigfile
+
+type BBS struct {
+	keys []uint32
+}
+
+// Insert mutates the receiver.
+func (b *BBS) Insert(k uint32) {
+	b.keys = append(b.keys, k)
+}
+
+// Snapshot returns a write-once view.
+func (b *BBS) Snapshot() *BBS {
+	out := &BBS{keys: make([]uint32, len(b.keys))}
+	copy(out.keys, b.keys)
+	return out
+}
+
+// InsertAfterSnapshot mutates the published view instead of the master.
+func InsertAfterSnapshot(master *BBS) *BBS {
+	sn := master.Snapshot()
+	sn.Insert(1) // want: mutating method call on a published value
+	return sn
+}

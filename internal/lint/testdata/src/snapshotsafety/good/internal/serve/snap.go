@@ -1,0 +1,43 @@
+// Package serve is the snapshotsafety negative fixture: the sanctioned
+// build-then-publish shapes. Mutation before Store, container
+// construction, and pure reads must all stay clean.
+package serve
+
+import "sync/atomic"
+
+type snapshot struct {
+	epoch uint64
+	rows  []int
+}
+
+type shard struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// BuildThenStore mutates only before publication.
+func BuildThenStore(sh *shard, rows []int) {
+	next := &snapshot{}
+	next.rows = rows
+	next.epoch = 7
+	sh.snap.Store(next)
+}
+
+// CollectSnaps builds a container of published snapshots; element stores
+// and appends construct the vector, they do not mutate a snapshot.
+func CollectSnaps(shards []*shard) []*snapshot {
+	snaps := make([]*snapshot, 0, len(shards))
+	for _, sh := range shards {
+		snaps = append(snaps, sh.snap.Load())
+	}
+	return snaps
+}
+
+// ReadPublished reads the shared view without writing through it.
+func ReadPublished(sh *shard) int {
+	s := sh.snap.Load()
+	total := 0
+	for _, r := range s.rows {
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package sigfile is the snapshotsafety method negative fixture: after
+// taking a snapshot, the master keeps growing — the sanctioned shape.
+package sigfile
+
+type BBS struct {
+	keys []uint32
+}
+
+// Insert mutates the receiver.
+func (b *BBS) Insert(k uint32) {
+	b.keys = append(b.keys, k)
+}
+
+// Snapshot returns a write-once view.
+func (b *BBS) Snapshot() *BBS {
+	out := &BBS{keys: make([]uint32, len(b.keys))}
+	copy(out.keys, b.keys)
+	return out
+}
+
+// SnapshotThenGrow snapshots, then keeps building the master. The master
+// is never published; mutating it is the whole point of the design.
+func SnapshotThenGrow(master *BBS) *BBS {
+	sn := master.Snapshot()
+	master.Insert(1)
+	return sn
+}

@@ -1,0 +1,19 @@
+// Package serve consumes the sigfile fixture's exported snapshotsafety
+// fact: Freeze is a publisher and Insert a mutator declared in a
+// different package, so this diagnostic only exists if facts flow.
+package serve
+
+import sig "bbsmine/internal/lint/testdata/src/snapshotsafety/xpkg/internal/sigfile"
+
+// GrowFrozen mutates a view another package published.
+func GrowFrozen(master *sig.Index) {
+	sn := master.Freeze()
+	sn.Insert(7) // want: cross-package mutator on a cross-package publisher
+}
+
+// GrowMaster is the clean shape: snapshot, then mutate the master.
+func GrowMaster(master *sig.Index) *sig.Index {
+	sn := master.Freeze()
+	master.Insert(7)
+	return sn
+}

@@ -1,0 +1,27 @@
+// Package sigfile is the cross-package half of the snapshotsafety fact
+// fixture: it exports a publisher whose name carries no hint (Freeze, not
+// Snapshot) and a mutating method. The dependent serve fixture can only
+// flag the combination through this package's exported fact.
+package sigfile
+
+type Index struct {
+	keys []uint32
+}
+
+// Insert mutates the receiver.
+func (ix *Index) Insert(k uint32) {
+	ix.keys = append(ix.keys, k)
+}
+
+// Snapshot returns a write-once view.
+func (ix *Index) Snapshot() *Index {
+	out := &Index{keys: make([]uint32, len(ix.keys))}
+	copy(out.keys, ix.keys)
+	return out
+}
+
+// Freeze publishes through Snapshot. The exported fact records Freeze as
+// a publisher, so dependents flag mutations of its result too.
+func (ix *Index) Freeze() *Index {
+	return ix.Snapshot()
+}

@@ -347,6 +347,8 @@ func (b *BBS) CountInto(dst *bitvec.Vector, items []int32) int {
 // early exit fires only at estimate 0, where dst is all-zero under any
 // order. Estimates and result vectors are therefore byte-identical to the
 // ascending-position order.
+//
+//lint:hotpath
 func (b *BBS) CountIntoBuf(dst *bitvec.Vector, items []int32, posBuf *[]int) int {
 	b.stats.AddCountCall()
 	dst.Grow(b.n)
