@@ -53,6 +53,14 @@ type Options struct {
 	// opening a sharded directory with a different non-zero count is an
 	// error. Mining results are identical for every shard count.
 	Shards int
+	// Compress turns on adaptive per-slice storage: each slice is kept
+	// dense, as a sorted position list, or run-length encoded — whichever
+	// is smallest — and the AND chain runs directly over the compressed
+	// forms. Every estimate, count and mined pattern is byte-identical to
+	// the dense layout; only the memory footprint and the per-AND cost
+	// change. Applied after open (and after the saved index loads), so it
+	// composes with any existing directory.
+	Compress bool
 }
 
 func (o *Options) applyDefaults() {
@@ -81,6 +89,9 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Compress {
+		sdb.SetCompression(true)
+	}
 	return &Database{sdb: sdb, stats: stats}, nil
 }
 
@@ -98,6 +109,9 @@ func NewInMemory(opts Options) *Database {
 		// Only a non-positive shard count can fail; mirror the old API's
 		// no-error contract by treating it as a programming error.
 		panic(err)
+	}
+	if opts.Compress {
+		sdb.SetCompression(true)
 	}
 	return &Database{sdb: sdb, stats: stats}
 }
@@ -142,8 +156,9 @@ func (db *Database) Get(pos int) (int64, []int32, error) {
 	return tx.TID, tx.Items, nil
 }
 
-// IndexBytes returns the resident size of the BBS index in bytes, summed
-// over the shards.
+// IndexBytes returns the logical (all-dense) size of the BBS index in
+// bytes, summed over the shards — the classic m × n / 8 footprint, stable
+// across storage policies.
 func (db *Database) IndexBytes() int64 {
 	var n int64
 	for s := 0; s < db.sdb.Shards(); s++ {
@@ -151,6 +166,22 @@ func (db *Database) IndexBytes() int64 {
 	}
 	return n
 }
+
+// ResidentIndexBytes returns the bytes the slices actually occupy under
+// their current encodings, summed over the shards. Equal to IndexBytes when
+// compression is off (modulo lazily-grown tails); the compression ratio is
+// IndexBytes / ResidentIndexBytes.
+func (db *Database) ResidentIndexBytes() int64 {
+	return db.sdb.Index().ResidentSliceBytes()
+}
+
+// Compressed reports whether adaptive slice compression is on.
+func (db *Database) Compressed() bool { return db.sdb.Index().Compressed() }
+
+// SetCompression turns adaptive slice compression on or off, re-encoding
+// every shard's slices to match. Mining results are identical either way;
+// see Options.Compress.
+func (db *Database) SetCompression(on bool) { db.sdb.SetCompression(on) }
 
 // Save persists every shard's index. Transaction data is durable as soon as
 // Append returns; the index is saved explicitly because it is cheap to

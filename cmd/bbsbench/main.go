@@ -62,6 +62,10 @@ func run(args []string) error {
 
 		httpAddr    = fs.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the benchmark runs")
 		checkFunnel = fs.Bool("check-funnel", false, "with -json, fail if a dual-filter scheme reports more false drops than SFS (Corollary 1)")
+
+		compress      = fs.Bool("compress", false, "with -json, store the index under adaptive per-slice compression (answers are byte-identical; records gain the resident footprint)")
+		checkCompress = fs.Bool("check-compress", false, "with -json -compress, also run the dense legs and fail unless every counter matches and the compression floor holds")
+		minRatio      = fs.Float64("min-compress-ratio", 2.0, "with -check-compress, minimum logical/resident byte ratio each compressed record must reach")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +124,8 @@ func run(args []string) error {
 	}
 
 	if *jsonOut != "" {
-		return runJSON(p, *jsonOut, *checkFunnel)
+		p.Compress = *compress
+		return runJSON(p, *jsonOut, *checkFunnel, *checkCompress, *minRatio)
 	}
 
 	var figures []int
@@ -175,11 +180,31 @@ func run(args []string) error {
 
 // runJSON times the four BBS schemes and writes the records to path. With
 // checkFunnel set, the run fails when the records violate the paper's
-// Corollary 1 false-drop ordering.
-func runJSON(p exp.Params, path string, checkFunnel bool) error {
+// Corollary 1 false-drop ordering. With checkCompress set (requires
+// p.Compress), the dense legs run too: every compressed record must match
+// its dense twin counter for counter — the kernels-never-change-an-answer
+// guarantee — and reach minRatio bytes saved; both sets are written, the
+// compressed records carrying compress=true.
+func runJSON(p exp.Params, path string, checkFunnel, checkCompress bool, minRatio float64) error {
 	records, err := exp.BenchJSON(p)
 	if err != nil {
 		return err
+	}
+	if checkCompress {
+		if !p.Compress {
+			return fmt.Errorf("-check-compress needs -compress")
+		}
+		dp := p
+		dp.Compress = false
+		dense, err := exp.BenchJSON(dp)
+		if err != nil {
+			return err
+		}
+		if err := exp.CheckCompression(dense, records, minRatio); err != nil {
+			return err
+		}
+		fmt.Printf("compression check passed: counters identical to dense, ratio ≥ %.1fx\n", minRatio)
+		records = append(dense, records...)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -195,8 +220,12 @@ func runJSON(p exp.Params, path string, checkFunnel bool) error {
 		return err
 	}
 	for _, r := range records {
-		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%-5d candidates=%-5d false_drops=%d\n",
-			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns, r.Candidates, r.FalseDrops)
+		suffix := ""
+		if r.Compress {
+			suffix = fmt.Sprintf(" compressed=%.1fx", r.CompressionRatio)
+		}
+		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%-5d candidates=%-5d false_drops=%d%s\n",
+			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns, r.Candidates, r.FalseDrops, suffix)
 	}
 	fmt.Printf("(wrote %s)\n", path)
 	if checkFunnel {

@@ -75,6 +75,8 @@ func run(args []string) error {
 		shards = fs.Int("shards", 0, "shard the database N ways (0 = whatever the directory already is; migrates a flat directory in place)")
 		addr   = fs.String("addr", "127.0.0.1:8344", "listen address")
 
+		compress = fs.Bool("compress", false, "adaptive per-slice compression (dense/sparse/RLE); answers are byte-identical, the index just gets smaller")
+
 		workers     = fs.Int("workers", 0, "default mining worker pool per query (0 = one per CPU)")
 		cacheN      = fs.Int("cache", 128, "query cache capacity in results")
 		maxInflight = fs.Int("max-inflight", 2, "concurrent cold mines")
@@ -92,13 +94,13 @@ func run(args []string) error {
 	}
 
 	if *bench {
-		return runBench(*benchOut, *benchScale, *benchCached, *workers, *shards)
+		return runBench(*benchOut, *benchScale, *benchCached, *workers, *shards, *compress)
 	}
 	if *dir == "" {
 		return fmt.Errorf("-db is required")
 	}
 
-	engine, reg, cleanup, err := openEngine(*dir, *m, *k, *shards, serve.Options{
+	engine, reg, cleanup, err := openEngine(*dir, *m, *k, *shards, *compress, serve.Options{
 		Workers:        *workers,
 		CacheEntries:   *cacheN,
 		MaxInFlight:    *maxInflight,
@@ -161,11 +163,17 @@ func run(args []string) error {
 // wires a serving engine over its parts: each shard's index, data file and
 // an in-memory append log loaded from it. The returned cleanup closes what
 // engine.Close does not own (the data files).
-func openEngine(dir string, m, k, shards int, opts serve.Options) (*serve.Engine, *obs.Registry, func(), error) {
+func openEngine(dir string, m, k, shards int, compress bool, opts serve.Options) (*serve.Engine, *obs.Registry, func(), error) {
 	stats := &iostat.Stats{}
 	sdb, err := shard.Open(dir, m, k, shards, stats)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if compress {
+		// Re-encode whatever the directory held before serving starts; the
+		// commit loops then append under the chosen encodings (with the
+		// hysteresis promotion as shards densify).
+		sdb.SetCompression(true)
 	}
 	fail := func(err error) (*serve.Engine, *obs.Registry, func(), error) {
 		_ = sdb.Close()
@@ -267,7 +275,7 @@ func mineLatencies(ctx context.Context, c *client.Client, req serve.QueryRequest
 // a sharded server, measures /txns write throughput into the N commit
 // loops, re-measures /mine over the merged view and checks the sharded
 // answer byte-identical to the unsharded one.
-func runBench(out string, scale float64, cachedReps, workers, shards int) error {
+func runBench(out string, scale float64, cachedReps, workers, shards int, compress bool) error {
 	p := exp.Defaults(scale)
 	txs, err := p.Dataset()
 	if err != nil {
@@ -288,6 +296,9 @@ func runBench(out string, scale float64, cachedReps, workers, shards int) error 
 	index := sigfile.New(sighash.NewMD5(p.M, p.K), stats)
 	for _, tx := range txs {
 		index.Insert(tx.Items)
+	}
+	if compress {
+		index.SetCompression(true)
 	}
 	log, err := txdb.LoadAppendLog(file, stats)
 	if err != nil {
@@ -343,7 +354,7 @@ func runBench(out string, scale float64, cachedReps, workers, shards int) error 
 	}
 
 	if shards > 1 {
-		srecs, err := benchSharded(ctx, p, txs, workers, shards, cachedReps, cold.Patterns)
+		srecs, err := benchSharded(ctx, p, txs, workers, shards, cachedReps, compress, cold.Patterns)
 		if err != nil {
 			return err
 		}
@@ -358,14 +369,14 @@ func runBench(out string, scale float64, cachedReps, workers, shards int) error 
 // the merged view. The sharded cold answer must be byte-identical to the
 // unsharded server's (want) — the scatter-gather determinism guarantee,
 // checked over real HTTP.
-func benchSharded(ctx context.Context, p exp.Params, txs []txdb.Transaction, workers, shards, cachedReps int, want json.RawMessage) ([]serverBenchRecord, error) {
+func benchSharded(ctx context.Context, p exp.Params, txs []txdb.Transaction, workers, shards, cachedReps int, compress bool, want json.RawMessage) ([]serverBenchRecord, error) {
 	dir, err := os.MkdirTemp("", "bbsd-bench-shard-")
 	if err != nil {
 		return nil, fmt.Errorf("creating sharded scratch dir: %w", err)
 	}
 	defer func() { _ = os.RemoveAll(dir) }()
 
-	engine, _, cleanup, err := openEngine(dir, p.M, p.K, shards, serve.Options{Workers: workers})
+	engine, _, cleanup, err := openEngine(dir, p.M, p.K, shards, compress, serve.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

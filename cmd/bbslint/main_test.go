@@ -56,7 +56,7 @@ func TestFindingOutput(t *testing.T) {
 	if !strings.Contains(stdout, "alloc.go:9: ") || !strings.Contains(stdout, "[pooledvec]") {
 		t.Errorf("stdout %q lacks file:line: message [analyzer]", stdout)
 	}
-	if !strings.Contains(stderr, "1 finding(s)") {
+	if !strings.Contains(stderr, "3 finding(s)") {
 		t.Errorf("stderr %q lacks findings count", stderr)
 	}
 }
@@ -133,8 +133,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
 		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout)
 	}
-	if len(findings) != 1 || findings[0].Analyzer != "pooledvec" || findings[0].Line != 9 {
-		t.Fatalf("decoded findings = %+v, want one pooledvec at line 9", findings)
+	if len(findings) != 3 || findings[0].Analyzer != "pooledvec" || findings[0].Line != 9 {
+		t.Fatalf("decoded findings = %+v, want three pooledvec, first at line 9", findings)
 	}
 	if !strings.HasPrefix(findings[0].File, "internal/lint/testdata/") {
 		t.Errorf("file %q is not module-relative", findings[0].File)
@@ -174,8 +174,13 @@ func TestSARIFOutput(t *testing.T) {
 	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "bbslint" {
 		t.Fatalf("SARIF header wrong: %+v", log)
 	}
-	if len(log.Runs[0].Results) != 1 || log.Runs[0].Results[0].RuleID != "pooledvec" {
-		t.Errorf("SARIF results = %+v, want one pooledvec result", log.Runs[0].Results)
+	if len(log.Runs[0].Results) != 3 {
+		t.Errorf("SARIF results = %+v, want three pooledvec results", log.Runs[0].Results)
+	}
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID != "pooledvec" {
+			t.Errorf("SARIF result rule = %q, want pooledvec", r.RuleID)
+		}
 	}
 }
 

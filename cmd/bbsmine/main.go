@@ -47,6 +47,7 @@ func run(args []string) error {
 		m            = fs.Int("m", 1600, "signature bits")
 		k            = fs.Int("k", 4, "hash functions per item")
 		shards       = fs.Int("shards", 0, "shard the database N ways (0 = whatever the directory already is; migrates a flat directory in place)")
+		compress     = fs.Bool("compress", false, "adaptive per-slice compression (dense/sparse/RLE); mining results are byte-identical, the index just gets smaller")
 
 		minsup  = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
 		scheme  = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
@@ -69,7 +70,7 @@ func run(args []string) error {
 		return fmt.Errorf("-db is required")
 	}
 
-	db, err := bbsmine.Open(*dir, bbsmine.Options{M: *m, K: *k, Shards: *shards})
+	db, err := bbsmine.Open(*dir, bbsmine.Options{M: *m, K: *k, Shards: *shards, Compress: *compress})
 	if err != nil {
 		return err
 	}

@@ -304,6 +304,7 @@ func (r *run) evalExtensionObserved(scratch *bitvec.Vector, est int, newPos []in
 			r.kern.AndsDense++
 			r.kern.WordsDense += int64(words)
 		}
+		r.kern.CountEncoding(int(r.idx.SliceEncoding(p)))
 		est = r.idx.AndSlice(scratch, p)
 		done++
 		if est < r.tau && !r.cfg.NoEarlyExit {

@@ -41,6 +41,19 @@ type BenchRecord struct {
 	WordsDense  int64 `json:"words_dense"`
 	EarlyExits  int64 `json:"early_exits"`
 
+	// Storage shape of the mined index. SliceBytes is the resident slice
+	// payload under the current encodings; CompressionRatio is the logical
+	// (all-dense) footprint divided by SliceBytes, so 1.0 means dense and
+	// bigger means smaller. The ands_enc_* trio splits the same slice ANDs
+	// counted above by the source slice's encoding.
+	Compress          bool    `json:"compress"`
+	SliceBytes        int64   `json:"slice_bytes"`
+	SliceLogicalBytes int64   `json:"slice_logical_bytes"`
+	CompressionRatio  float64 `json:"compression_ratio"`
+	AndsEncDense      int64   `json:"ands_enc_dense,omitempty"`
+	AndsEncSparse     int64   `json:"ands_enc_sparse,omitempty"`
+	AndsEncRLE        int64   `json:"ands_enc_rle,omitempty"`
+
 	// Cumulative per-phase wall time, ns, keyed by phase name.
 	PhaseNs map[string]int64 `json:"phase_ns,omitempty"`
 }
@@ -66,20 +79,26 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 		if shards > 1 {
 			met, err = runShardedObserved(name, txs, tau, p)
 		} else {
-			met, err = RunSchemeObserved(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat)
+			met, err = RunSchemeObserved(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat, p.Compress)
 		}
 		if err != nil {
 			return nil, err
 		}
 		rec := BenchRecord{
-			Scheme:     name,
-			Tau:        tau,
-			WallNs:     met.Wall.Nanoseconds(),
-			CountCalls: met.Snapshot.CountCalls,
-			SliceAnds:  met.Snapshot.SliceAnds,
-			Probes:     met.Snapshot.Probes,
-			Patterns:   met.Patterns,
-			Shards:     shards,
+			Scheme:            name,
+			Tau:               tau,
+			WallNs:            met.Wall.Nanoseconds(),
+			CountCalls:        met.Snapshot.CountCalls,
+			SliceAnds:         met.Snapshot.SliceAnds,
+			Probes:            met.Snapshot.Probes,
+			Patterns:          met.Patterns,
+			Shards:            shards,
+			Compress:          met.Compressed,
+			SliceBytes:        met.SliceResidentBytes,
+			SliceLogicalBytes: met.SliceLogicalBytes,
+		}
+		if met.SliceResidentBytes > 0 {
+			rec.CompressionRatio = float64(met.SliceLogicalBytes) / float64(met.SliceResidentBytes)
 		}
 		if o := met.Obs; o != nil {
 			rec.Candidates = o.Funnel.Candidates
@@ -91,6 +110,9 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 			rec.WordsSparse = o.Kernel.WordsSparse
 			rec.WordsDense = o.Kernel.WordsDense
 			rec.EarlyExits = o.Kernel.EarlyExits
+			rec.AndsEncDense = o.Kernel.AndsEncDense
+			rec.AndsEncSparse = o.Kernel.AndsEncSparse
+			rec.AndsEncRLE = o.Kernel.AndsEncRLE
 			if len(o.Phases) > 0 {
 				rec.PhaseNs = make(map[string]int64, len(o.Phases))
 				for name, ph := range o.Phases {
@@ -130,6 +152,9 @@ func runShardedObserved(name string, txs []txdb.Transaction, tau int, p Params) 
 				return Metrics{}, err
 			}
 		}
+		if p.Compress {
+			sdb.SetCompression(true)
+		}
 		idx, store, err := sdb.Merged()
 		if err != nil {
 			return Metrics{}, err
@@ -143,6 +168,60 @@ func runShardedObserved(name string, txs []txdb.Transaction, tau int, p Params) 
 		}
 	}
 	return best, nil
+}
+
+// CheckCompression gates the compressed bench leg against its dense twin:
+// for every scheme present in both sets, the mining answer and all the
+// work counters the storage layer must not change — patterns, count calls,
+// slice ANDs, probes, early exits and the whole funnel — have to match
+// exactly, and each compressed record must reach minRatio bytes saved
+// (logical / resident). A compressed run that drifts on any counter means
+// a kernel produced different bits; a ratio below the floor means the
+// adaptive encoder stopped earning its keep.
+func CheckCompression(dense, compressed []BenchRecord, minRatio float64) error {
+	denseBy := make(map[string]BenchRecord, len(dense))
+	for _, r := range dense {
+		denseBy[r.Scheme] = r
+	}
+	checked := 0
+	for _, c := range compressed {
+		d, ok := denseBy[c.Scheme]
+		if !ok {
+			continue
+		}
+		checked++
+		type pair struct {
+			name string
+			d, c int64
+		}
+		for _, p := range []pair{
+			{"tau", int64(d.Tau), int64(c.Tau)},
+			{"patterns", int64(d.Patterns), int64(c.Patterns)},
+			{"count_calls", d.CountCalls, c.CountCalls},
+			{"slice_ands", d.SliceAnds, c.SliceAnds},
+			{"probes", d.Probes, c.Probes},
+			{"early_exits", d.EarlyExits, c.EarlyExits},
+			{"candidates", d.Candidates, c.Candidates},
+			{"certified_actual", d.CertifiedActual, c.CertifiedActual},
+			{"certified_est", d.CertifiedEst, c.CertifiedEst},
+			{"uncertain", d.Uncertain, c.Uncertain},
+			{"false_drops", d.FalseDrops, c.FalseDrops},
+			{"probed_patterns", d.ProbedPatterns, c.ProbedPatterns},
+		} {
+			if p.d != p.c {
+				return fmt.Errorf("compressed %s diverged from dense: %s %d != %d",
+					c.Scheme, p.name, p.c, p.d)
+			}
+		}
+		if minRatio > 0 && c.CompressionRatio < minRatio {
+			return fmt.Errorf("compressed %s ratio %.2fx below the %.2fx floor (resident %d of %d logical bytes)",
+				c.Scheme, c.CompressionRatio, minRatio, c.SliceBytes, c.SliceLogicalBytes)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("compression check had no scheme in common between the dense and compressed records")
+	}
+	return nil
 }
 
 // CheckFunnel validates the paper's Corollary 1 ordering over a set of

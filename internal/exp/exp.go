@@ -50,6 +50,12 @@ type Params struct {
 	Repeat  int     // timing repetitions; the median is reported
 	Workers int     // mining worker pool size; 1 (the default) keeps figure timings single-threaded
 	Shards  int     // BBS shard count for -json runs; mining binds the merged view, the answer never changes (1 = unsharded)
+
+	// Compress turns on adaptive per-slice storage (dense / sparse
+	// positions / run-length) for the -json runs. Mining answers are
+	// byte-identical; the records gain the resident footprint and the
+	// per-encoding kernel split so the trade is visible.
+	Compress bool
 }
 
 // Defaults returns the paper's default parameters at the given scale.
@@ -118,6 +124,13 @@ type Metrics struct {
 	Certain   int     // dual-filter schemes only
 	Snapshot  iostat.Snapshot
 	Obs       *obs.Metrics
+
+	// Index storage shape at mining time (BBS schemes only): the logical
+	// all-dense slice footprint, the bytes resident under the current
+	// encodings, and whether the adaptive policy was on.
+	SliceLogicalBytes  int64
+	SliceResidentBytes int64
+	Compressed         bool
 }
 
 // Total is the figure-comparable response time: wall + synthetic I/O.
@@ -152,7 +165,7 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, false)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, false, false)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -166,13 +179,13 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 // RunSchemeObserved is RunScheme with a fresh telemetry registry attached
 // to each attempt; the returned Metrics carries the best attempt's Obs
 // snapshot (funnel, kernel, phases). Only meaningful for the BBS schemes.
-func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int) (Metrics, error) {
+func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int, compress bool) (Metrics, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, true)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, compress, true)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -183,7 +196,7 @@ func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, m
 	return best, nil
 }
 
-func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int, observe bool) (Metrics, error) {
+func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int, compress, observe bool) (Metrics, error) {
 	var stats iostat.Stats
 	store, err := txdb.NewMemStoreFrom(&stats, txs)
 	if err != nil {
@@ -194,6 +207,9 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		idx := sigfile.New(sighash.NewMD5(m, k), &stats)
 		for _, tx := range txs {
 			idx.Insert(tx.Items)
+		}
+		if compress {
+			idx.SetCompression(true)
 		}
 		return timeBBSMine(name, scheme, idx, store, &stats, tau, memBudget, workers, observe)
 	}
@@ -257,6 +273,10 @@ func timeBBSMine(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.S
 		FDR:       res.FalseDropRatio(),
 		Certain:   res.Certain,
 		Snapshot:  snap,
+
+		SliceLogicalBytes:  idx.TotalBytes(),
+		SliceResidentBytes: idx.ResidentSliceBytes(),
+		Compressed:         idx.Compressed(),
 	}
 	if reg != nil {
 		om := reg.Metrics()

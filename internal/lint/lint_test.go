@@ -38,7 +38,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"atomicfield/good/internal/iostat", nil},
 		{"atomicfield/good/internal/obs", nil}, // atomic arrays + mutex field are fine
 		{"pooledvec/bad/internal/core", []string{
-			"9 pooledvec", // raw bitvec.New
+			"9 pooledvec",  // raw bitvec.New
+			"14 pooledvec", // Slice.Materialize per candidate
+			"21 pooledvec", // Slice.Positions per call
 		}},
 		{"pooledvec/good/internal/core", nil},
 		{"lockdiscipline/bad/cache", []string{
@@ -150,8 +152,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 func TestFindingString(t *testing.T) {
 	pkg := loadFixture(t, "pooledvec/bad/internal/core")
 	findings := Run([]*Package{pkg}, []*Analyzer{PooledVec})
-	if len(findings) != 1 {
-		t.Fatalf("got %d findings, want 1", len(findings))
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3", len(findings))
 	}
 	s := findings[0].String()
 	if !strings.Contains(s, "alloc.go:9: ") || !strings.HasSuffix(s, "[pooledvec]") {

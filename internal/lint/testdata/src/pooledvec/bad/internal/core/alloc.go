@@ -8,3 +8,18 @@ import "bbsmine/internal/bitvec"
 func Residual(n int) *bitvec.Vector {
 	return bitvec.New(n) // want: raw allocation
 }
+
+// Support decompresses a slice per candidate instead of using the kernels.
+func Support(s *bitvec.Slice, acc *bitvec.Vector) int {
+	v := s.Materialize() // want: per-call decompression
+	return acc.AndCountZX(v)
+}
+
+// Walk decodes the position list per call.
+func Walk(s *bitvec.Slice) int {
+	total := 0
+	for _, p := range s.Positions() { // want: per-call decompression
+		total += int(p)
+	}
+	return total
+}

@@ -15,3 +15,8 @@ func Residual(p *bitvec.Pool) int {
 // MakePool constructs the pool itself; bitvec.NewPool is the sanctioned
 // constructor and is not flagged.
 func MakePool(n int) *bitvec.Pool { return bitvec.NewPool(n) }
+
+// Support counts through the direct-on-compressed kernel; no decode.
+func Support(s *bitvec.Slice, acc *bitvec.Vector) int {
+	return s.AndCountInto(acc)
+}

@@ -120,6 +120,15 @@ type KernelSample struct {
 	WordsDense     int64 // backing words visited by dense ANDs
 	PosCacheHits   int64 // evaluations served from the run's position cache
 	PosCacheMisses int64 // evaluations that had to consult the hasher
+
+	// Per-encoding split of the same ANDs along the *storage* axis: which
+	// representation the source slice was in (the Ands{Sparse,Dense} pair
+	// above splits by the accumulator's kernel instead). On an uncompressed
+	// index AndsEncDense equals AndsSparse+AndsDense and the other two are
+	// zero.
+	AndsEncDense  int64 // ANDs whose source slice was dense words
+	AndsEncSparse int64 // ANDs over a sorted position-list slice
+	AndsEncRLE    int64 // ANDs over a run-length slice
 }
 
 func (k *KernelSample) add(g KernelSample) {
@@ -131,6 +140,23 @@ func (k *KernelSample) add(g KernelSample) {
 	k.WordsDense += g.WordsDense
 	k.PosCacheHits += g.PosCacheHits
 	k.PosCacheMisses += g.PosCacheMisses
+	k.AndsEncDense += g.AndsEncDense
+	k.AndsEncSparse += g.AndsEncSparse
+	k.AndsEncRLE += g.AndsEncRLE
+}
+
+// CountEncoding tallies one AND against the source slice's encoding tag
+// (bitvec.Encoding values: 0 dense, 1 sparse, 2 RLE). Taking the raw tag
+// keeps obs free of a bitvec import.
+func (k *KernelSample) CountEncoding(enc int) {
+	switch enc {
+	case 1:
+		k.AndsEncSparse++
+	case 2:
+		k.AndsEncRLE++
+	default:
+		k.AndsEncDense++
+	}
 }
 
 // FunnelStats holds the registry's funnel counters.
@@ -159,6 +185,20 @@ type KernelStats struct {
 	wordsDense     atomic.Int64
 	posCacheHits   atomic.Int64
 	posCacheMisses atomic.Int64
+	andsEncDense   atomic.Int64
+	andsEncSparse  atomic.Int64
+	andsEncRLE     atomic.Int64
+}
+
+// IndexStats holds the index-storage gauges: the logical (all-dense) slice
+// footprint, the resident footprint under the current encodings, and the
+// per-encoding slice census. Gauges, not counters — each publish overwrites.
+type IndexStats struct {
+	sliceLogicalBytes  atomic.Int64
+	sliceResidentBytes atomic.Int64
+	slicesDense        atomic.Int64
+	slicesSparse       atomic.Int64
+	slicesRLE          atomic.Int64
 }
 
 // CacheStats holds the registry's pool/cache counters.
@@ -181,6 +221,7 @@ type PhaseStats struct {
 type Registry struct {
 	funnel FunnelStats
 	kernel KernelStats
+	index  IndexStats
 	cache  CacheStats
 	phases PhaseStats
 	server ServerStats
@@ -258,6 +299,25 @@ func (r *Registry) AddKernel(k KernelSample) {
 	r.kernel.wordsDense.Add(k.WordsDense)
 	r.kernel.posCacheHits.Add(k.PosCacheHits)
 	r.kernel.posCacheMisses.Add(k.PosCacheMisses)
+	r.kernel.andsEncDense.Add(k.AndsEncDense)
+	r.kernel.andsEncSparse.Add(k.AndsEncSparse)
+	r.kernel.andsEncRLE.Add(k.AndsEncRLE)
+}
+
+// SetIndexStorage publishes the index's storage gauges: logical is the
+// all-dense slice footprint in bytes, resident the bytes actually held under
+// the current encodings, and dense/sparse/rle the per-encoding slice census.
+// Call whenever the storage shape changes (attach, SetCompression, Fold,
+// Merge); each call overwrites the previous gauge values.
+func (r *Registry) SetIndexStorage(logical, resident int64, dense, sparse, rle int) {
+	if r == nil {
+		return
+	}
+	r.index.sliceLogicalBytes.Store(logical)
+	r.index.sliceResidentBytes.Store(resident)
+	r.index.slicesDense.Store(int64(dense))
+	r.index.slicesSparse.Store(int64(sparse))
+	r.index.slicesRLE.Store(int64(rle))
 }
 
 // ObserveAndDepth records how many slice positions one evaluation AND-ed
@@ -316,6 +376,19 @@ type KernelMetrics struct {
 	WordsDense     int64 `json:"words_dense"`
 	PosCacheHits   int64 `json:"pos_cache_hits"`
 	PosCacheMisses int64 `json:"pos_cache_misses"`
+	AndsEncDense   int64 `json:"ands_enc_dense"`
+	AndsEncSparse  int64 `json:"ands_enc_sparse"`
+	AndsEncRLE     int64 `json:"ands_enc_rle"`
+}
+
+// IndexMetrics is the index-storage section of a Metrics snapshot. Present
+// only once SetIndexStorage has published gauges.
+type IndexMetrics struct {
+	SliceLogicalBytes  int64 `json:"slice_logical_bytes"`
+	SliceResidentBytes int64 `json:"slice_resident_bytes"`
+	SlicesDense        int64 `json:"slices_dense"`
+	SlicesSparse       int64 `json:"slices_sparse"`
+	SlicesRLE          int64 `json:"slices_rle"`
 }
 
 // CacheMetrics is the pool section of a Metrics snapshot.
@@ -352,6 +425,7 @@ type IOMetrics struct {
 type Metrics struct {
 	Funnel      FunnelMetrics           `json:"funnel"`
 	Kernel      KernelMetrics           `json:"kernel"`
+	Index       *IndexMetrics           `json:"index,omitempty"`
 	Cache       CacheMetrics            `json:"cache"`
 	Phases      map[string]PhaseMetrics `json:"phases,omitempty"`
 	MineLatency HistMetrics             `json:"mine_latency_ns"`
@@ -392,6 +466,9 @@ func (r *Registry) Metrics() Metrics {
 			WordsDense:     r.kernel.wordsDense.Load(),
 			PosCacheHits:   r.kernel.posCacheHits.Load(),
 			PosCacheMisses: r.kernel.posCacheMisses.Load(),
+			AndsEncDense:   r.kernel.andsEncDense.Load(),
+			AndsEncSparse:  r.kernel.andsEncSparse.Load(),
+			AndsEncRLE:     r.kernel.andsEncRLE.Load(),
 		},
 		Cache: CacheMetrics{
 			PoolGets:   r.cache.poolGets.Load(),
@@ -400,6 +477,15 @@ func (r *Registry) Metrics() Metrics {
 		MineLatency: r.mineLatency.Metrics(),
 		AndDepth:    r.andDepth.Metrics(),
 		Server:      r.serverMetrics(),
+	}
+	if logical := r.index.sliceLogicalBytes.Load(); logical > 0 {
+		m.Index = &IndexMetrics{
+			SliceLogicalBytes:  logical,
+			SliceResidentBytes: r.index.sliceResidentBytes.Load(),
+			SlicesDense:        r.index.slicesDense.Load(),
+			SlicesSparse:       r.index.slicesSparse.Load(),
+			SlicesRLE:          r.index.slicesRLE.Load(),
+		}
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		calls := r.phases.calls[p].Load()

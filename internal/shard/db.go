@@ -117,6 +117,16 @@ func (db *DB) Delete(pos int) error {
 	return nil
 }
 
+// SetCompression sets the adaptive storage policy on every shard and
+// re-encodes the slices to match. The cached merged view is invalidated so
+// the next mining run rebuilds it under the new policy.
+func (db *DB) SetCompression(on bool) {
+	db.idx.SetCompression(on)
+	db.merged = nil
+	db.mergedStore = nil
+	db.dirty = true
+}
+
 // Merged returns the read view a mining run binds to: one index and one
 // store covering every shard's rows in block order. With one shard these
 // are the shard's own index and store; with more, the merge is built once

@@ -163,6 +163,29 @@ func (x *Index) CountIntoBuf(dsts []*bitvec.Vector, items []int32, posBuf *[]int
 	return est
 }
 
+// SetCompression sets the adaptive storage policy on every shard and
+// re-encodes each shard's slices to match (see sigfile.SetCompression).
+// Per-shard, not global: each part picks encodings from its own densities.
+func (x *Index) SetCompression(on bool) {
+	for _, p := range x.parts {
+		p.SetCompression(on)
+	}
+}
+
+// Compressed reports whether the adaptive storage policy is on. The policy
+// is set index-wide, so part 0 speaks for all.
+func (x *Index) Compressed() bool { return x.parts[0].Compressed() }
+
+// ResidentSliceBytes sums the shards' resident slice footprints — the bytes
+// the slices actually occupy under their current encodings.
+func (x *Index) ResidentSliceBytes() int64 {
+	var n int64
+	for _, p := range x.parts {
+		n += p.ResidentSliceBytes()
+	}
+	return n
+}
+
 // Epochs returns the per-shard epoch vector, in shard order.
 func (x *Index) Epochs() []uint64 {
 	out := make([]uint64, len(x.parts))

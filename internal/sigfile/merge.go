@@ -48,6 +48,7 @@ func Merge(parts []*BBS, stats *iostat.Stats) (*BBS, error) {
 	b := New(first.hasher, stats)
 	b.n = total
 	b.deleted = deleted
+	b.compress = first.compress
 	for _, p := range parts {
 		if p.maxTxnItems > b.maxTxnItems {
 			b.maxTxnItems = p.maxTxnItems
@@ -62,14 +63,22 @@ func Merge(parts []*BBS, stats *iostat.Stats) (*BBS, error) {
 		dst := make([]uint64, words)
 		ones := 0
 		for i, p := range parts {
-			blitWords(dst, offsets[i], p.slices[j].Words())
+			// Each part blits its own encoding directly — a sparse part
+			// sets its positions, an RLE part its runs, a dense part ORs
+			// words — so mixed-encoding shards merge without materializing.
+			// Bits past a part's logical length are zero by construction.
+			p.slices[j].BlitInto(dst, offsets[i])
 			ones += p.sliceOnes[j]
 		}
 		var v bitvec.Vector
 		if err := v.SetWords(dst, total); err != nil {
 			return nil, fmt.Errorf("sigfile: merge slice %d: %w", j, err)
 		}
-		b.slices[j] = &v
+		// The parts' popcounts sum over disjoint row blocks, so the merged
+		// slice wraps without a recount; the encoding is re-picked from the
+		// merged contents when the policy asks for it.
+		b.slices[j] = bitvec.DenseSliceWithOnes(&v, ones).Recompress(total, b.compress)
+		b.refreshDense(j)
 		b.sliceOnes[j] = ones
 	}
 
@@ -89,20 +98,4 @@ func Merge(parts []*BBS, stats *iostat.Stats) (*BBS, error) {
 		b.live = live
 	}
 	return b, nil
-}
-
-// blitWords ORs src into dst starting at bit offset at. Bits past a part's
-// logical length are zero by the Vector tail invariant (and lazily-grown
-// slices simply supply fewer words), so no masking is needed.
-func blitWords(dst []uint64, at int, src []uint64) {
-	q, r := at>>6, uint(at&63)
-	for i, w := range src {
-		if w == 0 {
-			continue
-		}
-		dst[q+i] |= w << r
-		if r != 0 && q+i+1 < len(dst) {
-			dst[q+i+1] |= w >> (64 - r)
-		}
-	}
 }

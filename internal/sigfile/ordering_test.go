@@ -21,7 +21,7 @@ func naiveCountInto(b *BBS, dst *bitvec.Vector, items []int32) int {
 		dst.SetAll()
 	}
 	for _, p := range sighash.SignatureBits(b.hasher, items) {
-		est = dst.AndCountZX(b.slices[p])
+		est = dst.AndCountZX(b.slices[p].Materialize())
 		if est == 0 {
 			break
 		}
@@ -34,8 +34,11 @@ func naiveCountInto(b *BBS, dst *bitvec.Vector, items []int32) int {
 func checkSliceOnes(t *testing.T, b *BBS) {
 	t.Helper()
 	for p, s := range b.slices {
-		if got, want := b.sliceOnes[p], s.Count(); got != want {
+		if got, want := b.sliceOnes[p], s.Materialize().Count(); got != want {
 			t.Fatalf("sliceOnes[%d] = %d, recount says %d", p, got, want)
+		}
+		if got := s.Ones(); got != b.sliceOnes[p] {
+			t.Fatalf("slice %d Ones() = %d, sliceOnes says %d", p, got, b.sliceOnes[p])
 		}
 	}
 }

@@ -13,18 +13,34 @@ import (
 )
 
 // On-disk layout of a persisted BBS ("the structure is persistent — there is
-// no need to reconstruct the BBS upon every update"):
+// no need to reconstruct the BBS upon every update"). Current format,
+// BBSSIG03:
 //
-//	magic(8) | m uint32 | k uint32 | n uint64
+//	magic(8) | m uint32 | k uint32 | n uint64 | flags byte
 //	| numItems uint32 | (item int32, count uint64)*    exact 1-itemset counts
 //	| liveFlag byte | [deleted uint64 | ceil(n/64) uint64]   live-row mask
-//	| m × ceil(n/64) uint64                            the bit slices
+//	| m × slice, each: ones uint64 | enc byte | payload
+//	    enc 0 (dense):  ceil(n/64) uint64 words
+//	    enc 1 (sparse): count uint32 | count × uint32 ascending positions
+//	    enc 2 (rle):    pairs uint32 | pairs × (start uint32, len uint32)
 //
 // All integers little-endian. Items are written in ascending order so the
-// file is deterministic for a given index state. The live-row section is
-// present only when liveFlag is 1 (some transaction has been deleted).
+// file is deterministic for a given index state. flags bit 0 records the
+// compression policy. The per-slice ones field persists the popcount, so
+// Load rebuilds the rarest-first ordering without recounting m×n bits — on
+// a cold start of a large index that recount used to dominate open time.
+//
+// The previous format, BBSSIG02, is identical up to the flags byte and
+// stores every slice as bare dense words with no ones/enc prefix; Load
+// still accepts it (recounting, as it always did), so pre-compression index
+// files open unchanged.
 
-var sigMagic = [8]byte{'B', 'B', 'S', 'S', 'I', 'G', '0', '2'}
+var (
+	sigMagic   = [8]byte{'B', 'B', 'S', 'S', 'I', 'G', '0', '3'}
+	sigMagicV2 = [8]byte{'B', 'B', 'S', 'S', 'I', 'G', '0', '2'}
+)
+
+const flagCompress = 1 << 0
 
 // Save writes the index to path atomically (write to temp file, rename).
 func (b *BBS) Save(path string) error {
@@ -59,10 +75,13 @@ func (b *BBS) writeTo(w io.Writer) error {
 	if _, err := w.Write(sigMagic[:]); err != nil {
 		return fmt.Errorf("sigfile: write magic: %w", err)
 	}
-	hdr := make([]byte, 16)
+	hdr := make([]byte, 17)
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.M()))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(b.hasher.K()))
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(b.n))
+	if b.compress {
+		hdr[16] = flagCompress
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("sigfile: write header: %w", err)
 	}
@@ -103,22 +122,66 @@ func (b *BBS) writeTo(w io.Writer) error {
 		}
 	}
 
-	// Slices grow lazily (see Insert), so a slice may back fewer than
-	// ceil(n/64) words; the file format stores every slice at full length,
-	// so the missing tail is written as explicit zero words.
-	fullWords := (b.n + 63) / 64
-	var zero [8]byte
-	for _, s := range b.slices {
-		ws := s.Words()
+	for p, s := range b.slices {
+		if err := b.writeSlice(w, p, s, wordBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSlice emits one slice record: persisted popcount, encoding tag, then
+// the encoding's payload. Dense slices are padded to full length — slices
+// grow lazily (see Insert), so the in-memory vector may back fewer than
+// ceil(n/64) words — while compressed payloads are position-based and need
+// no padding.
+func (b *BBS) writeSlice(w io.Writer, p int, s *bitvec.Slice, wordBuf []byte) error {
+	binary.LittleEndian.PutUint64(wordBuf, uint64(b.sliceOnes[p]))
+	if _, err := w.Write(wordBuf); err != nil {
+		return fmt.Errorf("sigfile: write slice %d ones: %w", p, err)
+	}
+	if _, err := w.Write([]byte{byte(s.Encoding())}); err != nil {
+		return fmt.Errorf("sigfile: write slice %d encoding: %w", p, err)
+	}
+	var u32 [4]byte
+	switch s.Encoding() {
+	case bitvec.EncDense:
+		fullWords := (b.n + 63) / 64
+		ws := s.DenseVector().Words()
 		for _, word := range ws {
 			binary.LittleEndian.PutUint64(wordBuf, word)
 			if _, err := w.Write(wordBuf); err != nil {
-				return fmt.Errorf("sigfile: write slice: %w", err)
+				return fmt.Errorf("sigfile: write slice %d: %w", p, err)
 			}
 		}
+		var zero [8]byte
 		for wi := len(ws); wi < fullWords; wi++ {
 			if _, err := w.Write(zero[:]); err != nil {
-				return fmt.Errorf("sigfile: write slice padding: %w", err)
+				return fmt.Errorf("sigfile: write slice %d padding: %w", p, err)
+			}
+		}
+	case bitvec.EncSparse:
+		pos := s.Positions()
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(pos)))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("sigfile: write slice %d position count: %w", p, err)
+		}
+		for _, v := range pos {
+			binary.LittleEndian.PutUint32(u32[:], v)
+			if _, err := w.Write(u32[:]); err != nil {
+				return fmt.Errorf("sigfile: write slice %d positions: %w", p, err)
+			}
+		}
+	default: // bitvec.EncRLE
+		runs := s.Runs()
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(runs)/2))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("sigfile: write slice %d run count: %w", p, err)
+		}
+		for _, v := range runs {
+			binary.LittleEndian.PutUint32(u32[:], v)
+			if _, err := w.Write(u32[:]); err != nil {
+				return fmt.Errorf("sigfile: write slice %d runs: %w", p, err)
 			}
 		}
 	}
@@ -152,7 +215,8 @@ func decodeBBS(r *bufio.Reader, h sighash.Hasher, stats *iostat.Stats) (*BBS, er
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("read magic: %w", err)
 	}
-	if magic != sigMagic {
+	v2 := magic == sigMagicV2
+	if !v2 && magic != sigMagic {
 		return nil, fmt.Errorf("not a BBS file")
 	}
 	hdr := make([]byte, 16)
@@ -171,6 +235,16 @@ func decodeBBS(r *bufio.Reader, h sighash.Hasher, stats *iostat.Stats) (*BBS, er
 
 	b := New(h, stats)
 	b.n = n
+	if !v2 {
+		var flags [1]byte
+		if _, err := io.ReadFull(r, flags[:]); err != nil {
+			return nil, fmt.Errorf("read flags: %w", err)
+		}
+		if flags[0]&^flagCompress != 0 {
+			return nil, fmt.Errorf("unknown flags %#x", flags[0])
+		}
+		b.compress = flags[0]&flagCompress != 0
+	}
 
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
@@ -214,21 +288,105 @@ func decodeBBS(r *bufio.Reader, h sighash.Hasher, stats *iostat.Stats) (*BBS, er
 	}
 
 	for p := 0; p < m; p++ {
-		ws, err := readWords(r, words, buf)
+		if v2 {
+			// Legacy layout: bare dense words, no persisted popcount.
+			ws, err := readWords(r, words, buf)
+			if err != nil {
+				return nil, fmt.Errorf("read slice %d: %w", p, err)
+			}
+			var v bitvec.Vector
+			if err := v.SetWords(ws, n); err != nil {
+				return nil, fmt.Errorf("slice %d: %w", p, err)
+			}
+			s := bitvec.DenseSliceOf(&v) // recounts, as v2 always did
+			b.slices[p] = s
+			b.refreshDense(p)
+			b.sliceOnes[p] = s.Ones()
+			continue
+		}
+		s, ones, err := readSlice(r, n, words, buf)
 		if err != nil {
 			return nil, fmt.Errorf("read slice %d: %w", p, err)
 		}
-		var v bitvec.Vector
-		if err := v.SetWords(ws, n); err != nil {
-			return nil, fmt.Errorf("slice %d: %w", p, err)
-		}
-		b.slices[p] = &v
-		b.sliceOnes[p] = v.Count() // rebuild the rarest-first ordering counts
+		b.slices[p] = s
+		b.refreshDense(p)
+		b.sliceOnes[p] = ones
 	}
 	if _, err := r.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("trailing data")
 	}
 	return b, nil
+}
+
+// readSlice decodes one v3 slice record. Compressed payloads are validated
+// structurally (ascending positions, maximal runs, bounds) and their
+// popcount is cross-checked against the persisted one; a dense payload's
+// persisted popcount is trusted — skipping that recount is the point of
+// persisting it, and a wrong value cannot corrupt results, only the AND
+// ordering (which every result is invariant to).
+func readSlice(r *bufio.Reader, n, words int, buf []byte) (*bitvec.Slice, int, error) {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, fmt.Errorf("ones: %w", err)
+	}
+	ones := int(binary.LittleEndian.Uint64(buf))
+	if ones < 0 || ones > n {
+		return nil, 0, fmt.Errorf("corrupt popcount %d for %d rows", ones, n)
+	}
+	var encB [1]byte
+	if _, err := io.ReadFull(r, encB[:]); err != nil {
+		return nil, 0, fmt.Errorf("encoding: %w", err)
+	}
+	switch bitvec.Encoding(encB[0]) {
+	case bitvec.EncDense:
+		ws, err := readWords(r, words, buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		var v bitvec.Vector
+		if err := v.SetWords(ws, n); err != nil {
+			return nil, 0, err
+		}
+		return bitvec.DenseSliceWithOnes(&v, ones), ones, nil
+	case bitvec.EncSparse:
+		count, err := readU32(r, buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("position count: %w", err)
+		}
+		pos, err := readU32s(r, count, buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("positions: %w", err)
+		}
+		s, err := bitvec.SliceFromPositions(pos, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if s.Ones() != ones {
+			return nil, 0, fmt.Errorf("popcount %d disagrees with %d positions", ones, s.Ones())
+		}
+		return s, ones, nil
+	case bitvec.EncRLE:
+		pairs, err := readU32(r, buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("run count: %w", err)
+		}
+		if pairs > uint32(n) { // maximal runs are separated; more pairs than rows is corrupt
+			return nil, 0, fmt.Errorf("corrupt run count %d for %d rows", pairs, n)
+		}
+		runs, err := readU32s(r, 2*pairs, buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("runs: %w", err)
+		}
+		s, err := bitvec.SliceFromRuns(runs, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if s.Ones() != ones {
+			return nil, 0, fmt.Errorf("popcount %d disagrees with run total %d", ones, s.Ones())
+		}
+		return s, ones, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown encoding %d", encB[0])
+	}
 }
 
 // readWords reads count little-endian uint64 words. The slice grows as the
@@ -243,4 +401,24 @@ func readWords(r *bufio.Reader, count int, buf []byte) ([]uint64, error) {
 		ws = append(ws, binary.LittleEndian.Uint64(buf))
 	}
 	return ws, nil
+}
+
+func readU32(r *bufio.Reader, buf []byte) (uint32, error) {
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:4]), nil
+}
+
+// readU32s reads count little-endian uint32 values with the same
+// grow-as-you-read discipline as readWords.
+func readU32s(r *bufio.Reader, count uint32, buf []byte) ([]uint32, error) {
+	vs := make([]uint32, 0, min(int(count), 1<<12))
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		vs = append(vs, binary.LittleEndian.Uint32(buf[:4]))
+	}
+	return vs, nil
 }

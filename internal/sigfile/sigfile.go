@@ -28,8 +28,26 @@ import (
 // BBS is a bit-sliced Bloom-filtered signature file over n transactions.
 type BBS struct {
 	hasher sighash.Hasher
-	slices []*bitvec.Vector // len == hasher.M(); each slice has n bits
-	n      int              // transactions indexed so far
+	slices []*bitvec.Slice // len == hasher.M(); each slice has up to n bits
+	n      int             // transactions indexed so far
+
+	// denseVec[p] is slice p's backing vector when (and only when) slice p
+	// is dense, else nil — the AND fast path. Indexing this array costs the
+	// same loads the classic all-dense layout paid, where going through the
+	// Slice header would add a dependent cache line to every AND. Kept in
+	// step by refreshDense at every site that installs or re-encodes a
+	// slice; a stale nil is merely slow (the dispatch path is always
+	// correct), a stale non-nil is a bug.
+	denseVec []*bitvec.Vector
+
+	// compress is the storage policy: when set, Fold, Merge and
+	// SetCompression pick each slice's encoding (dense, sparse positions,
+	// or run-length) by payload size, and the AND chain runs the
+	// direct-on-compressed kernels. When clear every slice is dense — the
+	// classic layout. Either way Insert appends under the current encoding
+	// with hysteresis (see bitvec.Slice), so a write-heavy phase cannot
+	// thrash representations.
+	compress bool
 
 	// sliceOnes[p] is the popcount of slice p, maintained incrementally by
 	// Insert (and recomputed by Fold and Load). It drives the rarest-first
@@ -71,13 +89,16 @@ func New(h sighash.Hasher, stats *iostat.Stats) *BBS {
 		stats = &iostat.Stats{}
 	}
 	m := h.M()
-	slices := make([]*bitvec.Vector, m)
+	slices := make([]*bitvec.Slice, m)
+	denseVec := make([]*bitvec.Vector, m)
 	for i := range slices {
-		slices[i] = bitvec.New(0)
+		slices[i] = bitvec.NewDenseSlice(0)
+		denseVec[i] = slices[i].DenseVector()
 	}
 	return &BBS{
 		hasher:     h,
 		slices:     slices,
+		denseVec:   denseVec,
 		sliceOnes:  make([]int, m),
 		itemCounts: make(map[int32]int),
 		stats:      stats,
@@ -100,7 +121,23 @@ func (b *BBS) Stats() *iostat.Stats { return b.stats }
 // bulk estimate path (CountIntoBuf) accounts its AND kernels and depths;
 // detached, those paths run the uninstrumented loop. Call between runs, not
 // during one.
-func (b *BBS) SetObserver(o *obs.Registry) { b.obs = o }
+func (b *BBS) SetObserver(o *obs.Registry) {
+	b.obs = o
+	b.publishStorage()
+}
+
+// publishStorage pushes the storage gauges — logical vs resident slice
+// bytes and the per-encoding census — to the attached registry, if any.
+// Called wherever the storage shape changes wholesale (attach, policy
+// flips, folds); Insert's incremental growth is picked up at the next
+// wholesale event, which is all a gauge needs.
+func (b *BBS) publishStorage() {
+	if b.obs == nil {
+		return
+	}
+	dense, sparse, rle := b.EncodingCounts()
+	b.obs.SetIndexStorage(b.TotalBytes(), b.ResidentSliceBytes(), dense, sparse, rle)
+}
 
 // Observer returns the attached telemetry registry, or nil.
 func (b *BBS) Observer() *obs.Registry { return b.obs }
@@ -168,19 +205,33 @@ func (b *BBS) bumpItemCount(it int32) {
 // setSliceBit sets bit pos of slice p, keeping the per-slice popcount in
 // step. Several items of one transaction can hash to the same slice, so the
 // count bumps only on a 0→1 transition. The slice is grown on demand (see
-// Insert) and cloned first when a snapshot shares it.
+// Insert), cloned first when a snapshot shares it, and appends under its
+// current encoding — a compressed slice whose payload outgrows the dense
+// layout promotes itself (the hysteresis upper edge).
 func (b *BBS) setSliceBit(p, pos int) {
 	s := b.mutableSlice(p)
-	if s.Len() <= pos {
-		s.Grow(pos + 1)
-		s.Set(pos)
-		b.sliceOnes[p]++
-		return
-	}
-	if !s.Get(pos) {
-		s.Set(pos)
+	if s.AppendSet(pos) {
 		b.sliceOnes[p]++
 	}
+	if b.compress {
+		// Lower hysteresis edge: a dense slice whose length has outgrown
+		// its density demotes to a compressed form, so an index built
+		// purely by appends compresses as it grows instead of waiting for
+		// the next SetCompression/Fold/Load re-encode pass.
+		if r := s.MaybeCompress(); r != s {
+			b.slices[p] = r
+			s = r
+		}
+	}
+	// The append may have cloned (copy-on-write), promoted, or demoted
+	// (hysteresis) the slice; either way the fast-path entry follows it.
+	b.denseVec[p] = s.DenseVector()
+}
+
+// refreshDense re-derives the AND fast-path entry for slice p. Call after
+// installing or re-encoding b.slices[p].
+func (b *BBS) refreshDense(p int) {
+	b.denseVec[p] = b.slices[p].DenseVector()
 }
 
 // SliceOnes returns the popcount of slice p, maintained incrementally.
@@ -243,11 +294,70 @@ func (b *BBS) AverageSignatureBits() float64 {
 // too-narrow fold and destroys all pruning power.
 func (b *BBS) MaxTransactionItems() int { return b.maxTxnItems }
 
-// SliceBytes returns the size of one slice in bytes (for memory budgeting).
+// SliceBytes returns the size of one slice in bytes under the dense layout.
+// Memory budgeting and I/O charging both use this logical size — a folded
+// in-memory index is dense by construction, and the paper's cost model
+// charges page reads over the flat file — so it is independent of the
+// compression policy; ResidentSliceBytes reports the actual footprint.
 func (b *BBS) SliceBytes() int64 { return int64((b.n + 7) / 8) }
 
-// TotalBytes returns the total size of all slices in bytes.
+// TotalBytes returns the total logical size of all slices in bytes.
 func (b *BBS) TotalBytes() int64 { return b.SliceBytes() * int64(len(b.slices)) }
+
+// ResidentSliceBytes returns the summed payload of every slice under its
+// current encoding — the bytes the slices actually occupy in memory, the
+// number the compression exists to shrink.
+func (b *BBS) ResidentSliceBytes() int64 {
+	var total int64
+	for _, s := range b.slices {
+		total += s.Bytes()
+	}
+	return total
+}
+
+// SliceEncoding reports the physical encoding of slice p.
+func (b *BBS) SliceEncoding(p int) bitvec.Encoding { return b.slices[p].Encoding() }
+
+// EncodingCounts returns how many slices are stored dense, sparse, and
+// run-length encoded.
+func (b *BBS) EncodingCounts() (dense, sparse, rle int) {
+	for _, s := range b.slices {
+		switch s.Encoding() {
+		case bitvec.EncSparse:
+			sparse++
+		case bitvec.EncRLE:
+			rle++
+		default:
+			dense++
+		}
+	}
+	return dense, sparse, rle
+}
+
+// Compressed reports whether the adaptive-encoding policy is on.
+func (b *BBS) Compressed() bool { return b.compress }
+
+// SetCompression sets the storage policy and re-picks every slice's
+// encoding to match: on, each slice adopts the smallest representation
+// that beats the dense layout by the hysteresis margin; off, every slice
+// is materialized dense. Call it after a bulk build or load — per-slice
+// re-encoding is a full pass — and from the single writer only. Slices
+// shared with a snapshot are never mutated: re-encoding installs a fresh
+// slice, so snapshots keep reading the old one.
+func (b *BBS) SetCompression(on bool) {
+	b.compress = on
+	for p, s := range b.slices {
+		r := s.Recompress(b.n, on)
+		if r != s {
+			b.slices[p] = r
+			if b.cow != nil {
+				b.cow[p] = false // freshly built, shared with no snapshot
+			}
+		}
+		b.refreshDense(p)
+	}
+	b.publishStorage()
+}
 
 // pagesForBytes converts a contiguous byte extent into whole pages, at
 // least one. Slices are stored back to back, so several short slices share
@@ -270,9 +380,15 @@ func pagesForBytes(n int64) int64 {
 func (b *BBS) AndSlice(dst *bitvec.Vector, p int) int {
 	b.stats.AddSliceAnd()
 	// Slices grow lazily (see Insert), so slice p may be shorter than dst;
-	// the zero-extending kernel reads the missing tail as zeros. With equal
-	// lengths this is exactly AndCount.
-	return dst.AndCountZX(b.slices[p])
+	// every kernel reads the missing tail as zeros. Dense slices — every
+	// slice of an uncompressed index — branch straight to the classic
+	// AndCountZX here, keeping the call depth of the all-dense layout;
+	// compressed ones dispatch to their direct kernels. Identical bits
+	// either way.
+	if v := b.denseVec[p]; v != nil {
+		return dst.AndCountZX(v)
+	}
+	return b.slices[p].AndCountInto(dst)
 }
 
 // ChargeFullRead charges one sequential pass over every slice — the cost of
@@ -369,6 +485,12 @@ func (b *BBS) CountIntoBuf(dst *bitvec.Vector, items []int32, posBuf *[]int) int
 		if est == 0 {
 			break
 		}
+		// Rarest-first makes the estimate collapse after an AND or two;
+		// promoting the accumulator then lets the rest of the chain walk
+		// only the surviving words. A bits-identical overlay (the vector's
+		// explicit-summary contract from the sparse-kernel PR holds: the
+		// promotion is this caller's choice, never the kernel's).
+		dst.MaybeSummarize(est)
 	}
 	return est
 }
@@ -390,11 +512,13 @@ func (b *BBS) countIntoObserved(dst *bitvec.Vector, pos []int, est int) int {
 			s.AndsDense++
 			s.WordsDense += int64(words)
 		}
+		s.CountEncoding(int(b.slices[p].Encoding()))
 		est = b.AndSlice(dst, p)
 		done++
 		if est == 0 {
 			break
 		}
+		dst.MaybeSummarize(est) // mirror CountIntoBuf's mid-chain promotion
 	}
 	if done < len(pos) {
 		s.EarlyExits = 1
@@ -438,21 +562,22 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 	nb := New(fh, b.stats)
 	nb.obs = b.obs // the MemBBS inherits the run's telemetry
 	nb.n = b.n
-	nb.slices = make([]*bitvec.Vector, keep)
+	nb.compress = b.compress
 	for j := 0; j < keep; j++ {
-		s := b.slices[j].Clone()
-		s.Grow(b.n) // normalize lazily-grown slices; folded slices are full length
+		// Accumulate the fold dense — OR-ing into a compressed form would
+		// re-encode per contributor — then pick the folded slice's encoding
+		// once, from its final contents. The fold ORs slices together, so
+		// the folded popcount cannot be derived from the originals; the
+		// wrap recounts it once (the words are still cache-hot).
+		acc := b.slices[j].Materialize()
+		acc.Grow(b.n) // normalize lazily-grown slices; folded slices are full length
+		for p := j + keep; p < len(b.slices); p += keep {
+			b.slices[p].OrInto(acc)
+		}
+		s := bitvec.DenseSliceOf(acc).Recompress(b.n, b.compress)
 		nb.slices[j] = s
-	}
-	for p := keep; p < len(b.slices); p++ {
-		nb.slices[p%keep].OrZX(b.slices[p])
-	}
-	// The fold ORs slices together, so the folded popcounts cannot be
-	// derived from the originals; recount once (the slices are already in
-	// cache from the OR pass).
-	nb.sliceOnes = make([]int, keep)
-	for j, s := range nb.slices {
-		nb.sliceOnes[j] = s.Count()
+		nb.refreshDense(j)
+		nb.sliceOnes[j] = s.Ones()
 	}
 	//lint:ignore determinism map-to-map copy; insertion order cannot be observed
 	for it, c := range b.itemCounts {
@@ -462,6 +587,7 @@ func (b *BBS) Fold(keep int) (*BBS, error) {
 		nb.live = b.live.Clone()
 		nb.deleted = b.deleted
 	}
+	nb.publishStorage()
 	return nb, nil
 }
 
@@ -484,8 +610,12 @@ func (f *foldedHasher) Positions(item int32) []int {
 }
 
 // ResultSlice exposes slice p read-only for verification passes; the caller
-// must not modify it. Reading it is charged as one slice read.
+// must not modify it. A compressed slice is materialized (allocating), a
+// dense one is aliased. Reading it is charged as one slice read.
 func (b *BBS) ResultSlice(p int) *bitvec.Vector {
 	b.ChargeSliceReads(1)
-	return b.slices[p]
+	if v := b.slices[p].DenseVector(); v != nil {
+		return v
+	}
+	return b.slices[p].Materialize()
 }

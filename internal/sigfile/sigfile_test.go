@@ -67,7 +67,7 @@ func TestRunningExampleSlices(t *testing.T) {
 		}
 		// Slices grow lazily, so pad to the index length before comparing:
 		// the physical tail may be missing but is logically zero.
-		padded := b.slices[j].Clone()
+		padded := b.slices[j].Materialize()
 		padded.Grow(b.n)
 		got := padded.String()
 		if got != string(expect) {

@@ -48,8 +48,10 @@ func (b *BBS) BumpEpoch() uint64 {
 func (b *BBS) Snapshot() *BBS {
 	s := &BBS{
 		hasher:      b.hasher,
-		slices:      append([]*bitvec.Vector(nil), b.slices...),
+		slices:      append([]*bitvec.Slice(nil), b.slices...),
+		denseVec:    append([]*bitvec.Vector(nil), b.denseVec...),
 		n:           b.n,
+		compress:    b.compress,
 		sliceOnes:   append([]int(nil), b.sliceOnes...),
 		itemCounts:  b.itemCounts,
 		live:        b.live,
@@ -90,8 +92,9 @@ func (b *BBS) QueryClone(stats *iostat.Stats) *BBS {
 }
 
 // mutableSlice returns slice p ready for mutation, cloning it first if a
-// snapshot shares it.
-func (b *BBS) mutableSlice(p int) *bitvec.Vector {
+// snapshot shares it. The clone preserves the encoding, so appends to a
+// compressed snapshot-shared slice stay compressed.
+func (b *BBS) mutableSlice(p int) *bitvec.Slice {
 	s := b.slices[p]
 	if b.cow != nil && b.cow[p] {
 		s = s.Clone()
