@@ -23,6 +23,16 @@
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight requests
 // finish, queued writes commit, the data file syncs and the index saves.
 //
+// Every request is traceable: bbsd accepts (or mints) an X-Request-ID,
+// echoes it, and reports the request's stage decomposition in a
+// Server-Timing header. -reqlog FILE writes one JSON line per request
+// (id, class, verdict, epoch vector, per-stage ns); -trace FILE writes
+// sampled trace events — the mining kinds plus request, apply and commit —
+// sharing the request ID, so one slow request reconstructs end to end
+// across the shards. Per-class and per-stage latency histograms with
+// p50/p95/p99/p99.9 appear on /metrics, and /stats reports cache hit
+// ratio, single-flight joins, admission rejections and queue depth.
+//
 // -bench skips serving: it seeds the paper's default dataset into a
 // scratch directory, measures cold-versus-cached /mine latency over real
 // HTTP and appends the records to -bench-out. With -shards N it also
@@ -84,6 +94,10 @@ func run(args []string) error {
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-mine deadline (0 = unbounded)")
 		pageCache   = fs.Int64("page-cache", 64<<20, "data-file page cache bound in bytes")
 
+		reqlogPath = fs.String("reqlog", "", "write one JSON line per served request (id, class, verdict, stage timings) to this file")
+		tracePath  = fs.String("trace", "", "write sampled trace events (mining + request/apply/commit) to this file")
+		traceEvery = fs.Int("trace-every", 1, "keep every N-th trace event")
+
 		bench       = fs.Bool("bench", false, "run the server benchmark instead of serving")
 		benchOut    = fs.String("bench-out", "BENCH_results.json", "append server bench records to this file")
 		benchScale  = fs.Float64("bench-scale", 1.0, "scale factor on the bench dataset size")
@@ -100,18 +114,44 @@ func run(args []string) error {
 		return fmt.Errorf("-db is required")
 	}
 
-	engine, reg, cleanup, err := openEngine(*dir, *m, *k, *shards, *compress, serve.Options{
+	// The request log and trace sinks outlive the engine: their files are
+	// opened (and deferred closed) before openEngine so the engine's own
+	// deferred cleanup — which still writes final commit events during the
+	// drain — runs first.
+	opts := serve.Options{
 		Workers:        *workers,
 		CacheEntries:   *cacheN,
 		MaxInFlight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
 		PageCacheLimit: *pageCache,
-	})
+	}
+	if *reqlogPath != "" {
+		f, err := os.Create(*reqlogPath)
+		if err != nil {
+			return fmt.Errorf("opening request log: %w", err)
+		}
+		defer f.Close()
+		opts.RequestLog = obs.NewRequestLog(f)
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer f.Close()
+		traceFile = f
+	}
+
+	engine, reg, cleanup, err := openEngine(*dir, *m, *k, *shards, *compress, opts)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	if traceFile != nil {
+		reg.SetTracer(obs.NewTracer(traceFile, *traceEvery))
+	}
 	reg.Publish("bbsd")
 
 	ln, err := net.Listen("tcp", *addr)

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 )
@@ -24,6 +25,14 @@ import (
 // dataset generators (internal/weblog, internal/quest) are seeded random by
 // design, so those packages are allowlisted, as are the cmd and examples
 // front-ends whose timing output is presentation, not result.
+//
+// The load harness (cmd/bbsload) is the exception among the cmds: its plan
+// must be reproducible from the -seed flag so a CI regression gate compares
+// like against like. It may read the clock (pacing) and draw random numbers
+// (workload mix), but every draw must come from an explicitly constructed,
+// flag-seeded source — so a relaxed rule set applies there: no package-level
+// math/rand draws (the global source), no rand.Seed, and no time-seeded
+// sources (time.Now inside rand.New/rand.NewSource arguments).
 var Determinism = &Analyzer{
 	Name:    "determinism",
 	Doc:     "result-computing packages must avoid time.Now, math/rand, and map iteration order",
@@ -43,6 +52,12 @@ var determinismAllowlist = []string{
 }
 
 func determinismApplies(path string) bool {
+	// cmd/bbsload sits under the cmd allowlist but opts back in to the
+	// relaxed loadgen rules: reproducible-from-flag-seed is part of its
+	// contract with the CI regression gate.
+	if pathHasSegment(path, "cmd/bbsload") {
+		return true
+	}
 	for _, seg := range determinismAllowlist {
 		if pathHasSegment(path, seg) {
 			return false
@@ -52,6 +67,10 @@ func determinismApplies(path string) bool {
 }
 
 func runDeterminism(pass *Pass) {
+	if pathHasSegment(pass.Pkg.Path(), "cmd/bbsload") {
+		runLoadgenDeterminism(pass)
+		return
+	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			p, err := strconv.Unquote(imp.Path.Value)
@@ -86,4 +105,92 @@ func runDeterminism(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// randSourceCtors are the math/rand constructors a loadgen package may call
+// at package level: they build explicit sources rather than drawing from the
+// shared global one.
+var randSourceCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// runLoadgenDeterminism is the relaxed rule set for cmd/bbsload. The
+// generator legitimately reads the clock and draws random numbers, but the
+// plan it fires must be a pure function of the -seed flag, so three things
+// are still errors: drawing from the package-level global source (its state
+// is shared and seedable from anywhere), calling rand.Seed at all, and
+// seeding an explicit source from the clock.
+func runLoadgenDeterminism(pass *Pass) {
+	// rand.New(rand.NewSource(time.Now()...)) nests two sanctioned
+	// constructors around one clock read; seen dedups it to one finding.
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[se.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			pkg := fn.Pkg()
+			if pkg == nil || !isRandPkg(pkg.Path()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method on an explicitly constructed source
+			}
+			switch {
+			case fn.Name() == "Seed":
+				pass.Reportf(se.Pos(),
+					"rand.Seed in a load generator; construct a source with rand.NewSource(seed) from the -seed flag instead")
+			case !randSourceCtors[fn.Name()]:
+				pass.Reportf(se.Pos(),
+					"%s.%s draws from the global source; a load plan must come from an explicit flag-seeded source", pkg.Name(), fn.Name())
+			default:
+				// A sanctioned constructor — but its seed must not be the
+				// clock, or two runs with the same -seed diverge anyway.
+				reportTimeSeededCtor(pass, f, se, seen)
+			}
+			return true
+		})
+	}
+}
+
+// reportTimeSeededCtor reports a time.Now (or time.Since) reachable inside
+// the arguments of the rand constructor call whose callee selector is ctor,
+// at most once per clock-read position.
+func reportTimeSeededCtor(pass *Pass, f *ast.File, ctor *ast.SelectorExpr, seen map[token.Pos]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Fun != ctor {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				inner, ok := an.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[inner.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "time" &&
+					(fn.Name() == "Now" || fn.Name() == "Since") && !seen[inner.Pos()] {
+					seen[inner.Pos()] = true
+					pass.Reportf(inner.Pos(),
+						"time-seeded random source; seed from the -seed flag so runs are reproducible")
+				}
+				return true
+			})
+		}
+		return false
+	})
 }

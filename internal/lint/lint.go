@@ -16,11 +16,15 @@
 //	pooledvec       internal/core
 //	lockdiscipline  every package
 //	determinism     every package except internal/exp, internal/weblog,
-//	                internal/quest, internal/obs, cmd, examples
+//	                internal/quest, internal/obs, cmd, examples;
+//	                cmd/bbsload opts back in under relaxed loadgen rules
+//	                (no global-source draws, no rand.Seed, no time-seeded
+//	                sources; clock reads and flag-seeded draws are fine)
 //	errwrap         every package (discard rule scoped to internal/txdb,
 //	                internal/sigfile, internal/serve, internal/shard)
 //	obsdiscipline   internal/core, internal/sigfile, internal/serve,
-//	                internal/shard (not internal/obs itself)
+//	                internal/shard (not internal/obs itself); cmd/bbsload
+//	                for the import ban only, its clock reads are waived
 //	snapshotsafety  internal/core, internal/sigfile, internal/serve,
 //	                internal/shard (facts exported from every package)
 //	ctxflow         internal/core, internal/serve, internal/shard

@@ -56,6 +56,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		}},
 		{"determinism/good/internal/core", nil},
 		{"determinism/allow/internal/exp", nil}, // time.Now allowlisted in exp
+		{"determinism/loadgenbad/cmd/bbsload", []string{
+			"11 determinism", // rand.Seed
+			"12 determinism", // rand.Intn draws from the global source
+			"13 determinism", // time-seeded rand.NewSource (reported once, not per ctor)
+		}},
+		{"determinism/loadgengood/cmd/bbsload", nil}, // flag-seeded source + clock pacing
 		{"obsdiscipline/bad/internal/core", []string{
 			"6 obsdiscipline",  // expvar import
 			"15 determinism",   // time.Now is also a determinism violation
@@ -82,6 +88,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"10 obsdiscipline", // time.Since bypassing the Clock seam
 		}},
 		{"obsdiscipline/serveclock/internal/serve", nil}, // the sanctioned clock seam
+		{"obsdiscipline/loadgen/cmd/bbsload", []string{
+			"7 obsdiscipline", // expvar import; the generator's time.Now reads are waived
+		}},
 		{"errwrap/shard/internal/shard", []string{
 			"10 errwrap", // deferred silent discard in the sharded layout
 			"11 errwrap", // bare statement discard in the sharded layout
@@ -179,7 +188,11 @@ func TestAnalyzerScopes(t *testing.T) {
 		{ObsDiscipline, "bbsmine/internal/serve", true},        // the serving layer uses the Clock seam
 		{ObsDiscipline, "bbsmine/internal/serve/client", true}, // the client rides along
 		{ObsDiscipline, "bbsmine/internal/shard", true},        // the sharded index follows the engine's rules
+		{ObsDiscipline, "bbsmine/cmd/bbsload", true},           // import ban only; the clock rule is waived in Run
+		{ObsDiscipline, "bbsmine/cmd/bbsbench", false},
 		{Determinism, "bbsmine/internal/serve", true},
+		{Determinism, "bbsmine/cmd/bbsload", true}, // opts back in: plans must replay from -seed
+		{Determinism, "bbsmine/cmd/bbsd", false},
 		{Determinism, "bbsmine/internal/shard", true}, // fan-out merge order must be deterministic
 		{PooledVec, "bbsmine/internal/core", true},
 		{PooledVec, "bbsmine/internal/bitvec", false}, // the pool itself may call New

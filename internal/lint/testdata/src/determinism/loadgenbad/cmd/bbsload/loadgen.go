@@ -1,0 +1,19 @@
+// Package main violates all three relaxed loadgen determinism rules: it
+// reseeds the global source, draws from it, and builds a time-seeded source.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func plan() []int {
+	rand.Seed(42)
+	n := 2 + rand.Intn(10)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(100))
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package main follows the relaxed loadgen rules: every draw comes from an
+// explicit flag-seeded source, and the wall clock paces sends — which is the
+// generator's job, not a determinism leak.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func plan(seed int64) ([]int, time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.4, 1, 63)
+	out := []int{int(zipf.Uint64()), rng.Intn(100)}
+	return out, time.Now()
+}

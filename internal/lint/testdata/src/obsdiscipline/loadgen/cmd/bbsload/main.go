@@ -1,0 +1,16 @@
+// Package main wires exposition machinery into the load generator. The
+// clock rule is waived for cmd/bbsload, but the import ban is not: the
+// generator must not confuse its own overhead with the system under test.
+package main
+
+import (
+	"expvar"
+	"time"
+)
+
+var sent = expvar.NewInt("sent")
+
+func pace() time.Time {
+	sent.Add(1)
+	return time.Now()
+}

@@ -13,15 +13,21 @@ const histBuckets = 63
 
 // HistStats is a lock-free histogram over nonnegative int64 samples with
 // power-of-two bucket bounds — coarse, but constant-time and race-safe,
-// which is what a hot path can afford. The zero value is ready to use.
+// which is what a hot path can afford. The zero value is ready to use. For
+// latency SLOs, where an octave-wide bucket is too coarse to gate on, use
+// LatencyHist instead.
 type HistStats struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [histBuckets]atomic.Int64
 }
 
-// Observe records one sample. Negative samples are clamped to zero.
+// Observe records one sample. Negative samples are clamped to zero; a nil
+// receiver no-ops, same as every other sink in this package.
 func (h *HistStats) Observe(v int64) {
+	if h == nil {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -32,18 +38,31 @@ func (h *HistStats) Observe(v int64) {
 
 // HistMetrics is a histogram snapshot: Buckets maps the bucket's inclusive
 // upper bound (as a decimal string, so it survives JSON) to its sample
-// count. Empty buckets are omitted.
+// count. Empty buckets are omitted. P50/P95/P99 are the upper bounds of the
+// buckets holding those ranks — coarse (each bucket spans an octave), but
+// enough to spot an order-of-magnitude move on a dashboard; they flatten to
+// `..._p50` lines on /metrics alongside the buckets.
 type HistMetrics struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
+	P50     int64            `json:"p50"`
+	P95     int64            `json:"p95"`
+	P99     int64            `json:"p99"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
-// Metrics snapshots the histogram.
+// Metrics snapshots the histogram; nil-receiver-safe.
 func (h *HistStats) Metrics() HistMetrics {
+	if h == nil {
+		return HistMetrics{}
+	}
 	m := HistMetrics{Count: h.count.Load(), Sum: h.sum.Load()}
+	counts := make([]int64, histBuckets)
+	var total int64
 	for i := 0; i < histBuckets; i++ {
 		n := h.buckets[i].Load()
+		counts[i] = n
+		total += n
 		if n == 0 {
 			continue
 		}
@@ -53,5 +72,31 @@ func (h *HistStats) Metrics() HistMetrics {
 		bound := int64(1)<<uint(i) - 1
 		m.Buckets[strconv.FormatInt(bound, 10)] = n
 	}
+	m.P50 = histQuantile(counts, total, 0.50)
+	m.P95 = histQuantile(counts, total, 0.95)
+	m.P99 = histQuantile(counts, total, 0.99)
 	return m
+}
+
+// histQuantile returns the inclusive upper bound of the power-of-two bucket
+// holding the q-quantile rank of the snapshot; 0 when empty.
+func histQuantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return int64(1)<<uint(i) - 1
+		}
+	}
+	return int64(1)<<uint(len(counts)-1) - 1
 }

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// LatencyHist is a lock-free latency histogram with log2 major buckets and
+// 2^latSubBits sub-buckets per major bucket (HDR-histogram style): every
+// nonnegative int64 sample lands in a bucket whose width is at most
+// 1/2^latSubBits of its value, so an extracted quantile overstates the true
+// one by under ~6.3%. That is "exact enough" for SLO accounting — the
+// power-of-two HistStats, whose buckets are a full octave wide, is not: a
+// p99 answer of "somewhere between 8ms and 16ms" cannot gate a 10ms SLO.
+//
+// Observe is constant-time (two atomic adds, one CAS loop for the max) and
+// race-safe, so the serving layer can call it on every request. The zero
+// value is ready to use.
+type LatencyHist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [latBuckets]atomic.Int64
+}
+
+const (
+	// latSubBits is the log2 of the sub-bucket count per octave; 4 gives 16
+	// sub-buckets and a worst-case relative bucket width of 6.25%.
+	latSubBits  = 4
+	latSubCount = 1 << latSubBits
+	// latBuckets covers the whole nonnegative int64 range: values below
+	// latSubCount index exactly, every octave above contributes latSubCount
+	// sub-buckets.
+	latBuckets = latSubCount + (63-latSubBits)*latSubCount
+)
+
+// latBucketIndex maps a nonnegative sample to its bucket.
+func latBucketIndex(v int64) int {
+	if v < latSubCount {
+		return int(v)
+	}
+	major := bits.Len64(uint64(v)) // >= latSubBits+1
+	shift := uint(major - 1 - latSubBits)
+	sub := int(uint64(v)>>shift) & (latSubCount - 1)
+	return (major-latSubBits)*latSubCount + sub
+}
+
+// latBucketBound returns the bucket's inclusive upper bound — what a
+// quantile extraction reports for ranks landing in it.
+func latBucketBound(idx int) int64 {
+	if idx < latSubCount {
+		return int64(idx)
+	}
+	major := idx/latSubCount + latSubBits
+	sub := idx % latSubCount
+	shift := uint(major - 1 - latSubBits)
+	return int64((uint64(latSubCount+sub+1) << shift) - 1)
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *LatencyHist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[latBucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed so far.
+func (h *LatencyHist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the inclusive upper bound of the bucket holding the
+// q-quantile sample (q in [0,1]); 0 when the histogram is empty. The answer
+// never understates the true quantile by more than one bucket width
+// (~6.3%), and never overstates the observed max.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Metrics().quantile(q)
+}
+
+// LatencyMetrics is a histogram snapshot with the SLO quantiles
+// pre-extracted; the raw buckets stay internal (960 series per histogram
+// would swamp the exposition).
+type LatencyMetrics struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+
+	counts []int64 // bucket snapshot backing quantile()
+}
+
+// Metrics snapshots the histogram and extracts p50/p95/p99/p99.9. Safe
+// during concurrent Observe; the cut is per-counter, not global, which is
+// fine for monitoring.
+func (h *LatencyHist) Metrics() LatencyMetrics {
+	if h == nil {
+		return LatencyMetrics{}
+	}
+	m := LatencyMetrics{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Max:    h.max.Load(),
+		counts: make([]int64, latBuckets),
+	}
+	for i := range h.buckets {
+		m.counts[i] = h.buckets[i].Load()
+	}
+	m.P50 = m.quantile(0.50)
+	m.P95 = m.quantile(0.95)
+	m.P99 = m.quantile(0.99)
+	m.P999 = m.quantile(0.999)
+	return m
+}
+
+// quantile walks the snapshot's cumulative counts to the q-quantile rank.
+// The reported bound is clamped to the observed max so a sparse top bucket
+// cannot overstate the tail.
+func (m LatencyMetrics) quantile(q float64) int64 {
+	// Total from the snapshot itself: under concurrent Observe the count
+	// field may run ahead of the bucket copies, and the rank must be
+	// consistent with what the walk can actually find.
+	var total int64
+	for _, c := range m.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range m.counts {
+		seen += c
+		if seen >= rank {
+			bound := latBucketBound(i)
+			if m.Max > 0 && bound > m.Max {
+				return m.Max
+			}
+			return bound
+		}
+	}
+	return m.Max
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLatBucketBoundsCoverValues(t *testing.T) {
+	// Every sample must land in a bucket whose bound is >= the sample and
+	// within the promised relative error.
+	values := []int64{0, 1, 5, 15, 16, 17, 100, 1023, 1024, 4096, 123456789, 1 << 40, 1<<62 + 12345}
+	for _, v := range values {
+		idx := latBucketIndex(v)
+		bound := latBucketBound(idx)
+		if bound < v {
+			t.Errorf("value %d: bucket %d bound %d understates it", v, idx, bound)
+		}
+		if v >= latSubCount {
+			// Relative width <= 2^-latSubBits: bound-v < v/latSubCount + 1.
+			if float64(bound-v) > float64(v)/latSubCount+1 {
+				t.Errorf("value %d: bound %d overstates by %d (> %.0f)", v, bound, bound-v, float64(v)/latSubCount+1)
+			}
+		} else if bound != v {
+			t.Errorf("small value %d: want exact bucket, got bound %d", v, bound)
+		}
+		if idx > 0 && latBucketBound(idx-1) >= v {
+			t.Errorf("value %d: previous bucket %d bound %d should be < value", v, idx-1, latBucketBound(idx-1))
+		}
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	// Against an exact sorted-sample quantile, the histogram answer must be
+	// >= the true value and within ~6.3% + one.
+	rng := rand.New(rand.NewSource(42))
+	var h LatencyHist
+	samples := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 2e6) // latency-shaped: long tail around 2ms
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	m := h.Metrics()
+	if m.Count != 10000 {
+		t.Fatalf("count = %d, want 10000", m.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		got  int64
+		name string
+	}{
+		{0.50, m.P50, "p50"}, {0.95, m.P95, "p95"}, {0.99, m.P99, "p99"}, {0.999, m.P999, "p999"},
+	} {
+		rank := int(tc.q*float64(len(samples)) + 0.5)
+		if rank >= len(samples) {
+			rank = len(samples) - 1
+		}
+		exact := samples[rank]
+		if tc.got < exact {
+			t.Errorf("%s = %d understates exact %d", tc.name, tc.got, exact)
+		}
+		if float64(tc.got) > float64(exact)*(1+1.0/latSubCount)+1 {
+			t.Errorf("%s = %d overstates exact %d beyond one bucket width", tc.name, tc.got, exact)
+		}
+	}
+	if m.Max != samples[len(samples)-1] {
+		t.Errorf("max = %d, want %d", m.Max, samples[len(samples)-1])
+	}
+	if m.P999 > m.Max {
+		t.Errorf("p999 %d exceeds max %d", m.P999, m.Max)
+	}
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	var nilHist *LatencyHist
+	nilHist.Observe(5) // must not panic
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil hist quantile = %d, want 0", got)
+	}
+	if got := nilHist.Metrics(); got.Count != 0 {
+		t.Errorf("nil hist metrics count = %d", got.Count)
+	}
+
+	var h LatencyHist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty hist p99 = %d, want 0", got)
+	}
+	h.Observe(-7) // clamps to zero
+	h.Observe(0)
+	if got := h.Quantile(1.0); got != 0 {
+		t.Errorf("all-zero hist p100 = %d, want 0", got)
+	}
+	var one LatencyHist
+	one.Observe(12345)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := one.Quantile(q); got != 12345 {
+			t.Errorf("single-sample q%.3f = %d, want 12345 (max clamp)", q, got)
+		}
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := h.Metrics()
+	if m.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", m.Count, goroutines*per)
+	}
+	var total int64
+	for _, c := range m.counts {
+		total += c
+	}
+	if total != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestHistStatsQuantiles(t *testing.T) {
+	var h HistStats
+	for i := 0; i < 98; i++ {
+		h.Observe(10) // bucket bound 15
+	}
+	h.Observe(1000) // bucket bound 1023
+	h.Observe(1000)
+	m := h.Metrics()
+	if m.P50 != 15 {
+		t.Errorf("p50 = %d, want 15", m.P50)
+	}
+	if m.P99 != 1023 {
+		t.Errorf("p99 = %d, want 1023", m.P99)
+	}
+	var nilHist *HistStats
+	nilHist.Observe(3) // nil-receiver no-op
+	if got := nilHist.Metrics(); got.Count != 0 || got.P50 != 0 {
+		t.Errorf("nil HistStats metrics = %+v", got)
+	}
+}
+
+func TestRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewRequestLog(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				l.Log(RequestRecord{ID: "r", Class: "read", Verdict: "miss", TotalNs: int64(i*25 + j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Lines() != 100 {
+		t.Fatalf("lines = %d, want 100", l.Lines())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("wrote %d lines, want 100", len(lines))
+	}
+	for _, line := range lines {
+		var rec RequestRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable request-log line %q: %v", line, err)
+		}
+		if rec.ID != "r" || rec.Class != "read" {
+			t.Fatalf("mangled record: %+v", rec)
+		}
+	}
+
+	var nilLog *RequestLog
+	nilLog.Log(RequestRecord{ID: "x"}) // must not panic
+	if nilLog.Lines() != 0 {
+		t.Fatal("nil log reported lines")
+	}
+}
+
+func TestStageMetricsExposition(t *testing.T) {
+	r := New()
+	var nilReg *Registry
+	nilReg.ObserveStage(StageMine, 5)             // nil-safe
+	nilReg.ObserveRequestLatency(ClassRead, 5)    // nil-safe
+	r.ObserveStage(Stage(-1), 5)                  // out of range: dropped
+	r.ObserveRequestLatency(RequestClass(99), 5)  // out of range: dropped
+	r.ObserveStage(StageMine, 1_000_000)          // 1ms
+	r.ObserveStage(StageQueue, 5_000)             // 5us
+	r.ObserveRequestLatency(ClassRead, 1_200_000) // 1.2ms
+
+	m := r.Metrics()
+	if m.Server == nil {
+		t.Fatal("server section absent after stage observations")
+	}
+	mine, ok := m.Server.StageNs["mine"]
+	if !ok || mine.Count != 1 {
+		t.Fatalf("stage mine = %+v", m.Server.StageNs)
+	}
+	if mine.P99 < 1_000_000 || float64(mine.P99) > 1_000_000*1.07 {
+		t.Errorf("stage mine p99 = %d, want ~1ms", mine.P99)
+	}
+	if _, ok := m.Server.StageNs["render"]; ok {
+		t.Error("unobserved stage render should be omitted")
+	}
+	read, ok := m.Server.RequestNs["read"]
+	if !ok || read.Count != 1 {
+		t.Fatalf("request class read = %+v", m.Server.RequestNs)
+	}
+	if _, ok := m.Server.RequestNs["write"]; ok {
+		t.Error("unobserved class write should be omitted")
+	}
+	// The stage names used on the wire are pinned: the Server-Timing
+	// header, /metrics lines and request-log fields all derive from them.
+	wantNames := []string{"queue", "cache", "bind", "mine", "render"}
+	for i, s := range []Stage{StageQueue, StageCache, StageBind, StageMine, StageRender} {
+		if s.String() != wantNames[i] {
+			t.Errorf("stage %d name = %q, want %q", i, s.String(), wantNames[i])
+		}
+	}
+}

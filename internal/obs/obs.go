@@ -219,13 +219,14 @@ type PhaseStats struct {
 // run and — except for SetTracer/BindIO, which must happen before the run —
 // by concurrent runs.
 type Registry struct {
-	funnel FunnelStats
-	kernel KernelStats
-	index  IndexStats
-	cache  CacheStats
-	phases PhaseStats
-	server ServerStats
-	shards shardStats
+	funnel     FunnelStats
+	kernel     KernelStats
+	index      IndexStats
+	cache      CacheStats
+	phases     PhaseStats
+	server     ServerStats
+	shards     shardStats
+	stageHists stageStats // serving SLO histograms (stage.go)
 
 	mineLatency HistStats // whole-Mine wall time, ns
 	andDepth    HistStats // slice positions AND-ed per evaluation

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// RequestRecord is one served request, written to the request log as a
+// single JSON line at completion. It is the end-to-end reconstruction
+// record: the request ID ties it to the tracer's per-shard events and the
+// client's own measurement, the stage timings decompose its latency, and
+// the epoch vector pins exactly which data it saw.
+type RequestRecord struct {
+	// ID is the request ID: the client's X-Request-ID if it sent one,
+	// otherwise minted at the HTTP layer.
+	ID string `json:"id"`
+	// Class is "read" (/mine) or "write" (/txns).
+	Class string `json:"class"`
+	// Verdict is how the request was answered: reads report hit | miss |
+	// shared | rejected | invalid | error, writes report applied |
+	// rejected | invalid | error.
+	Verdict string `json:"verdict"`
+	// Scheme and Tau identify a read's query (absent on writes).
+	Scheme string `json:"scheme,omitempty"`
+	Tau    int    `json:"tau,omitempty"`
+	// Epoch is the epoch sum the request saw (reads) or produced (writes);
+	// Epochs carries the per-shard vector on sharded engines.
+	Epoch  uint64   `json:"epoch"`
+	Epochs []uint64 `json:"epochs,omitempty"`
+	// Patterns is a read's answer size.
+	Patterns int `json:"patterns,omitempty"`
+	// Inserted/Deleted are a write's operation counts, and Shards the
+	// shards its sub-batches landed on, in shard order.
+	Inserted int   `json:"inserted,omitempty"`
+	Deleted  int   `json:"deleted,omitempty"`
+	Shards   []int `json:"shards,omitempty"`
+	// The stage decomposition, ns (stage.go); stages the request skipped
+	// are zero and omitted. CommitNs is the write-path analogue: time from
+	// enqueue to the last involved shard's commit.
+	QueueNs  int64 `json:"queue_ns,omitempty"`
+	CacheNs  int64 `json:"cache_ns,omitempty"`
+	BindNs   int64 `json:"bind_ns,omitempty"`
+	MineNs   int64 `json:"mine_ns,omitempty"`
+	RenderNs int64 `json:"render_ns,omitempty"`
+	CommitNs int64 `json:"commit_ns,omitempty"`
+	// TotalNs is the whole engine-side request latency, which bounds the
+	// stage sum from above.
+	TotalNs int64 `json:"total_ns"`
+	// Err is the error text of a failed request.
+	Err string `json:"err,omitempty"`
+}
+
+// RequestLog writes one RequestRecord per line as JSON. Log is safe for
+// concurrent use (mutex-guarded encoder, same discipline as Tracer) and a
+// nil *RequestLog drops records for free, so the engine logs
+// unconditionally. The caller owns w and closes it after the server stops.
+type RequestLog struct {
+	lines atomic.Int64
+
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error // first write error; logging goes quiet after it
+}
+
+// NewRequestLog returns a request log writing to w.
+func NewRequestLog(w io.Writer) *RequestLog {
+	return &RequestLog{enc: json.NewEncoder(w)}
+}
+
+// Log writes one record; nil-receiver-safe.
+func (l *RequestLog) Log(rec RequestRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err := l.enc.Encode(rec); err != nil {
+		l.err = err
+		return
+	}
+	l.lines.Add(1)
+}
+
+// Lines returns the number of records written so far.
+func (l *RequestLog) Lines() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.lines.Load()
+}

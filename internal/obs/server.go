@@ -166,6 +166,13 @@ type ServerMetrics struct {
 	CacheEvictions int64       `json:"query_cache_evictions"`
 	BatchSize      HistMetrics `json:"write_batch_size"`
 
+	// RequestNs holds the per-class (read/write) request latency
+	// histograms and StageNs the per-stage decomposition (stage.go), both
+	// with p50/p95/p99/p99.9 pre-extracted. Flattened to the exposition as
+	// server_request_ns_<class>_<q> and server_stage_ns_<stage>_<q> lines.
+	RequestNs map[string]LatencyMetrics `json:"request_ns,omitempty"`
+	StageNs   map[string]LatencyMetrics `json:"stage_ns,omitempty"`
+
 	// Shards carries the per-shard counter split, in shard order; absent
 	// for unsharded servers. Flattened to the exposition as
 	// server_shards_<i>_<field> lines.
@@ -178,7 +185,10 @@ func (r *Registry) serverMetrics() *ServerMetrics {
 	if !r.server.active.Load() {
 		return nil
 	}
+	requests, stages := r.stageMetrics()
 	return &ServerMetrics{
+		RequestNs:      requests,
+		StageNs:        stages,
 		Queries:        r.server.queries.Load(),
 		CacheHits:      r.server.cacheHits.Load(),
 		CacheMisses:    r.server.cacheMisses.Load(),

@@ -23,6 +23,24 @@ import (
 // Subtree is the enumeration seq of the level-1 subtree the event belongs
 // to (-1 for root-level and non-enumeration events), which is how a merged
 // multi-worker trace is re-ordered into the sequential enumeration order.
+//
+// The serving layer adds three kinds, all carrying the request ID in Req so
+// one slow request reconstructs end to end across the trace:
+//
+//	request — Req, Verdict (hit | miss | shared | applied | ...), DurNs:
+//	          one served request completed
+//	apply   — Req, Shard, Count: one request's sub-batch applied by one
+//	          shard's commit loop
+//	commit  — Shard, Count, DurNs: one per-shard commit batch (possibly
+//	          covering several requests' sub-batches)
+//
+// The sharded index adds one more, from the count fan-out:
+//
+//	shardcount — Shard, Items, Est: one shard's contribution to a
+//	             scatter-gather support estimate
+//
+// Shard tags the event's shard via pointer so shard 0 survives omitempty;
+// mining events leave it nil.
 type Event struct {
 	Seq     int64   `json:"seq"`
 	Kind    string  `json:"kind"`
@@ -37,7 +55,12 @@ type Event struct {
 	Verdict string  `json:"verdict,omitempty"`
 	Phase   string  `json:"phase,omitempty"`
 	DurNs   int64   `json:"dur_ns,omitempty"`
+	Req     string  `json:"req,omitempty"`
+	Shard   *int    `json:"shard,omitempty"`
 }
+
+// ShardTag boxes a shard index for Event.Shard.
+func ShardTag(s int) *int { return &s }
 
 // FlagName converts a dual-filter CheckCount flag (-1/0/1/2) to its trace
 // name.

@@ -124,6 +124,10 @@ type Options struct {
 	PageCacheLimit int64
 	// Observe receives the server and mining telemetry; nil disables it.
 	Observe *obs.Registry
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// served request (id, class, verdict, epoch vector, stage timings,
+	// outcome).
+	RequestLog *obs.RequestLog
 	// Clock supplies the wall clock (default SystemClock); tests inject a
 	// fake so served timestamps stay deterministic.
 	Clock Clock
@@ -156,9 +160,12 @@ type engineShard struct {
 // a thin router, and any number of snapshot-isolated readers.
 type Engine struct {
 	obs      *obs.Registry
+	reqlog   *obs.RequestLog
 	stats    *iostat.Stats
 	clock    Clock
 	start    time.Time
+	idPrefix string        // request-ID prefix, derived from the start timestamp
+	reqSeq   atomic.Uint64 // request-ID sequence
 	shards   []*engineShard
 	workers  int
 	maxQueue int
@@ -261,9 +268,11 @@ func New(opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		obs:      opts.Observe,
+		reqlog:   opts.RequestLog,
 		stats:    parts[0].Index.Stats(),
 		clock:    clock,
 		start:    clock.Now(),
+		idPrefix: fmt.Sprintf("r%x", uint64(clock.Now().UnixNano())),
 		workers:  opts.Workers,
 		maxQueue: maxQueue,
 		timeout:  opts.RequestTimeout,
@@ -434,11 +443,14 @@ type localDel struct {
 	global int
 }
 
-// shardWrite is one shard's slice of a validated request.
+// shardWrite is one shard's slice of a validated request. reqID carries the
+// originating request's ID into the shard's commit loop so per-shard apply
+// trace events stay attributable end to end.
 type shardWrite struct {
-	job  *applyJob
-	txs  []txdb.Transaction // inserts in ordinal order, TIDs pre-assigned
-	dels []localDel
+	job   *applyJob
+	reqID string
+	txs   []txdb.Transaction // inserts in ordinal order, TIDs pre-assigned
+	dels  []localDel
 }
 
 // applyJob gathers the per-shard outcomes of one request. The last shard
@@ -461,13 +473,35 @@ type applyJob struct {
 // counts report how far the apply got, and the engine stops accepting
 // writes (the error would otherwise leave a hole in the round-robin
 // layout). A done ctx stops the wait, not the commits.
+//
+// When the context carries a span (WithSpan), Apply fills it; otherwise it
+// mints one internally, so the write-latency histogram and request log see
+// every write regardless of entry point.
 func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := SpanFrom(ctx)
+	if sp == nil {
+		ctx, sp = e.StartSpan(ctx, "", obs.ClassWrite)
+	}
+	sp.Class = obs.ClassWrite
+	start := e.clock.Now()
+	res, err := e.applyInner(ctx, req, sp)
+	e.finishSpan(sp, start, err)
+	return res, err
+}
+
+func (e *Engine) applyInner(ctx context.Context, req TxnsRequest, sp *Span) (TxnsResponse, error) {
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
 		snaps := e.loadSnaps()
 		res := TxnsResponse{Epoch: epochSum(snaps)}
 		if len(e.shards) > 1 {
 			res.Epochs = epochVector(snaps)
 		}
+		sp.verdict = "applied"
+		sp.epoch = res.Epoch
+		sp.epochs = res.Epochs
 		return res, nil
 	}
 	if w := e.wedged.Load(); w != nil {
@@ -486,7 +520,7 @@ func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, erro
 	writes := make([]*shardWrite, n)
 	sub := func(s int) *shardWrite {
 		if writes[s] == nil {
-			writes[s] = &shardWrite{job: job}
+			writes[s] = &shardWrite{job: job, reqID: sp.ID}
 		}
 		return writes[s]
 	}
@@ -524,11 +558,13 @@ func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, erro
 	for _, pos := range req.Delete {
 		e.dead[pos] = true
 	}
-	for _, w := range writes {
+	for s, w := range writes {
 		if w != nil {
 			job.pending++
+			sp.shards = append(sp.shards, s)
 		}
 	}
+	enqueued := e.clock.Now()
 	for s, w := range writes {
 		if w != nil {
 			e.shards[s].writeCh <- w
@@ -538,6 +574,7 @@ func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, erro
 
 	select {
 	case <-job.done:
+		sp.commitNs = e.clock.Now().Sub(enqueued).Nanoseconds()
 	case <-ctx.Done():
 		if ctx.Err() != nil {
 			return TxnsResponse{}, fmt.Errorf("serve: write abandoned (the batches still commit): %w", ctx.Err())
@@ -558,7 +595,69 @@ func (e *Engine) Apply(ctx context.Context, req TxnsRequest) (TxnsResponse, erro
 	if n > 1 {
 		res.Epochs = epochs
 	}
+	sp.inserted, sp.deleted = res.Inserted, res.Deleted
+	sp.epoch = res.Epoch
+	sp.epochs = res.Epochs
+	if job.err == nil {
+		sp.verdict = "applied"
+	}
 	return res, job.err
+}
+
+// finishSpan completes a request span: it stamps the total latency, derives
+// the verdict from the error when the happy path didn't set one, feeds the
+// SLO histograms, emits the tracer's request event and writes the request
+// log line. Shared by the read and write paths.
+func (e *Engine) finishSpan(sp *Span, start time.Time, err error) {
+	sp.totalNs = e.clock.Now().Sub(start).Nanoseconds()
+	if sp.verdict == "" {
+		switch {
+		case err == nil:
+			sp.verdict = "ok"
+		case errors.Is(err, ErrOverloaded):
+			sp.verdict = "rejected"
+		case errors.Is(err, ErrInvalid):
+			sp.verdict = "invalid"
+		default:
+			sp.verdict = "error"
+		}
+	}
+	e.obs.ObserveRequestLatency(sp.Class, sp.totalNs)
+	for st := obs.Stage(0); int(st) < len(sp.stageNs); st++ {
+		if ns := sp.stageNs[st]; ns > 0 {
+			e.obs.ObserveStage(st, ns)
+		}
+	}
+	if e.obs.Tracing() {
+		e.obs.Emit(obs.Event{Kind: "request", Subtree: -1, Req: sp.ID, Verdict: sp.verdict, DurNs: sp.totalNs})
+	}
+	if e.reqlog == nil {
+		return
+	}
+	rec := obs.RequestRecord{
+		ID:       sp.ID,
+		Class:    sp.Class.String(),
+		Verdict:  sp.verdict,
+		Scheme:   sp.scheme,
+		Tau:      sp.tau,
+		Epoch:    sp.epoch,
+		Epochs:   sp.epochs,
+		Patterns: sp.patterns,
+		Inserted: sp.inserted,
+		Deleted:  sp.deleted,
+		Shards:   sp.shards,
+		QueueNs:  sp.StageNs(obs.StageQueue),
+		CacheNs:  sp.StageNs(obs.StageCache),
+		BindNs:   sp.StageNs(obs.StageBind),
+		MineNs:   sp.StageNs(obs.StageMine),
+		RenderNs: sp.StageNs(obs.StageRender),
+		CommitNs: sp.commitNs,
+		TotalNs:  sp.totalNs,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	e.reqlog.Log(rec)
 }
 
 // shardLoop is shard sh's single writer: it blocks for one sub-request,
@@ -587,18 +686,30 @@ func (e *Engine) shardLoop(sh *engineShard) {
 
 // shardCommit applies a batch to the shard's master state, bumps the
 // shard's epoch once if anything changed, publishes the new snapshot and
-// reports each sub-request's outcome to its job.
+// reports each sub-request's outcome to its job. With tracing on it emits
+// one apply event per sub-request (tagged with the originating request ID)
+// and one commit event per batch, both carrying this shard's index.
 func (e *Engine) shardCommit(sh *engineShard, batch []*shardWrite) {
 	type outcome struct {
 		inserted, deleted int
 		err               error
 	}
+	started := e.clock.Now()
 	outs := make([]outcome, len(batch))
 	var ops int64
 	for i, w := range batch {
 		ins, del, err := e.applySub(sh, w)
 		outs[i] = outcome{inserted: ins, deleted: del, err: err}
 		ops += int64(ins + del)
+		if e.obs.Tracing() {
+			e.obs.Emit(obs.Event{
+				Kind:    "apply",
+				Subtree: -1,
+				Req:     w.reqID,
+				Shard:   obs.ShardTag(sh.id),
+				Count:   ins + del,
+			})
+		}
 	}
 	epoch := sh.idx.Epoch()
 	if ops > 0 {
@@ -608,6 +719,15 @@ func (e *Engine) shardCommit(sh *engineShard, batch []*shardWrite) {
 		e.obs.AddShardWriteBatch(sh.id, ops)
 		e.obs.SetEpoch(e.Epoch())
 		e.obs.AddWriteBatch(ops)
+	}
+	if e.obs.Tracing() {
+		e.obs.Emit(obs.Event{
+			Kind:    "commit",
+			Subtree: -1,
+			Shard:   obs.ShardTag(sh.id),
+			Count:   int(ops),
+			DurNs:   e.clock.Now().Sub(started).Nanoseconds(),
+		})
 	}
 	for i, w := range batch {
 		j := w.job
@@ -728,6 +848,7 @@ func (r *QueryResponse) DecodePatterns() ([]PatternJSON, error) {
 // of a large answer (reflection-encoding the pattern array).
 type answer struct {
 	patterns       json.RawMessage
+	patternCount   int
 	candidates     int
 	falseDrops     int
 	certain        int
@@ -746,6 +867,7 @@ func renderAnswer(res *core.Result) (*answer, error) {
 	}
 	return &answer{
 		patterns:       raw,
+		patternCount:   len(ps),
 		candidates:     res.Candidates,
 		falseDrops:     res.FalseDrops,
 		certain:        res.Certain,
@@ -769,10 +891,26 @@ func parseScheme(s string) (core.Scheme, error) {
 
 // Query answers one mining request against the current snapshot vector:
 // cache hit, single-flight join, or a fresh mine under admission control.
+//
+// When the context carries a span (WithSpan), Query fills it with the
+// request's stage decomposition; otherwise it mints one internally, so the
+// SLO histograms and request log see every query regardless of entry point.
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := SpanFrom(ctx)
+	if sp == nil {
+		ctx, sp = e.StartSpan(ctx, "", obs.ClassRead)
+	}
+	sp.Class = obs.ClassRead
+	start := e.clock.Now()
+	res, err := e.queryInner(ctx, req, sp)
+	e.finishSpan(sp, start, err)
+	return res, err
+}
+
+func (e *Engine) queryInner(ctx context.Context, req QueryRequest, sp *Span) (*QueryResponse, error) {
 	scheme, err := parseScheme(req.Scheme)
 	if err != nil {
 		return nil, err
@@ -810,19 +948,35 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 			memBudget:  req.MemoryBudget,
 			constraint: constraint,
 		}
+		sp.scheme, sp.tau = scheme.String(), tau
+		sp.epoch = epochSum(snaps)
+		if len(snaps) > 1 {
+			sp.epochs = epochVector(snaps)
+		} else {
+			sp.epochs = nil
+		}
+		lookup := e.clock.Now()
 		cached, f, leader := e.cache.join(key)
+		sp.addStage(obs.StageCache, e.clock.Now().Sub(lookup).Nanoseconds())
 		if cached != nil {
 			e.obs.AddCacheHit()
+			sp.verdict = "hit"
+			sp.patterns = cached.patternCount
 			return e.buildResponse(snaps, scheme, tau, cached, true, false), nil
 		}
 		if !leader {
 			e.obs.AddSharedFlight()
+			wait := e.clock.Now()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
+				sp.addStage(obs.StageCache, e.clock.Now().Sub(wait).Nanoseconds())
 				return nil, fmt.Errorf("serve: query abandoned: %w", ctx.Err())
 			}
+			sp.addStage(obs.StageCache, e.clock.Now().Sub(wait).Nanoseconds())
 			if f.err == nil {
+				sp.verdict = "shared"
+				sp.patterns = f.res.patternCount
 				return e.buildResponse(snaps, scheme, tau, f.res, false, true), nil
 			}
 			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
@@ -837,15 +991,19 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 			return nil, f.err
 		}
 		e.obs.AddCacheMiss()
-		res, mineErr := e.mine(ctx, snaps, key.epochs, req, scheme, tau)
+		res, mineErr := e.mine(ctx, snaps, key.epochs, req, scheme, tau, sp)
 		var ans *answer
 		if mineErr == nil {
+			render := e.clock.Now()
 			ans, mineErr = renderAnswer(res)
+			sp.addStage(obs.StageRender, e.clock.Now().Sub(render).Nanoseconds())
 		}
 		e.cache.finish(key, ans, mineErr)
 		if mineErr != nil {
 			return nil, mineErr
 		}
+		sp.verdict = "miss"
+		sp.patterns = ans.patternCount
 		return e.buildResponse(snaps, scheme, tau, ans, false, false), nil
 	}
 }
@@ -883,10 +1041,13 @@ func (e *Engine) mineView(snaps []*snapshot, key string) (*sigfile.BBS, txdb.Sto
 	return base.QueryClone(e.stats), txdb.Concat(stores...), nil
 }
 
-// mine runs one cold query against a snapshot vector: admission slot,
-// per-request deadline, private mining view, then core.Mine.
-func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req QueryRequest, scheme core.Scheme, tau int) (*core.Result, error) {
+// mine runs one cold query against a snapshot vector: admission slot
+// (queue stage), per-request deadline, private mining view (bind stage),
+// then core.Mine (mine stage).
+func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req QueryRequest, scheme core.Scheme, tau int, sp *Span) (*core.Result, error) {
+	queued := e.clock.Now()
 	release, err := e.admit(ctx)
+	sp.addStage(obs.StageQueue, e.clock.Now().Sub(queued).Nanoseconds())
 	if err != nil {
 		return nil, err
 	}
@@ -897,6 +1058,7 @@ func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req Qu
 		mineCtx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
+	bind := e.clock.Now()
 	idx, store, err := e.mineView(snaps, key)
 	if err != nil {
 		return nil, err
@@ -915,11 +1077,13 @@ func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req Qu
 	if err != nil {
 		return nil, fmt.Errorf("serve: binding the snapshot: %w", err)
 	}
+	sp.addStage(obs.StageBind, e.clock.Now().Sub(bind).Nanoseconds())
 	workers := req.Workers
 	if workers == 0 {
 		workers = e.workers
 	}
-	return miner.Mine(core.Config{
+	mined := e.clock.Now()
+	res, err := miner.Mine(core.Config{
 		Ctx:          mineCtx,
 		MinSupport:   tau,
 		Scheme:       scheme,
@@ -929,6 +1093,8 @@ func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req Qu
 		Constraint:   constraint,
 		Observe:      e.obs,
 	})
+	sp.addStage(obs.StageMine, e.clock.Now().Sub(mined).Nanoseconds())
+	return res, err
 }
 
 // admit reserves a mining slot, queueing up to maxQueue waiters behind the
@@ -985,7 +1151,9 @@ func (e *Engine) buildResponse(snaps []*snapshot, scheme core.Scheme, tau int, a
 
 // ---- stats ----
 
-// StatsInfo is the /stats answer: a consistent view of one snapshot vector.
+// StatsInfo is the /stats answer: a consistent view of one snapshot vector
+// plus the serving health at a glance — cache effectiveness, single-flight
+// dedup, admission pressure and current queue depth.
 type StatsInfo struct {
 	Epoch         uint64   `json:"epoch"`
 	Epochs        []uint64 `json:"epochs,omitempty"`
@@ -998,9 +1166,21 @@ type StatsInfo struct {
 	IndexBytes    int64    `json:"index_bytes"`
 	CachedQueries int      `json:"cached_queries"`
 	UptimeSeconds float64  `json:"uptime_seconds"`
+
+	// Serving health, derived from the observability registry (zero when
+	// the engine runs without one, except QueueDepth which the engine tracks
+	// itself). CacheHitRatio is hits/(hits+misses), 0 before any cold query.
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	SharedFlights     int64   `json:"shared_flights"`
+	AdmissionRejected int64   `json:"admission_rejected"`
+	QueueDepth        int64   `json:"queue_depth"`
+	InFlight          int64   `json:"inflight"`
 }
 
-// Stats reports the published snapshot vector's shape plus cache residency.
+// Stats reports the published snapshot vector's shape plus cache residency
+// and serving-health counters.
 func (e *Engine) Stats() StatsInfo {
 	snaps := e.loadSnaps()
 	info := StatsInfo{
@@ -1009,6 +1189,17 @@ func (e *Engine) Stats() StatsInfo {
 		SliceCount:    snaps[0].idx.M(),
 		CachedQueries: e.cache.len(),
 		UptimeSeconds: e.clock.Now().Sub(e.start).Seconds(),
+		QueueDepth:    e.queueLen.Load(),
+	}
+	if sm := e.obs.Metrics().Server; sm != nil {
+		info.CacheHits = sm.CacheHits
+		info.CacheMisses = sm.CacheMisses
+		info.SharedFlights = sm.SharedFlights
+		info.AdmissionRejected = sm.Rejected
+		info.InFlight = sm.Inflight
+		if cold := sm.CacheHits + sm.CacheMisses; cold > 0 {
+			info.CacheHitRatio = float64(sm.CacheHits) / float64(cold)
+		}
 	}
 	if len(snaps) > 1 {
 		info.Epochs = epochVector(snaps)

@@ -20,6 +20,23 @@ func (e *Engine) Handler() http.Handler {
 	return mux
 }
 
+// startRequest mints the request's span: the client's X-Request-ID when it
+// sent one (sanitized), a fresh ID otherwise. The ID is echoed back
+// immediately so even an error response is traceable.
+func (e *Engine) startRequest(w http.ResponseWriter, r *http.Request, class obs.RequestClass) (context.Context, *Span) {
+	ctx, sp := e.StartSpan(r.Context(), sanitizeRequestID(r.Header.Get("X-Request-ID")), class)
+	w.Header().Set("X-Request-ID", sp.ID)
+	return ctx, sp
+}
+
+// setServerTiming attaches the span's stage decomposition as a
+// Server-Timing header. Must run before the status/body are written.
+func setServerTiming(w http.ResponseWriter, sp *Span) {
+	if st := sp.ServerTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+}
+
 func (e *Engine) handleMine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -30,7 +47,9 @@ func (e *Engine) handleMine(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: decoding /mine body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := e.Query(r.Context(), req)
+	ctx, sp := e.startRequest(w, r, obs.ClassRead)
+	res, err := e.Query(ctx, req)
+	setServerTiming(w, sp)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -48,7 +67,9 @@ func (e *Engine) handleTxns(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: decoding /txns body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := e.Apply(r.Context(), req)
+	ctx, sp := e.startRequest(w, r, obs.ClassWrite)
+	res, err := e.Apply(ctx, req)
+	setServerTiming(w, sp)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"bbsmine/internal/obs"
+)
+
+// Span is one request's trace state: its ID, class, verdict, and the
+// per-stage wall-time decomposition. The HTTP layer mints a span per
+// request (accepting the client's X-Request-ID when it sent one) and hands
+// it down through the context; the engine fills it in as the request moves
+// through the stages, and at completion the span is what feeds the SLO
+// histograms, the tracer's request event, the structured request log and
+// the Server-Timing response header.
+//
+// A span belongs to one request's goroutine — nothing about it is
+// synchronized. Direct Engine.Query/Apply callers (tests, bench mode) may
+// omit it; the engine then mints one internally so the histograms and logs
+// see every request regardless of entry point.
+type Span struct {
+	// ID is the request ID: the client's X-Request-ID, or minted.
+	ID string
+	// Class is the traffic class (read for /mine, write for /txns).
+	Class obs.RequestClass
+
+	// stageNs accumulates wall time per stage; a stage the request never
+	// entered stays zero. Write requests use commitNs instead of the read
+	// stages.
+	stageNs  [5]int64
+	commitNs int64
+
+	// verdict is how the request resolved: reads hit | miss | shared |
+	// rejected | invalid | error, writes applied | rejected | invalid |
+	// error.
+	verdict string
+
+	// totalNs is the whole engine-side latency, set once at completion.
+	totalNs int64
+
+	// Read result shape for the request log.
+	scheme   string
+	tau      int
+	patterns int
+	epoch    uint64
+	epochs   []uint64
+
+	// Write result shape for the request log.
+	inserted, deleted int
+	shards            []int // shards the write's sub-batches landed on
+}
+
+// addStage accumulates ns under a read stage.
+func (s *Span) addStage(st obs.Stage, ns int64) {
+	if s == nil || st < 0 || int(st) >= len(s.stageNs) || ns <= 0 {
+		return
+	}
+	s.stageNs[st] += ns
+}
+
+// StageNs returns the accumulated wall time of one stage.
+func (s *Span) StageNs(st obs.Stage) int64 {
+	if s == nil || st < 0 || int(st) >= len(s.stageNs) {
+		return 0
+	}
+	return s.stageNs[st]
+}
+
+// CommitNs returns a write's enqueue-to-last-commit wall time.
+func (s *Span) CommitNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.commitNs
+}
+
+// TotalNs returns the engine-side request latency; 0 until completion.
+func (s *Span) TotalNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.totalNs
+}
+
+// Verdict returns how the request resolved; "" until completion.
+func (s *Span) Verdict() string {
+	if s == nil {
+		return ""
+	}
+	return s.verdict
+}
+
+// ServerTiming renders the span as a Server-Timing header value: one
+// metric per stage the request entered (dur in milliseconds, fractional)
+// plus the engine-side total. The stage sum is ≤ total ≤ the client's own
+// measurement, which is what lets a load generator cross-check server
+// decomposition against observed latency.
+func (s *Span) ServerTiming() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	add := func(name string, ns int64) {
+		if ns <= 0 {
+			return
+		}
+		if b.Len() > 0 {
+			_, _ = b.WriteString(", ") // strings.Builder never errors
+		}
+		_, _ = fmt.Fprintf(&b, "%s;dur=%.3f", name, float64(ns)/1e6)
+	}
+	for st := obs.Stage(0); int(st) < len(s.stageNs); st++ {
+		add(st.String(), s.stageNs[st])
+	}
+	add("commit", s.commitNs)
+	add("total", s.totalNs)
+	return b.String()
+}
+
+// spanKey is the context key WithSpan stores under.
+type spanKey struct{}
+
+// WithSpan attaches a request span to the context. The engine fills the
+// span during Query/Apply; the caller reads it back afterwards.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the context's span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// maxRequestIDLen bounds accepted client request IDs; longer ones are
+// truncated so a hostile header cannot bloat every log line it touches.
+const maxRequestIDLen = 128
+
+// sanitizeRequestID strips control characters from a client-supplied
+// X-Request-ID and truncates it; returns "" when nothing printable is
+// left.
+func sanitizeRequestID(id string) string {
+	id = strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return -1
+		}
+		return r
+	}, id)
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	return strings.TrimSpace(id)
+}
+
+// NewRequestID mints a process-unique request ID: a per-engine prefix
+// derived from the start timestamp plus a sequence number. Used by the
+// HTTP layer when the client sent no X-Request-ID, and by the engine
+// itself for spanless direct calls.
+func (e *Engine) NewRequestID() string {
+	return fmt.Sprintf("%s-%d", e.idPrefix, e.reqSeq.Add(1))
+}
+
+// StartSpan returns a context carrying a fresh span for one request. The
+// id may come from the client (already sanitized) or be empty, in which
+// case one is minted.
+func (e *Engine) StartSpan(ctx context.Context, id string, class obs.RequestClass) (context.Context, *Span) {
+	if id == "" {
+		id = e.NewRequestID()
+	}
+	sp := &Span{ID: id, Class: class}
+	return WithSpan(ctx, sp), sp
+}

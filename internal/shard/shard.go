@@ -154,11 +154,19 @@ func (x *Index) CountItemSet(items []int32) (int, []*bitvec.Vector) {
 
 // CountIntoBuf is CountItemSet with caller-owned per-shard result vectors
 // and a shared position scratch, for loops that estimate many itemsets.
+// With tracing on, each shard's contribution becomes a shard-tagged
+// shardcount event, so a sampled trace shows how an estimate split across
+// the shards.
 func (x *Index) CountIntoBuf(dsts []*bitvec.Vector, items []int32, posBuf *[]int) int {
 	est := 0
+	trace := x.obs.Tracing()
 	for s, p := range x.parts {
-		est += p.CountIntoBuf(dsts[s], items, posBuf)
+		n := p.CountIntoBuf(dsts[s], items, posBuf)
+		est += n
 		x.obs.AddShardCount(s)
+		if trace {
+			x.obs.Emit(obs.Event{Kind: "shardcount", Subtree: -1, Shard: obs.ShardTag(s), Items: items, Est: n})
+		}
 	}
 	return est
 }

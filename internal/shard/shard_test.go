@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -8,6 +10,7 @@ import (
 	"testing"
 
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/obs"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
@@ -383,5 +386,53 @@ func TestCompactSingleShard(t *testing.T) {
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCountFanOutTracesPerShard checks the scatter-gather count emits one
+// shard-tagged shardcount event per shard with tracing on, and none with
+// it off.
+func TestCountFanOutTracesPerShard(t *testing.T) {
+	const shards = 3
+	x, err := NewIndex(sighash.NewFNV(64, 2), shards, &iostat.Stats{})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	for _, tx := range genTxs(7, 30, 5, 12) {
+		x.Insert(tx.Items)
+	}
+
+	// No tracer: counting emits nothing and costs no event construction.
+	reg := obs.New()
+	x.SetObserver(reg)
+	est, _ := x.CountItemSet([]int32{1, 2})
+
+	var buf bytes.Buffer
+	reg.SetTracer(obs.NewTracer(&buf, 1))
+	est2, _ := x.CountItemSet([]int32{1, 2})
+	if est2 != est {
+		t.Fatalf("tracing changed the estimate: %d vs %d", est2, est)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != shards {
+		t.Fatalf("traced %d events, want %d (one per shard)", len(lines), shards)
+	}
+	sum, seen := 0, make(map[int]bool)
+	for _, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("malformed shardcount line %q: %v", line, err)
+		}
+		if ev.Kind != "shardcount" {
+			t.Fatalf("event kind = %q, want shardcount", ev.Kind)
+		}
+		if ev.Shard == nil || *ev.Shard < 0 || *ev.Shard >= shards || seen[*ev.Shard] {
+			t.Fatalf("bad or repeated shard tag in %q", line)
+		}
+		seen[*ev.Shard] = true
+		sum += ev.Est
+	}
+	if sum != est {
+		t.Errorf("per-shard estimates sum to %d, want %d", sum, est)
 	}
 }
