@@ -33,6 +33,7 @@ import (
 
 	"bbsmine/internal/core"
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/shard"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
@@ -77,6 +78,7 @@ func (o *Options) applyDefaults() {
 type Database struct {
 	sdb   *shard.DB
 	stats *iostat.Stats
+	pager *pager.Pager // non-nil while the index storage is tiered
 }
 
 // Open opens (or creates) a persistent database in dir. If an index file
@@ -182,6 +184,81 @@ func (db *Database) Compressed() bool { return db.sdb.Index().Compressed() }
 // every shard's slices to match. Mining results are identical either way;
 // see Options.Compress.
 func (db *Database) SetCompression(on bool) { db.sdb.SetCompression(on) }
+
+// Tier caps the index's memory at memBudget bytes by splitting the slices
+// into tiers: the hottest slices (ranked by touches, the per-slice
+// AND-participation counts an Observer collects during a profiling run —
+// nil ranks smallest-first) stay resident inside half the budget, and the
+// rest serialize into per-shard cold files whose pages fault through a
+// bounded buffer pool sharing the remaining budget. Every estimate, count
+// and mined pattern stays byte-identical to the resident index; only where
+// the bytes live — and the I/O to reach them — changes.
+//
+// Cold files land in the database directory; an in-memory database needs
+// scratchDir. Untier reverses the split.
+func (db *Database) Tier(memBudget int64, scratchDir string, touches []uint64) error {
+	if db.pager != nil {
+		return fmt.Errorf("bbsmine: database already tiered")
+	}
+	pg := pager.New(memBudget)
+	if err := db.sdb.Tier(pg, scratchDir, memBudget/2, touches); err != nil {
+		// A failed multi-shard pass may have tiered a prefix; roll it back.
+		_ = db.sdb.Untier()
+		return err
+	}
+	db.pager = pg
+	return nil
+}
+
+// Untier thaws every slice back to residency and closes the cold files.
+func (db *Database) Untier() error {
+	if db.pager == nil {
+		return nil
+	}
+	err := db.sdb.Untier()
+	db.pager = nil
+	return err
+}
+
+// Tiered reports whether the index storage is currently tiered.
+func (db *Database) Tiered() bool { return db.pager != nil }
+
+// TierStats is a point-in-time view of the tiered storage: the buffer
+// pool's counters plus the slice-tier census. Zero when untiered.
+type TierStats struct {
+	MemBudget     int64   // the Tier byte budget
+	ResidentBytes int64   // bytes held by pool frames
+	ReservedBytes int64   // hot-tier bytes reserved against the budget
+	Faults        int64   // cold pages read through
+	Hits          int64   // page requests served from a resident frame
+	Evictions     int64   // frames reclaimed by the CLOCK sweep
+	HitRatio      float64 // hits / (hits + faults)
+	SlicesHot     int     // slices resident (pinned hot or untiered)
+	SlicesCold    int     // slices faulting from the cold tier
+	ColdBytes     int64   // summed cold payload bytes
+}
+
+// TierStats returns the tiered storage counters; the zero value when the
+// database is not tiered.
+func (db *Database) TierStats() TierStats {
+	if db.pager == nil {
+		return TierStats{}
+	}
+	s := db.pager.Stats()
+	hot, cold := db.sdb.Index().TierCensus()
+	return TierStats{
+		MemBudget:     db.pager.Budget(),
+		ResidentBytes: s.ResidentBytes,
+		ReservedBytes: s.ReservedBytes,
+		Faults:        s.Faults,
+		Hits:          s.Hits,
+		Evictions:     s.Evictions,
+		HitRatio:      s.HitRatio(),
+		SlicesHot:     hot,
+		SlicesCold:    cold,
+		ColdBytes:     db.sdb.Index().ColdPayloadBytes(),
+	}
+}
 
 // Save persists every shard's index. Transaction data is durable as soon as
 // Append returns; the index is saved explicitly because it is cheap to

@@ -66,6 +66,9 @@ func run(args []string) error {
 		compress      = fs.Bool("compress", false, "with -json, store the index under adaptive per-slice compression (answers are byte-identical; records gain the resident footprint)")
 		checkCompress = fs.Bool("check-compress", false, "with -json -compress, also run the dense legs and fail unless every counter matches and the compression floor holds")
 		minRatio      = fs.Float64("min-compress-ratio", 2.0, "with -check-compress, minimum logical/resident byte ratio each compressed record must reach")
+
+		memBudget   = fs.Int64("mem-budget", 0, "with -json, tier the index to this byte budget before the timed run (a profiling pass ranks the hot tier; answers are byte-identical; records gain the buffer-pool gauges)")
+		checkTiered = fs.Bool("check-tiered", false, "with -json -mem-budget, also run the resident legs and fail unless every counter matches and the pool actually faulted and evicted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +128,16 @@ func run(args []string) error {
 
 	if *jsonOut != "" {
 		p.Compress = *compress
-		return runJSON(p, *jsonOut, *checkFunnel, *checkCompress, *minRatio)
+		if *memBudget > 0 {
+			p.MemBudget = *memBudget
+			dir, err := os.MkdirTemp("", "bbsbench-tier-")
+			if err != nil {
+				return fmt.Errorf("creating -mem-budget scratch dir: %w", err)
+			}
+			defer os.RemoveAll(dir)
+			p.TierDir = dir
+		}
+		return runJSON(p, *jsonOut, *checkFunnel, *checkCompress, *minRatio, *checkTiered)
 	}
 
 	var figures []int
@@ -184,8 +196,13 @@ func run(args []string) error {
 // p.Compress), the dense legs run too: every compressed record must match
 // its dense twin counter for counter — the kernels-never-change-an-answer
 // guarantee — and reach minRatio bytes saved; both sets are written, the
-// compressed records carrying compress=true.
-func runJSON(p exp.Params, path string, checkFunnel, checkCompress bool, minRatio float64) error {
+// compressed records carrying compress=true. checkTiered (requires
+// p.MemBudget) does the same for tiering: resident twins run too, every
+// counter must match — tiering moves bytes, never bits — and the pool must
+// show faults, hits and evictions; both sets are written, the tiered
+// records carrying tiered=true plus the pool gauges, so the wall-clock
+// delta of running under the budget is readable from one file.
+func runJSON(p exp.Params, path string, checkFunnel, checkCompress bool, minRatio float64, checkTiered bool) error {
 	records, err := exp.BenchJSON(p)
 	if err != nil {
 		return err
@@ -206,6 +223,33 @@ func runJSON(p exp.Params, path string, checkFunnel, checkCompress bool, minRati
 		fmt.Printf("compression check passed: counters identical to dense, ratio ≥ %.1fx\n", minRatio)
 		records = append(dense, records...)
 	}
+	if checkTiered {
+		if p.MemBudget <= 0 {
+			return fmt.Errorf("-check-tiered needs -mem-budget")
+		}
+		rp := p
+		rp.MemBudget, rp.TierDir = 0, ""
+		resident, err := exp.BenchJSON(rp)
+		if err != nil {
+			return err
+		}
+		if err := exp.CheckTiered(resident, records, true); err != nil {
+			return err
+		}
+		fmt.Printf("tiered check passed: answers and counters identical to resident under a %d KiB budget, pool faulted and evicted\n", p.MemBudget>>10)
+		residentWall := make(map[string]int64, len(resident))
+		for _, r := range resident {
+			residentWall[r.Scheme] = r.WallNs
+		}
+		for _, r := range records {
+			if base := residentWall[r.Scheme]; base > 0 {
+				fmt.Printf("%-4s tiered wall %+.1f%% vs resident (resident %d KiB of %d KiB budget, faults=%d evictions=%d)\n",
+					r.Scheme, 100*(float64(r.WallNs)-float64(base))/float64(base),
+					r.PagerResidentBytes>>10, r.MemBudget>>10, r.PagerFaults, r.PagerEvictions)
+			}
+		}
+		records = append(resident, records...)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("creating -json output: %w", err)
@@ -223,6 +267,9 @@ func runJSON(p exp.Params, path string, checkFunnel, checkCompress bool, minRati
 		suffix := ""
 		if r.Compress {
 			suffix = fmt.Sprintf(" compressed=%.1fx", r.CompressionRatio)
+		}
+		if r.Tiered {
+			suffix += fmt.Sprintf(" tiered hot/cold=%d/%d hit_ratio=%.3f", r.SlicesHot, r.SlicesCold, r.PagerHitRatio)
 		}
 		fmt.Printf("%-4s wall=%-12v count_calls=%-7d slice_ands=%-8d probes=%-7d patterns=%-5d candidates=%-5d false_drops=%d%s\n",
 			r.Scheme, time.Duration(r.WallNs).Round(time.Microsecond), r.CountCalls, r.SliceAnds, r.Probes, r.Patterns, r.Candidates, r.FalseDrops, suffix)

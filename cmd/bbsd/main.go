@@ -92,7 +92,8 @@ func run(args []string) error {
 		maxInflight = fs.Int("max-inflight", 2, "concurrent cold mines")
 		maxQueue    = fs.Int("max-queue", 8, "cold mines allowed to queue before rejection")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-mine deadline (0 = unbounded)")
-		pageCache   = fs.Int64("page-cache", 64<<20, "data-file page cache bound in bytes")
+		pageCache   = fs.Int64("page-cache", 64<<20, "data-file page cache bound in bytes (superseded by -mem-budget)")
+		memBudget   = fs.Int64("mem-budget", 0, "tier the served index to this byte budget: hot slices stay pinned, cold slices fault from per-shard cold files, and slice frames plus data-file pages share one pool (0 = fully resident)")
 
 		reqlogPath = fs.String("reqlog", "", "write one JSON line per served request (id, class, verdict, stage timings) to this file")
 		tracePath  = fs.String("trace", "", "write sampled trace events (mining + request/apply/commit) to this file")
@@ -125,6 +126,8 @@ func run(args []string) error {
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
 		PageCacheLimit: *pageCache,
+		MemBudget:      *memBudget,
+		ColdDir:        *dir, // cold files are derived data; they live beside the index
 	}
 	if *reqlogPath != "" {
 		f, err := os.Create(*reqlogPath)

@@ -49,6 +49,8 @@ func run(args []string) error {
 		shards       = fs.Int("shards", 0, "shard the database N ways (0 = whatever the directory already is; migrates a flat directory in place)")
 		compress     = fs.Bool("compress", false, "adaptive per-slice compression (dense/sparse/RLE); mining results are byte-identical, the index just gets smaller")
 
+		memBudget = fs.Int64("mem-budget", 0, "tier the index to this byte budget: hot slices stay pinned, the rest fault from per-shard cold files through a shared buffer pool (0 = fully resident)")
+
 		minsup  = fs.Float64("minsup", 0, "mine with this minimum support fraction (e.g. 0.003)")
 		scheme  = fs.String("scheme", "DFP", "mining scheme: SFS, SFP, DFS or DFP")
 		maxLen  = fs.Int("maxlen", 0, "maximum pattern length (0 = unbounded)")
@@ -155,6 +157,26 @@ func run(args []string) error {
 			len(txs), db.Len(), db.IndexBytes()>>10)
 	}
 
+	if *memBudget > 0 {
+		// Tier after any imports so the split covers the final index. The
+		// hot tier is obs-driven when telemetry is on (the observer's
+		// per-slice touch tallies rank the slices); otherwise the smallest
+		// slices stay hot.
+		var touches []uint64
+		if observer != nil {
+			touches = observer.SliceTouches()
+		}
+		if err := db.Tier(*memBudget, "", touches); err != nil {
+			return err
+		}
+		if observer != nil {
+			db.BindPager(observer)
+		}
+		ts := db.TierStats()
+		fmt.Fprintf(os.Stderr, "tiered: budget %d KiB, %d slices hot (%d KiB reserved), %d cold (%d KiB on disk)\n",
+			*memBudget>>10, ts.SlicesHot, ts.ReservedBytes>>10, ts.SlicesCold, ts.ColdBytes>>10)
+	}
+
 	if *count != "" {
 		items, err := parseItems(*count)
 		if err != nil {
@@ -194,6 +216,11 @@ func run(args []string) error {
 		fmt.Printf("%s over %d transactions at τ=%.3g%%: %d patterns, %d candidates, %d false drops (FDR %.3f), %d certified without refinement\n",
 			sch, db.Len(), *minsup*100, len(res.Patterns), res.Candidates, res.FalseDrops, res.FalseDropRatio(), res.Certain)
 		fmt.Printf("stats: %s\n", db.Stats())
+		if db.Tiered() {
+			ts := db.TierStats()
+			fmt.Printf("pager: resident=%d KiB reserved=%d KiB faults=%d hits=%d evictions=%d hit_ratio=%.3f\n",
+				ts.ResidentBytes>>10, ts.ReservedBytes>>10, ts.Faults, ts.Hits, ts.Evictions, ts.HitRatio)
+		}
 		if observer != nil {
 			om := observer.Metrics()
 			fmt.Printf("funnel: certified_actual=%d certified_est=%d uncertain=%d nonfrequent=%d probed=%d\n",

@@ -1,0 +1,335 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Cold slice payloads.
+//
+// A tiered index keeps a slice's header — encoding, length, popcount —
+// resident while parking its payload in page-granular cold storage (the
+// Bloofi observation: cheap per-slice metadata stays hot so cold bytes are
+// only paid for when a slice actually joins an AND chain). The cold byte
+// formats mirror the resident encodings one-to-one:
+//
+//	EncDense  — ceil(n/64) uint64 words, little-endian
+//	EncSparse — ones × uint32 set-bit positions, strictly ascending
+//	EncRLE    — pairs × (start uint32, length uint32)
+//
+// All values are 4- or 8-byte aligned and the page size divides by 8, so
+// no value ever straddles a page: the AND kernels stream the payload one
+// page at a time — pin, scan, release — touching each page exactly once
+// and never materializing the slice. The kernels produce bit-identical
+// results to their resident counterparts; tiering moves bytes, never bits.
+
+// PageSource serves a cold payload's pages. Page k covers payload bytes
+// [k*PageSize, (k+1)*PageSize); the returned slice is read-only and valid
+// until Release(k). Implementations surface I/O failure by panicking with
+// a wrapped error: the cold file is derived data whose loss mid-kernel has
+// no local recovery, and threading errors through the AND chain would tax
+// the resident fast path (see sigfile's adapter for the policy).
+type PageSource interface {
+	// Page pins payload page k and returns its bytes.
+	Page(k int) []byte
+	// Release unpins page k.
+	Release(k int)
+	// PageSize returns the page granularity in bytes; it must be a
+	// positive multiple of 8.
+	PageSize() int
+}
+
+// coldPayload locates a slice's payload in cold storage.
+type coldPayload struct {
+	src   PageSource
+	bytes int // payload length in bytes (before page padding)
+}
+
+// NewColdSlice builds a slice header whose payload of payloadBytes bytes
+// lives behind src in the cold format for enc. The header carries the
+// logical length and popcount, so ordering, budgeting, and persistence
+// metadata never fault a page.
+func NewColdSlice(enc Encoding, n, ones int, src PageSource, payloadBytes int) *Slice {
+	return &Slice{enc: enc, n: n, ones: ones, cold: &coldPayload{src: src, bytes: payloadBytes}}
+}
+
+// IsCold reports whether the payload lives in cold storage.
+func (s *Slice) IsCold() bool { return s.cold != nil }
+
+// ColdPayloadBytes returns the cold payload length in bytes, 0 for a
+// resident slice.
+func (s *Slice) ColdPayloadBytes() int64 {
+	if s.cold == nil {
+		return 0
+	}
+	return int64(s.cold.bytes)
+}
+
+// EncodeCold serializes a resident slice's payload into the cold byte
+// format for its encoding. The tiering pass writes this to the cold file;
+// Thaw is its inverse.
+func (s *Slice) EncodeCold() []byte {
+	if s.cold != nil {
+		panic("bitvec: EncodeCold on an already-cold slice")
+	}
+	switch s.enc {
+	case EncDense:
+		words := s.Materialize().words // normalizes a lazily-grown vector to wordsFor(n)
+		out := make([]byte, 8*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint64(out[8*i:], w)
+		}
+		return out
+	case EncSparse:
+		pos := s.Positions()
+		out := make([]byte, 4*len(pos))
+		for i, p := range pos {
+			binary.LittleEndian.PutUint32(out[4*i:], p)
+		}
+		return out
+	default:
+		out := make([]byte, 4*len(s.runs))
+		for i, r := range s.runs {
+			binary.LittleEndian.PutUint32(out[4*i:], r)
+		}
+		return out
+	}
+}
+
+// readAll streams the whole cold payload into one contiguous buffer —
+// the decode path for Thaw and the rare whole-slice readers (Materialize,
+// Fold's OrInto, shard merges). Query kernels never call it.
+func (c *coldPayload) readAll() []byte {
+	out := make([]byte, 0, c.bytes)
+	ps := c.src.PageSize()
+	for k := 0; len(out) < c.bytes; k++ {
+		pg := c.src.Page(k)
+		take := c.bytes - len(out)
+		if take > ps {
+			take = ps
+		}
+		out = append(out, pg[:take]...)
+		c.src.Release(k)
+	}
+	return out
+}
+
+// Thaw decodes a cold slice back into a fully resident one with the same
+// encoding, length, and popcount; a resident receiver is returned as-is.
+// The receiver is never modified (snapshots may share it) — the caller
+// installs the result. Mutation paths thaw first: cold slices are
+// immutable by construction.
+func (s *Slice) Thaw() *Slice {
+	if s.cold == nil {
+		return s
+	}
+	raw := s.cold.readAll()
+	switch s.enc {
+	case EncDense:
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		var v Vector
+		if err := v.SetWords(words, s.n); err != nil {
+			panic(fmt.Errorf("bitvec: thaw dense cold slice: %w", err))
+		}
+		return DenseSliceWithOnes(&v, s.ones)
+	case EncSparse:
+		pos := make([]uint32, len(raw)/4)
+		for i := range pos {
+			pos[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		t, err := SliceFromPositions(pos, s.n)
+		if err != nil {
+			panic(fmt.Errorf("bitvec: thaw sparse cold slice: %w", err))
+		}
+		return t
+	default:
+		runs := make([]uint32, len(raw)/4)
+		for i := range runs {
+			runs[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		t, err := SliceFromRuns(runs, s.n)
+		if err != nil {
+			panic(fmt.Errorf("bitvec: thaw rle cold slice: %w", err))
+		}
+		return t
+	}
+}
+
+// andCountIntoSlow is AndCountInto's non-inlined tail: cold payloads
+// stream through the page-windowed kernels below; resident compressed
+// payloads dispatch to the direct kernels. Split out so the resident dense
+// fast path in AndCountInto stays a single predicted branch.
+//
+//lint:hotpath
+func (s *Slice) andCountIntoSlow(dst *Vector) int {
+	if s.cold == nil {
+		return s.andCountIntoCompressed(dst)
+	}
+	if s.n > dst.n {
+		panic(fmt.Sprintf("bitvec: zero-extended operand longer than destination: %d vs %d", s.n, dst.n))
+	}
+	// The cold kernels write dst.words directly, so the accumulator must
+	// leave sparse mode first. A bits-identical change (the summary is an
+	// overlay); the chain's MaybeSummarize re-promotes at the same points
+	// it would on the resident path because the estimates are identical.
+	dst.dropSummary()
+	switch s.enc {
+	case EncDense:
+		return s.andCountColdDense(dst)
+	case EncSparse:
+		return s.andCountColdPositions(dst)
+	default:
+		return s.andCountColdRuns(dst)
+	}
+}
+
+// andCountColdDense ANDs a cold dense payload into dst page by page: each
+// page is a window of up to PageSize/8 words AND-ed and popcounted in one
+// pass; dst words beyond the payload are zeroed (the ZX contract).
+//
+//lint:hotpath
+func (s *Slice) andCountColdDense(dst *Vector) int {
+	c := s.cold
+	wordsPerPage := c.src.PageSize() >> 3
+	nwords := c.bytes >> 3
+	vw := dst.words
+	cnt := 0
+	wi := 0
+	for k := 0; wi < nwords; k++ {
+		pg := c.src.Page(k)
+		top := nwords - wi
+		if top > wordsPerPage {
+			top = wordsPerPage
+		}
+		for j := 0; j < top; j++ {
+			w := vw[wi] & binary.LittleEndian.Uint64(pg[8*j:])
+			vw[wi] = w
+			cnt += bits.OnesCount64(w)
+			wi++
+		}
+		c.src.Release(k)
+	}
+	for ; wi < len(vw); wi++ {
+		vw[wi] = 0
+	}
+	return cnt
+}
+
+// andCountColdPositions ANDs a cold sparse payload into dst by streaming
+// its ascending uint32 positions: a (word, mask) cursor accumulates the
+// positions of each word, flushes it with one AND+popcount, and zeroes the
+// dst words the stream skips. One sequential pass over both arrays.
+//
+//lint:hotpath
+func (s *Slice) andCountColdPositions(dst *Vector) int {
+	c := s.cold
+	perPage := c.src.PageSize() >> 2
+	total := c.bytes >> 2
+	vw := dst.words
+	cnt := 0
+	cur := -1
+	var mask uint64
+	read := 0
+	for k := 0; read < total; k++ {
+		pg := c.src.Page(k)
+		top := total - read
+		if top > perPage {
+			top = perPage
+		}
+		for j := 0; j < top; j++ {
+			p := int(binary.LittleEndian.Uint32(pg[4*j:]))
+			w := p >> wordShift
+			if w != cur {
+				if cur >= 0 {
+					nw := vw[cur] & mask
+					vw[cur] = nw
+					cnt += bits.OnesCount64(nw)
+				}
+				for i := cur + 1; i < w; i++ {
+					vw[i] = 0
+				}
+				cur = w
+				mask = 0
+			}
+			mask |= 1 << uint(p&wordMask)
+		}
+		c.src.Release(k)
+		read += top
+	}
+	if cur >= 0 {
+		nw := vw[cur] & mask
+		vw[cur] = nw
+		cnt += bits.OnesCount64(nw)
+	}
+	for i := cur + 1; i < len(vw); i++ {
+		vw[i] = 0
+	}
+	return cnt
+}
+
+// andCountColdRuns ANDs a cold RLE payload into dst by walking its
+// (start, length) pairs with the same (word, mask) cursor: border words
+// get masks assembled from the runs touching them, interior words of a
+// long run AND against all-ones (a popcount, no change), and words outside
+// every run are zeroed.
+//
+//lint:hotpath
+func (s *Slice) andCountColdRuns(dst *Vector) int {
+	c := s.cold
+	pairsPerPage := c.src.PageSize() >> 3
+	totalPairs := c.bytes >> 3
+	vw := dst.words
+	cnt := 0
+	cur := -1
+	var mask uint64
+	done := 0
+	for k := 0; done < totalPairs; k++ {
+		pg := c.src.Page(k)
+		top := totalPairs - done
+		if top > pairsPerPage {
+			top = pairsPerPage
+		}
+		for j := 0; j < top; j++ {
+			a := int(binary.LittleEndian.Uint32(pg[8*j:]))
+			b := a + int(binary.LittleEndian.Uint32(pg[8*j+4:]))
+			for w := a >> wordShift; w <= (b-1)>>wordShift; w++ {
+				if w != cur {
+					if cur >= 0 {
+						nw := vw[cur] & mask
+						vw[cur] = nw
+						cnt += bits.OnesCount64(nw)
+					}
+					for i := cur + 1; i < w; i++ {
+						vw[i] = 0
+					}
+					cur = w
+					mask = 0
+				}
+				lo, hi := w<<wordShift, (w+1)<<wordShift
+				if a > lo {
+					lo = a
+				}
+				if b < hi {
+					hi = b
+				}
+				base := w << wordShift
+				mask |= onesRange(lo-base, hi-base)
+			}
+		}
+		c.src.Release(k)
+		done += top
+	}
+	if cur >= 0 {
+		nw := vw[cur] & mask
+		vw[cur] = nw
+		cnt += bits.OnesCount64(nw)
+	}
+	for i := cur + 1; i < len(vw); i++ {
+		vw[i] = 0
+	}
+	return cnt
+}

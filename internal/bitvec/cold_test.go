@@ -1,0 +1,183 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// memPages is an in-memory PageSource over an encoded payload, with a tiny
+// page size so multi-page streaming is exercised by small slices. It
+// tracks pin balance so tests can assert the kernels release every page.
+type memPages struct {
+	data     []byte
+	pageSize int
+	pinned   map[int]int
+}
+
+func newMemPages(data []byte, pageSize int) *memPages {
+	return &memPages{data: data, pageSize: pageSize, pinned: make(map[int]int)}
+}
+
+func (m *memPages) Page(k int) []byte {
+	m.pinned[k]++
+	out := make([]byte, m.pageSize)
+	start := k * m.pageSize
+	if start < len(m.data) {
+		copy(out, m.data[start:])
+	}
+	return out
+}
+
+func (m *memPages) Release(k int) { m.pinned[k]-- }
+func (m *memPages) PageSize() int { return m.pageSize }
+
+func (m *memPages) balanced() bool {
+	for _, v := range m.pinned {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// freezeForTest round-trips a resident slice through the cold format.
+func freezeForTest(t *testing.T, s *Slice, pageSize int) (*Slice, *memPages) {
+	t.Helper()
+	payload := s.EncodeCold()
+	src := newMemPages(payload, pageSize)
+	return NewColdSlice(s.Encoding(), s.Len(), s.Ones(), src, len(payload)), src
+}
+
+// randomSlice builds a random slice of n bits with approximate density d,
+// recompressed so all three encodings appear across seeds.
+func randomSlice(rng *rand.Rand, n int, d float64, compress bool) *Slice {
+	v := New(n)
+	if rng.Intn(3) == 0 {
+		// Runs: clustered bits so RLE wins sometimes.
+		for i := 0; i < n; {
+			if rng.Float64() < d {
+				run := 1 + rng.Intn(40)
+				for j := 0; j < run && i < n; j, i = j+1, i+1 {
+					v.Set(i)
+				}
+			} else {
+				i += 1 + rng.Intn(30)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if rng.Float64() < d {
+				v.Set(i)
+			}
+		}
+	}
+	return DenseSliceOf(v).Recompress(n, compress)
+}
+
+func TestColdKernelsMatchResident(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 64 + rng.Intn(4000)
+		dstN := n + rng.Intn(200) // cold slice may be shorter than dst (ZX)
+		s := randomSlice(rng, n, []float64{0.001, 0.02, 0.4}[trial%3], trial%2 == 0)
+		cold, src := freezeForTest(t, s, 64) // 8-word pages force streaming
+		if !cold.IsCold() || cold.Ones() != s.Ones() || cold.Encoding() != s.Encoding() {
+			t.Fatalf("trial %d: cold header mismatch", trial)
+		}
+
+		mk := func() *Vector {
+			d := New(dstN)
+			for i := 0; i < dstN; i++ {
+				if rng.Float64() < 0.5 {
+					d.Set(i)
+				}
+			}
+			return d
+		}
+		want := mk()
+		got := want.Clone()
+		if trial%4 == 0 {
+			// Summarized accumulator: the cold path must drop and still match.
+			want.MaybeSummarize(1)
+			got.MaybeSummarize(1)
+		}
+		wantCnt := s.AndCountInto(want)
+		gotCnt := cold.AndCountInto(got)
+		if wantCnt != gotCnt {
+			t.Fatalf("trial %d (%v): cold count %d != resident %d", trial, s.Encoding(), gotCnt, wantCnt)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (%v): cold AND bits diverge", trial, s.Encoding())
+		}
+		if !src.balanced() {
+			t.Fatalf("trial %d: kernel leaked page pins", trial)
+		}
+	}
+}
+
+func TestColdThawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 64 + rng.Intn(3000)
+		s := randomSlice(rng, n, []float64{0.005, 0.1, 0.6}[trial%3], true)
+		cold, _ := freezeForTest(t, s, 64)
+		th := cold.Thaw()
+		if th.IsCold() {
+			t.Fatalf("thawed slice still cold")
+		}
+		if th.Encoding() != s.Encoding() || th.Len() != s.Len() || th.Ones() != s.Ones() {
+			t.Fatalf("thaw header mismatch: %v/%d/%d vs %v/%d/%d",
+				th.Encoding(), th.Len(), th.Ones(), s.Encoding(), s.Len(), s.Ones())
+		}
+		if !th.Materialize().Equal(s.Materialize()) {
+			t.Fatalf("trial %d (%v): thaw bits diverge", trial, s.Encoding())
+		}
+		// Cold accessors route through decode and agree with the resident form.
+		if !cold.Materialize().Equal(s.Materialize()) {
+			t.Fatalf("cold Materialize diverges")
+		}
+		for i := 0; i < 20; i++ {
+			p := rng.Intn(n + 10)
+			if cold.Get(p) != s.Get(p) {
+				t.Fatalf("cold Get(%d) diverges", p)
+			}
+		}
+	}
+}
+
+func TestColdOrBlitAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 1500
+	s := randomSlice(rng, n, 0.05, true)
+	cold, _ := freezeForTest(t, s, 128)
+
+	want, got := New(n+64), New(n+64)
+	s.OrInto(want)
+	cold.OrInto(got)
+	if !got.Equal(want) {
+		t.Fatalf("cold OrInto diverges")
+	}
+
+	at := 37
+	wantW := make([]uint64, (at+n+64+63)/64)
+	gotW := make([]uint64, len(wantW))
+	s.BlitInto(wantW, at)
+	cold.BlitInto(gotW, at)
+	for i := range wantW {
+		if wantW[i] != gotW[i] {
+			t.Fatalf("cold BlitInto diverges at word %d", i)
+		}
+	}
+
+	c := cold.Clone()
+	if !c.IsCold() || c.Ones() != cold.Ones() {
+		t.Fatalf("cold Clone lost the cold header")
+	}
+	if cold.Bytes() != 0 || cold.ColdPayloadBytes() == 0 {
+		t.Fatalf("cold accounting: Bytes=%d ColdPayloadBytes=%d", cold.Bytes(), cold.ColdPayloadBytes())
+	}
+	// Recompress on a cold slice thaws: the result must be resident.
+	if r := cold.Recompress(n, false); r.IsCold() || r.Encoding() != EncDense {
+		t.Fatalf("Recompress left the slice cold")
+	}
+}

@@ -101,6 +101,13 @@ type Slice struct {
 	chunkOff []int32
 	last     int      // EncSparse: last set position, -1 while empty
 	runs     []uint32 // EncRLE: (start, length) pairs, ascending, non-adjacent
+
+	// cold, when non-nil, means the payload lives in page-granular cold
+	// storage instead of the fields above (which are nil): enc names the
+	// payload's format, and the AND kernels stream it page by page from
+	// cold.src (see cold.go). Cold slices are immutable; mutation paths
+	// Thaw first.
+	cold *coldPayload
 }
 
 const (
@@ -227,6 +234,9 @@ func (s *Slice) Ones() int { return s.ones }
 // Bytes returns the payload size of the current encoding in bytes — the
 // resident footprint, as opposed to the 8*wordsFor(n) a dense layout needs.
 func (s *Slice) Bytes() int64 {
+	if s.cold != nil {
+		return 0 // payload is paged, not resident; see ColdPayloadBytes
+	}
 	switch s.enc {
 	case EncDense:
 		return 8 * int64(len(s.dense.words))
@@ -245,6 +255,10 @@ func (s *Slice) Get(i int) bool {
 	}
 	if i >= s.n {
 		return false
+	}
+	if s.cold != nil {
+		// Correctness path only: O(payload). Query kernels never call Get.
+		return s.Thaw().Get(i)
 	}
 	switch s.enc {
 	case EncDense:
@@ -273,6 +287,13 @@ func (s *Slice) Get(i int) bool {
 // Clone returns a deep copy preserving the encoding. The copy-on-write
 // machinery in sigfile clones a shared slice before its first mutation.
 func (s *Slice) Clone() *Slice {
+	if s.cold != nil {
+		// The cold payload is immutable and shared; a header copy is a
+		// full clone. Mutators thaw (producing private resident storage)
+		// before their first write.
+		c := *s
+		return &c
+	}
 	c := &Slice{enc: s.enc, n: s.n, ones: s.ones}
 	switch s.enc {
 	case EncDense:
@@ -295,6 +316,9 @@ func (s *Slice) Clone() *Slice {
 func (s *Slice) AppendSet(i int) bool {
 	if i < 0 {
 		panic(fmt.Sprintf("bitvec: negative index %d", i))
+	}
+	if s.cold != nil {
+		panic("bitvec: append to a cold slice; Thaw it first")
 	}
 	switch s.enc {
 	case EncDense:
@@ -377,7 +401,7 @@ func (s *Slice) maybePromote() {
 // and a promoted slice must double its length to demote again, so appends
 // cannot thrash. Returns the re-encoded slice or the receiver unchanged.
 func (s *Slice) MaybeCompress() *Slice {
-	if s.enc != EncDense {
+	if s.enc != EncDense || s.cold != nil {
 		return s
 	}
 	words := wordsFor(s.n)
@@ -394,6 +418,9 @@ func (s *Slice) MaybeCompress() *Slice {
 // Materialize decodes the slice into a fresh dense Vector of length Len.
 // Allocates; query paths must stay on the direct kernels instead.
 func (s *Slice) Materialize() *Vector {
+	if s.cold != nil {
+		return s.Thaw().Materialize()
+	}
 	v := New(s.n)
 	switch s.enc {
 	case EncDense:
@@ -414,8 +441,8 @@ func (s *Slice) Materialize() *Vector {
 // for compressed encodings. Serialization and tests use it; mutating the
 // result corrupts the slice's popcount.
 func (s *Slice) DenseVector() *Vector {
-	if s.enc != EncDense {
-		return nil
+	if s.enc != EncDense || s.cold != nil {
+		return nil // cold dense payloads have no resident vector to alias
 	}
 	return s.dense
 }
@@ -427,6 +454,9 @@ func (s *Slice) Positions() []uint32 {
 	if s.enc != EncSparse {
 		return nil
 	}
+	if s.cold != nil {
+		return s.Thaw().Positions()
+	}
 	pos := make([]uint32, 0, s.ones)
 	s.forEachPos(func(p int) { pos = append(pos, uint32(p)) })
 	return pos
@@ -436,6 +466,9 @@ func (s *Slice) Positions() []uint32 {
 func (s *Slice) Runs() []uint32 {
 	if s.enc != EncRLE {
 		return nil
+	}
+	if s.cold != nil {
+		return s.Thaw().Runs()
 	}
 	return s.runs
 }
@@ -453,6 +486,11 @@ func (s *Slice) Runs() []uint32 {
 func (s *Slice) Recompress(n int, compress bool) *Slice {
 	if n < s.n {
 		panic(fmt.Sprintf("bitvec: recompress length %d below slice length %d", n, s.n))
+	}
+	if s.cold != nil {
+		// Re-encoding needs the payload resident; the result is resident
+		// too — a policy flip un-tiers the slice until the next Tier pass.
+		s = s.Thaw()
 	}
 	target := s.chooseEncoding(n, compress)
 	if target == s.enc {
@@ -589,13 +627,16 @@ func (s *Slice) forEachRange(fn func(start, end int)) {
 //
 //lint:hotpath
 func (s *Slice) AndCountInto(dst *Vector) int {
-	// Kept to a single branch so it inlines into AndSlice: the dense case —
-	// every slice of an uncompressed index — must cost exactly what the
-	// classic layout paid, one predicted branch over a direct AndCountZX.
-	if s.enc == EncDense {
+	// Kept to a short predicted check so it inlines into AndSlice: the
+	// resident dense case — every slice of an uncompressed index — must
+	// cost what the classic layout paid, one predicted branch (the cold
+	// test folds into it: a resident dense slice always has cold == nil)
+	// over a direct AndCountZX. Everything else — resident compressed and
+	// all cold payloads — takes the out-of-line slow path.
+	if s.enc == EncDense && s.cold == nil {
 		return dst.AndCountZX(s.dense)
 	}
-	return s.andCountIntoCompressed(dst)
+	return s.andCountIntoSlow(dst)
 }
 
 // andCountIntoCompressed dispatches the compressed-encoding kernels on dst's
@@ -629,6 +670,10 @@ func (s *Slice) OrInto(dst *Vector) {
 	if s.n > dst.n {
 		panic(fmt.Sprintf("bitvec: zero-extended operand longer than destination: %d vs %d", s.n, dst.n))
 	}
+	if s.cold != nil {
+		s.Thaw().OrInto(dst) // fold path, off the query kernels
+		return
+	}
 	switch s.enc {
 	case EncDense:
 		dst.OrZX(s.dense)
@@ -649,6 +694,10 @@ func (s *Slice) OrInto(dst *Vector) {
 // shard-merge primitive, concatenating per-shard columns into one. dst must
 // have room for at+Len bits.
 func (s *Slice) BlitInto(dst []uint64, at int) {
+	if s.cold != nil {
+		s.Thaw().BlitInto(dst, at) // merge path, off the query kernels
+		return
+	}
 	switch s.enc {
 	case EncDense:
 		blitWords(dst, at, s.dense.words)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/shard"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
@@ -54,6 +55,20 @@ type BenchRecord struct {
 	AndsEncSparse     int64   `json:"ands_enc_sparse,omitempty"`
 	AndsEncRLE        int64   `json:"ands_enc_rle,omitempty"`
 
+	// Tiered-leg pool gauges (-mem-budget runs only): the byte budget, the
+	// frame + hot-reservation bytes resident after the timed run, the
+	// fault/hit/eviction traffic the run generated, and the hot/cold slice
+	// census. Resident legs report all-zero.
+	Tiered             bool    `json:"tiered,omitempty"`
+	MemBudget          int64   `json:"mem_budget,omitempty"`
+	PagerResidentBytes int64   `json:"pager_resident_bytes,omitempty"`
+	PagerFaults        int64   `json:"pager_faults,omitempty"`
+	PagerHits          int64   `json:"pager_hits,omitempty"`
+	PagerEvictions     int64   `json:"pager_evictions,omitempty"`
+	PagerHitRatio      float64 `json:"pager_hit_ratio,omitempty"`
+	SlicesHot          int     `json:"slices_hot,omitempty"`
+	SlicesCold         int     `json:"slices_cold,omitempty"`
+
 	// Cumulative per-phase wall time, ns, keyed by phase name.
 	PhaseNs map[string]int64 `json:"phase_ns,omitempty"`
 }
@@ -79,7 +94,8 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 		if shards > 1 {
 			met, err = runShardedObserved(name, txs, tau, p)
 		} else {
-			met, err = RunSchemeObserved(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat, p.Compress)
+			met, err = RunSchemeObserved(name, txs, tau, p.M, p.K, 0, p.Workers, p.Repeat, p.Compress,
+				TierSpec{MemBudget: p.MemBudget, Dir: p.TierDir})
 		}
 		if err != nil {
 			return nil, err
@@ -99,6 +115,17 @@ func BenchJSON(p Params) ([]BenchRecord, error) {
 		}
 		if met.SliceResidentBytes > 0 {
 			rec.CompressionRatio = float64(met.SliceLogicalBytes) / float64(met.SliceResidentBytes)
+		}
+		if met.Tiered {
+			rec.Tiered = true
+			rec.MemBudget = met.TierBudget
+			rec.PagerResidentBytes = met.PagerResidentBytes
+			rec.PagerFaults = met.PagerFaults
+			rec.PagerHits = met.PagerHits
+			rec.PagerEvictions = met.PagerEvictions
+			rec.PagerHitRatio = met.PagerHitRatio
+			rec.SlicesHot = met.SlicesHot
+			rec.SlicesCold = met.SlicesCold
 		}
 		if o := met.Obs; o != nil {
 			rec.Candidates = o.Funnel.Candidates
@@ -159,7 +186,17 @@ func runShardedObserved(name string, txs []txdb.Transaction, tau int, p Params) 
 		if err != nil {
 			return Metrics{}, err
 		}
-		met, err := timeBBSMine(name, scheme, idx, store, &stats, tau, 0, p.Workers, true)
+		// Tiering applies to the merged view — the layout under measurement
+		// — so the sharded tiered leg exercises the same cold kernels over
+		// the merge-permuted slice table.
+		var pg *pager.Pager
+		if p.MemBudget > 0 {
+			spec := TierSpec{MemBudget: p.MemBudget, Dir: p.TierDir}
+			if pg, err = spec.tier(fmt.Sprintf("%s-s%d", name, p.Shards), scheme, idx, store, &stats, tau, p.Workers); err != nil {
+				return Metrics{}, err
+			}
+		}
+		met, err := timeBBSMine(name, scheme, idx, store, &stats, tau, 0, p.Workers, true, pg)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -220,6 +257,74 @@ func CheckCompression(dense, compressed []BenchRecord, minRatio float64) error {
 	}
 	if checked == 0 {
 		return fmt.Errorf("compression check had no scheme in common between the dense and compressed records")
+	}
+	return nil
+}
+
+// CheckTiered gates the tiered bench leg against its resident twin: for
+// every scheme present in both sets, the mining answer and all the work
+// counters that storage must not change — patterns, count calls, slice
+// ANDs, probes, early exits and the whole funnel — have to match exactly
+// (tiering moves bytes, never bits), and each tiered record must show the
+// machinery actually ran: cold slices in the census, fault traffic, and a
+// non-zero hit ratio. With requireEvictions set, the pool must also have
+// reclaimed frames — the budget was genuinely below the working set, not
+// just below the slice total. A counter drifting means a cold kernel
+// produced different bits; an idle pool means the leg measured the
+// resident path with extra steps.
+func CheckTiered(resident, tiered []BenchRecord, requireEvictions bool) error {
+	residentBy := make(map[string]BenchRecord, len(resident))
+	for _, r := range resident {
+		residentBy[r.Scheme] = r
+	}
+	checked := 0
+	for _, c := range tiered {
+		d, ok := residentBy[c.Scheme]
+		if !ok {
+			continue
+		}
+		checked++
+		type pair struct {
+			name string
+			d, c int64
+		}
+		for _, p := range []pair{
+			{"tau", int64(d.Tau), int64(c.Tau)},
+			{"patterns", int64(d.Patterns), int64(c.Patterns)},
+			{"count_calls", d.CountCalls, c.CountCalls},
+			{"slice_ands", d.SliceAnds, c.SliceAnds},
+			{"probes", d.Probes, c.Probes},
+			{"early_exits", d.EarlyExits, c.EarlyExits},
+			{"candidates", d.Candidates, c.Candidates},
+			{"certified_actual", d.CertifiedActual, c.CertifiedActual},
+			{"certified_est", d.CertifiedEst, c.CertifiedEst},
+			{"uncertain", d.Uncertain, c.Uncertain},
+			{"false_drops", d.FalseDrops, c.FalseDrops},
+			{"probed_patterns", d.ProbedPatterns, c.ProbedPatterns},
+		} {
+			if p.d != p.c {
+				return fmt.Errorf("tiered %s diverged from resident: %s %d != %d",
+					c.Scheme, p.name, p.c, p.d)
+			}
+		}
+		if !c.Tiered {
+			return fmt.Errorf("tiered leg %s carries no tier record (tiered=false)", c.Scheme)
+		}
+		if c.SlicesCold == 0 {
+			return fmt.Errorf("tiered %s spilled no slices under a %d-byte budget; the cold tier is idle", c.Scheme, c.MemBudget)
+		}
+		if c.PagerFaults == 0 {
+			return fmt.Errorf("tiered %s faulted no pages; the cold path never ran", c.Scheme)
+		}
+		if c.PagerHitRatio <= 0 {
+			return fmt.Errorf("tiered %s pool hit ratio is 0 over %d faults; frames never re-served a page", c.Scheme, c.PagerFaults)
+		}
+		if requireEvictions && c.PagerEvictions == 0 {
+			return fmt.Errorf("tiered %s evicted no frames; the budget never put the pool under pressure", c.Scheme)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("tiered check had no scheme in common between the resident and tiered records")
 	}
 	return nil
 }

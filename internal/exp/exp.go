@@ -19,6 +19,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"bbsmine/internal/iostat"
 	"bbsmine/internal/mining"
 	"bbsmine/internal/obs"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/quest"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
@@ -56,6 +58,16 @@ type Params struct {
 	// byte-identical; the records gain the resident footprint and the
 	// per-encoding kernel split so the trade is visible.
 	Compress bool
+
+	// MemBudget > 0 tiers the index for the -json runs: a profiling pass
+	// ranks slices by AND participation, the hottest stay pinned inside
+	// half the budget, and the rest fault from a sealed cold file through
+	// a buffer pool holding the other half (transaction pages share the
+	// same pool). Answers are byte-identical to the resident runs; the
+	// records gain the pool gauges. TierDir is the scratch directory for
+	// the cold files and is required when MemBudget is set.
+	MemBudget int64
+	TierDir   string
 }
 
 // Defaults returns the paper's default parameters at the given scale.
@@ -131,6 +143,20 @@ type Metrics struct {
 	SliceLogicalBytes  int64
 	SliceResidentBytes int64
 	Compressed         bool
+
+	// Buffer-pool gauges of a tiered run (Params.MemBudget > 0 only):
+	// the budget, resident + hot-reserved frame bytes after the timed
+	// run, the fault/hit/eviction traffic it generated, and the slice
+	// census. Zero for resident runs.
+	Tiered             bool
+	TierBudget         int64
+	PagerResidentBytes int64
+	PagerFaults        int64
+	PagerHits          int64
+	PagerEvictions     int64
+	PagerHitRatio      float64
+	SlicesHot          int
+	SlicesCold         int
 }
 
 // Total is the figure-comparable response time: wall + synthetic I/O.
@@ -165,7 +191,7 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, false, false)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, false, false, TierSpec{})
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -179,13 +205,14 @@ func RunScheme(name string, txs []txdb.Transaction, tau int, m, k int, memBudget
 // RunSchemeObserved is RunScheme with a fresh telemetry registry attached
 // to each attempt; the returned Metrics carries the best attempt's Obs
 // snapshot (funnel, kernel, phases). Only meaningful for the BBS schemes.
-func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int, compress bool) (Metrics, error) {
+// tier carries the tiered-storage knobs (zero MemBudget = fully resident).
+func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers, repeat int, compress bool, tier TierSpec) (Metrics, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
 	var best Metrics
 	for r := 0; r < repeat; r++ {
-		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, compress, true)
+		met, err := runSchemeOnce(name, txs, tau, m, k, memBudget, workers, compress, true, tier)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -196,7 +223,46 @@ func RunSchemeObserved(name string, txs []txdb.Transaction, tau int, m, k int, m
 	return best, nil
 }
 
-func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int, compress, observe bool) (Metrics, error) {
+// TierSpec asks a bench run to tier its index before the timed mine.
+// MemBudget <= 0 disables tiering; Dir is the scratch directory for the
+// cold files.
+type TierSpec struct {
+	MemBudget int64
+	Dir       string
+}
+
+// tier re-platforms an already-built bench index on a fresh buffer pool:
+// an unobserved-by-the-clock profiling mine collects per-slice AND
+// participation, Tier pins the hottest slices inside half the budget and
+// spills the rest to a cold file, and the store's page residency (when the
+// store supports it) moves onto the same pool. Returns the pool so the
+// timed run can snapshot its gauges.
+func (t TierSpec) tier(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.Store, stats *iostat.Stats, tau, workers int) (*pager.Pager, error) {
+	if t.Dir == "" {
+		return nil, fmt.Errorf("exp: tiered run needs a scratch dir for cold files")
+	}
+	miner, err := core.NewMiner(idx, store, stats)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.New()
+	if _, err := miner.Mine(core.Config{MinSupport: tau, Scheme: scheme, Workers: workers, Observe: reg}); err != nil {
+		return nil, fmt.Errorf("exp: tier profiling run: %w", err)
+	}
+	pg := pager.New(t.MemBudget)
+	path := filepath.Join(t.Dir, name+".cold")
+	if err := idx.Tier(pg, path, t.MemBudget/2, reg.SliceTouches()); err != nil {
+		return nil, err
+	}
+	// The merged sharded store deliberately stays off the pager (its page
+	// numbering overlaps across parts), so the assertion failing is fine.
+	if pb, ok := store.(txdb.PagerBacked); ok {
+		pb.AttachPager(pg.Virtual("txdb/" + name))
+	}
+	return pg, nil
+}
+
+func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBudget int64, workers int, compress, observe bool, tier TierSpec) (Metrics, error) {
 	var stats iostat.Stats
 	store, err := txdb.NewMemStoreFrom(&stats, txs)
 	if err != nil {
@@ -211,7 +277,13 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 		if compress {
 			idx.SetCompression(true)
 		}
-		return timeBBSMine(name, scheme, idx, store, &stats, tau, memBudget, workers, observe)
+		var pg *pager.Pager
+		if tier.MemBudget > 0 {
+			if pg, err = tier.tier(name, scheme, idx, store, &stats, tau, workers); err != nil {
+				return Metrics{}, err
+			}
+		}
+		return timeBBSMine(name, scheme, idx, store, &stats, tau, memBudget, workers, observe, pg)
 	}
 
 	switch name {
@@ -248,7 +320,9 @@ func runSchemeOnce(name string, txs []txdb.Transaction, tau int, m, k int, memBu
 // timeBBSMine times one mining run over an already-built (index, store)
 // pair — index construction is not part of a mining run, so stats reset
 // just before the clock starts. Shared by the flat and sharded runners.
-func timeBBSMine(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.Store, stats *iostat.Stats, tau int, memBudget int64, workers int, observe bool) (Metrics, error) {
+// pg is the buffer pool of a tiered run (nil when resident); the pool saw
+// no traffic before the timed run, so its counters are the run's.
+func timeBBSMine(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.Store, stats *iostat.Stats, tau int, memBudget int64, workers int, observe bool, pg *pager.Pager) (Metrics, error) {
 	miner, err := core.NewMiner(idx, store, stats)
 	if err != nil {
 		return Metrics{}, err
@@ -277,6 +351,17 @@ func timeBBSMine(name string, scheme core.Scheme, idx *sigfile.BBS, store txdb.S
 		SliceLogicalBytes:  idx.TotalBytes(),
 		SliceResidentBytes: idx.ResidentSliceBytes(),
 		Compressed:         idx.Compressed(),
+	}
+	if pg != nil {
+		ps := pg.Stats()
+		met.Tiered = true
+		met.TierBudget = pg.Budget()
+		met.PagerResidentBytes = ps.ResidentBytes + ps.ReservedBytes
+		met.PagerFaults = ps.Faults
+		met.PagerHits = ps.Hits
+		met.PagerEvictions = ps.Evictions
+		met.PagerHitRatio = ps.HitRatio()
+		met.SlicesHot, met.SlicesCold = idx.TierCensus()
 	}
 	if reg != nil {
 		om := reg.Metrics()

@@ -14,20 +14,22 @@ import (
 //     chain that the txdb/sigfile load paths rely on for error reporting.
 //  2. In internal/txdb and internal/sigfile — the packages that own file
 //     I/O — in internal/serve, whose commit loop is the durability boundary
-//     for every write, and in internal/shard, which owns the sharded layout
-//     and its flat-to-sharded migration, a call returning an error must not
-//     be discarded as a bare statement (including defer). Assigning to _ is
-//     allowed: an explicit discard is a reviewed decision, a bare one is
-//     usually an accident.
+//     for every write, in internal/shard, which owns the sharded layout
+//     and its flat-to-sharded migration, and in internal/pager, whose cold
+//     files are only crash-safe if every write, sync, and rename outcome
+//     is acted on, a call returning an error must not be discarded as a
+//     bare statement (including defer). Assigning to _ is allowed: an
+//     explicit discard is a reviewed decision, a bare one is usually an
+//     accident.
 var ErrWrap = &Analyzer{
 	Name: "errwrap",
-	Doc:  "fmt.Errorf wraps errors with %w; txdb/sigfile/shard/serve I/O paths never discard errors silently",
+	Doc:  "fmt.Errorf wraps errors with %w; txdb/sigfile/shard/serve/pager I/O paths never discard errors silently",
 	Run:  runErrWrap,
 }
 
 // errDiscardScope names the package subtrees where silently dropping an
 // error is an I/O bug rather than a style choice.
-var errDiscardScope = []string{"internal/txdb", "internal/sigfile", "internal/serve", "internal/shard"}
+var errDiscardScope = []string{"internal/txdb", "internal/sigfile", "internal/serve", "internal/shard", "internal/pager"}
 
 func runErrWrap(pass *Pass) {
 	discardScoped := false

@@ -95,6 +95,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			"10 errwrap", // deferred silent discard in the sharded layout
 			"11 errwrap", // bare statement discard in the sharded layout
 		}},
+		{"errwrap/pager/internal/pager", []string{
+			"11 errwrap", // deferred silent discard on cold-file I/O
+			"12 errwrap", // bare statement discard on cold-file I/O
+		}},
 		{"obsdiscipline/shard/internal/shard", []string{
 			"10 determinism", // time.Now is also a determinism violation in shard
 			"10 obsdiscipline",
@@ -209,6 +213,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{SnapshotSafety, "bbsmine/internal/shard", true},
 		{SnapshotSafety, "bbsmine/internal/sigfile", true}, // the master/snapshot split lives here
 		{SnapshotSafety, "bbsmine/internal/core", true},
+		{SnapshotSafety, "bbsmine/internal/pager", true}, // epoch-pinned frames back serve snapshots
 		{SnapshotSafety, "bbsmine/internal/obs", false},
 		{SnapshotSafety, "bbsmine/internal/bitvec", false},
 		{CtxFlow, "bbsmine/internal/core", true},

@@ -36,7 +36,8 @@ var SnapshotSafety = &Analyzer{
 		return pathHasSegment(path, "internal/serve") ||
 			pathHasSegment(path, "internal/shard") ||
 			pathHasSegment(path, "internal/sigfile") ||
-			pathHasSegment(path, "internal/core")
+			pathHasSegment(path, "internal/core") ||
+			pathHasSegment(path, "internal/pager")
 	},
 	Run:     runSnapshotSafety,
 	Facts:   snapshotFacts,

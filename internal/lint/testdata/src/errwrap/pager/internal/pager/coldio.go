@@ -1,0 +1,14 @@
+// Package pager is an errwrap scope fixture: cold files are only
+// crash-safe when every write, sync, and rename outcome is acted on, so
+// bare error discards on cold-file I/O are flagged here exactly as in the
+// other storage packages.
+package pager
+
+import "os"
+
+// Seal drops the payload sync and the temp-file cleanup on the floor.
+func Seal(f *os.File) {
+	defer f.Sync()        // want: deferred silent discard
+	os.Remove("cold.tmp") // want: bare statement discard
+	_ = f.Close()         // explicit discard: allowed
+}

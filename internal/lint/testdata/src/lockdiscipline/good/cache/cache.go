@@ -33,3 +33,16 @@ func (c *memoCache) Put(item int32, p []int) {
 	}
 	c.cache[item] = p
 }
+
+// evictLocked models the pager's CLOCK helpers: the "Locked" suffix
+// asserts the caller holds mu, so guarded accesses need no local lock.
+func (c *memoCache) evictLocked(item int32) {
+	delete(c.cache, item)
+}
+
+// Clear is a public entry point using the helper under its own lock.
+func (c *memoCache) Clear(item int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictLocked(item)
+}

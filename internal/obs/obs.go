@@ -29,6 +29,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -207,6 +208,18 @@ type CacheStats struct {
 	poolMisses atomic.Int64
 }
 
+// sliceTouchTally tallies per-slice AND participation: counts[p] is how
+// many AND chains slice p was selected into. The tiered storage ranks
+// slices by these counts to pick the pinned hot tier, so the counters are
+// per-registry, not global, and reset with it. One lock per evaluation —
+// the same batch granularity as AddKernel — keeps the hot path off
+// per-slice atomics. (Mutex-guarded rather than atomic, unlike the *Stats
+// structs: the counts array reallocates as it grows.)
+type sliceTouchTally struct {
+	mu     sync.Mutex
+	counts []uint64 // guarded by mu
+}
+
 // PhaseStats holds cumulative wall time and call counts per phase.
 type PhaseStats struct {
 	ns    [numPhases]atomic.Int64
@@ -232,8 +245,10 @@ type Registry struct {
 	andDepth    HistStats // slice positions AND-ed per evaluation
 	batchSize   HistStats // operations per committed write batch
 
-	io     *iostat.Stats // optional: folded into Metrics snapshots
-	tracer *Tracer       // optional: sampled structured events
+	io          *iostat.Stats       // optional: folded into Metrics snapshots
+	tracer      *Tracer             // optional: sampled structured events
+	touches     sliceTouchTally     // per-slice AND participation (tiering input)
+	pagerSource func() PagerMetrics // optional: buffer-pool gauges (SetPagerSource)
 }
 
 // New returns an empty registry.
@@ -351,6 +366,53 @@ func (r *Registry) AddScanBatch(tx, matches int64) {
 	r.funnel.scanMatches.Add(matches)
 }
 
+// TouchSlices records one evaluation's AND-chain membership: each slice
+// position in pos participated in one chain. One lock per evaluation (the
+// AddKernel batch granularity); the counts array grows lazily to the
+// highest position seen.
+func (r *Registry) TouchSlices(pos []int) {
+	if r == nil || len(pos) == 0 {
+		return
+	}
+	r.touches.mu.Lock()
+	for _, p := range pos {
+		if p >= len(r.touches.counts) {
+			grown := make([]uint64, p+1)
+			copy(grown, r.touches.counts)
+			r.touches.counts = grown
+		}
+		r.touches.counts[p]++
+	}
+	r.touches.mu.Unlock()
+}
+
+// SliceTouches returns a copy of the per-slice AND-participation counts
+// (index = slice position). Nil when nothing was recorded. The tiering
+// pass ranks slices by these to choose the pinned hot tier.
+func (r *Registry) SliceTouches() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.touches.mu.Lock()
+	defer r.touches.mu.Unlock()
+	if len(r.touches.counts) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(r.touches.counts))
+	copy(out, r.touches.counts)
+	return out
+}
+
+// SetPagerSource registers a provider of buffer-pool gauges, folded into
+// every Metrics snapshot once set. The provider pattern (like BindIO)
+// keeps obs free of a pager import; call before the run, not synchronized.
+func (r *Registry) SetPagerSource(fn func() PagerMetrics) {
+	if r == nil {
+		return
+	}
+	r.pagerSource = fn
+}
+
 // FunnelMetrics is the funnel section of a Metrics snapshot.
 type FunnelMetrics struct {
 	Candidates      int64 `json:"candidates"`
@@ -421,6 +483,21 @@ type IOMetrics struct {
 	PageCacheResident  int64 `json:"page_cache_resident"`
 }
 
+// PagerMetrics is the buffer-pool section of a Metrics snapshot — and the
+// value the SetPagerSource provider returns, so the pool's gauges are
+// defined once here (obs stays free of a pager import). Present only when
+// a pager source is registered (tiered storage on).
+type PagerMetrics struct {
+	ResidentBytes int64   `json:"resident_bytes"`
+	ReservedBytes int64   `json:"reserved_bytes"`
+	Faults        int64   `json:"faults"`
+	Hits          int64   `json:"hits"`
+	Evictions     int64   `json:"evictions"`
+	HitRatio      float64 `json:"hit_ratio"`
+	SlicesHot     int64   `json:"slices_hot"`
+	SlicesCold    int64   `json:"slices_cold"`
+}
+
 // Metrics is a point-in-time snapshot of everything the registry holds,
 // shaped for JSON (and, flattened, for the Prometheus text exposition).
 type Metrics struct {
@@ -433,6 +510,7 @@ type Metrics struct {
 	AndDepth    HistMetrics             `json:"and_depth"`
 	Server      *ServerMetrics          `json:"server,omitempty"`
 	IO          *IOMetrics              `json:"io,omitempty"`
+	Pager       *PagerMetrics           `json:"pager,omitempty"`
 	Trace       *TraceMetrics           `json:"trace,omitempty"`
 }
 
@@ -515,6 +593,10 @@ func (r *Registry) Metrics() Metrics {
 			PageCacheEvictions: s.PageCacheEvictions,
 			PageCacheResident:  s.PageCacheResident,
 		}
+	}
+	if src := r.pagerSource; src != nil {
+		pm := src()
+		m.Pager = &pm
 	}
 	if t := r.tracer; t != nil {
 		tm := t.metrics()

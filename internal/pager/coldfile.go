@@ -1,0 +1,219 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Cold-file format, BBSCOLD1. Page 0 is the header:
+//
+//	magic(8) | version uint32 | pageSize uint32 | payloadPages uint64
+//	| payloadBytes uint64 | sealed uint32
+//
+// followed by payloadPages pages of back-to-back payload extents, each
+// extent starting on a page boundary. The header's sealed flag is written
+// only after every payload page is durable (Seal: flush, fsync, then
+// header, then fsync again — the crash-safety ordering), and the whole
+// file is built under a temp name renamed into place, so Open can trust
+// any file it accepts. An unsealed or torn file fails Open and the caller
+// rebuilds it from the authoritative index — cold files are derived data.
+
+var coldMagic = [8]byte{'B', 'B', 'S', 'C', 'O', 'L', 'D', '1'}
+
+const coldVersion = 1
+
+// File is a handle to cold pages, either backed by a sealed cold file
+// (Page/Release fault real bytes) or virtual (Touch models residency for a
+// store that keeps its own bytes, like txdb). A nil *File is inert.
+type File struct {
+	p     *Pager
+	f     *os.File // nil for virtual files
+	pages int64    // payload page count; 0 and unused for virtual files
+	name  string
+}
+
+// OpenCold opens a sealed cold file for read-through faulting. It refuses
+// unsealed, truncated, or foreign files.
+func (p *Pager) OpenCold(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open cold file: %w", err)
+	}
+	hdr := make([]byte, PageSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: read cold header %s: %w", path, err)
+	}
+	if [8]byte(hdr[0:8]) != coldMagic {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: %s is not a cold file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != coldVersion {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: cold file %s has version %d, want %d", path, v, coldVersion)
+	}
+	if ps := binary.LittleEndian.Uint32(hdr[12:16]); ps != PageSize {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: cold file %s has page size %d, want %d", path, ps, PageSize)
+	}
+	pages := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	if sealed := binary.LittleEndian.Uint32(hdr[32:36]); sealed != 1 {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: cold file %s is unsealed (torn write)", path)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: stat cold file %s: %w", path, err)
+	}
+	if st.Size() < (pages+1)*PageSize {
+		_ = f.Close()
+		return nil, fmt.Errorf("pager: cold file %s truncated: %d bytes for %d payload pages", path, st.Size(), pages)
+	}
+	return &File{p: p, f: f, pages: pages, name: path}, nil
+}
+
+// Virtual returns a data-less file whose pages exist only as residency
+// accounting — the txdb page-cache model rehosted on the shared pool.
+// Returns nil on a nil pager; a nil *File's Touch always reports a hit.
+func (p *Pager) Virtual(name string) *File {
+	if p == nil {
+		return nil
+	}
+	return &File{p: p, name: name}
+}
+
+// Page pins payload page k and returns its bytes (always PageSize long;
+// the tail of the last extent is zero-padded). The caller must Release(k)
+// when done streaming and must not retain or modify the slice afterwards.
+func (f *File) Page(k int64) ([]byte, error) {
+	data, _, err := f.p.page(f, k, true)
+	return data, err
+}
+
+// Release unpins one Page(k) pin.
+func (f *File) Release(k int64) { f.p.release(f, k) }
+
+// Touch records an access to virtual page k and reports whether it was
+// already resident. Misses admit the page (charging PageSize against the
+// shared budget); there are no pins — virtual pages carry no bytes to
+// protect. Safe on a nil receiver (always a hit, so disabled tiering
+// charges nothing).
+func (f *File) Touch(k int64) bool {
+	if f == nil {
+		return true
+	}
+	_, hit, _ := f.p.page(f, k, false) // virtual pages cannot fail: no I/O
+	return hit
+}
+
+// Pages returns the payload page count of a cold file (0 for virtual).
+func (f *File) Pages() int64 { return f.pages }
+
+// Name returns the path (cold) or label (virtual) the file was opened with.
+func (f *File) Name() string { return f.name }
+
+// Close drops every frame of this file from the pool and closes the
+// backing descriptor. Cold consumers must not fault through the handle
+// afterwards.
+func (f *File) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.p.dropFile(f)
+	if f.f == nil {
+		return nil
+	}
+	if err := f.f.Close(); err != nil {
+		return fmt.Errorf("pager: close cold file %s: %w", f.name, err)
+	}
+	return nil
+}
+
+// Writer builds a cold file. Extents appended through it start on page
+// boundaries; Seal makes the payload durable before stamping the header
+// and renaming the temp file into place.
+type Writer struct {
+	f     *os.File
+	path  string // final path; the descriptor writes path+".tmp"
+	pages int64  // payload pages written so far
+	bytes int64  // payload bytes written so far (before padding)
+}
+
+// Create starts a cold file at path, building under path+".tmp" until
+// Seal renames it into place. An existing file at path stays valid (and
+// open handles stay on the old inode) until the rename.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path+".tmp", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: create cold file: %w", err)
+	}
+	// Reserve the header page; it is rewritten, sealed, at Seal time.
+	if _, err := f.Write(make([]byte, PageSize)); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path + ".tmp")
+		return nil, fmt.Errorf("pager: write cold header %s: %w", path, err)
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Append writes one payload extent, zero-padded to a page boundary, and
+// returns the page index its first byte landed on.
+func (w *Writer) Append(payload []byte) (basePage int64, err error) {
+	basePage = w.pages
+	if _, err := w.f.Write(payload); err != nil {
+		return 0, fmt.Errorf("pager: append cold extent: %w", err)
+	}
+	if pad := (PageSize - len(payload)%PageSize) % PageSize; pad > 0 {
+		if _, err := w.f.Write(make([]byte, pad)); err != nil {
+			return 0, fmt.Errorf("pager: pad cold extent: %w", err)
+		}
+	}
+	w.pages += int64((len(payload) + PageSize - 1) / PageSize)
+	w.bytes += int64(len(payload))
+	return basePage, nil
+}
+
+// Seal makes the file durable and visible: fsync the payload, write the
+// sealed header, fsync again, close, and rename over the final path — in
+// that order, so a crash at any point leaves either the old file or no
+// file, never a half-written one that Open would accept.
+func (w *Writer) Seal() error {
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return fmt.Errorf("pager: sync cold payload %s: %w", w.path, err)
+	}
+	hdr := make([]byte, PageSize)
+	copy(hdr, coldMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], coldVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], PageSize)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(w.pages))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(w.bytes))
+	binary.LittleEndian.PutUint32(hdr[32:36], 1) // sealed
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		w.abort()
+		return fmt.Errorf("pager: seal cold header %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return fmt.Errorf("pager: sync cold header %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		_ = os.Remove(w.path + ".tmp")
+		return fmt.Errorf("pager: close cold file %s: %w", w.path, err)
+	}
+	if err := os.Rename(w.path+".tmp", w.path); err != nil {
+		_ = os.Remove(w.path + ".tmp")
+		return fmt.Errorf("pager: install cold file %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Abort discards a partially written cold file.
+func (w *Writer) Abort() { w.abort() }
+
+func (w *Writer) abort() {
+	_ = w.f.Close()
+	_ = os.Remove(w.path + ".tmp")
+}

@@ -1,0 +1,308 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeColdFile builds a sealed cold file of the given extents and returns
+// the per-extent base pages.
+func writeColdFile(t *testing.T, path string, extents ...[]byte) []int64 {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	bases := make([]int64, len(extents))
+	for i, e := range extents {
+		bases[i], err = w.Append(e)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return bases
+}
+
+func TestColdFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cold")
+	big := make([]byte, PageSize+123)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	bases := writeColdFile(t, path, []byte("hello"), big)
+	if bases[0] != 0 || bases[1] != 1 {
+		t.Fatalf("bases = %v, want [0 1]", bases)
+	}
+
+	p := New(0)
+	f, err := p.OpenCold(path)
+	if err != nil {
+		t.Fatalf("OpenCold: %v", err)
+	}
+	defer func() { _ = f.Close() }()
+	if f.Pages() != 3 {
+		t.Fatalf("Pages = %d, want 3", f.Pages())
+	}
+	pg, err := f.Page(0)
+	if err != nil {
+		t.Fatalf("Page(0): %v", err)
+	}
+	if !bytes.Equal(pg[:5], []byte("hello")) {
+		t.Fatalf("page 0 = %q", pg[:5])
+	}
+	if pg[5] != 0 {
+		t.Fatalf("extent tail not zero-padded")
+	}
+	f.Release(0)
+	got := make([]byte, 0, len(big))
+	for k := int64(1); k <= 2; k++ {
+		pg, err := f.Page(k)
+		if err != nil {
+			t.Fatalf("Page(%d): %v", k, err)
+		}
+		got = append(got, pg...)
+		f.Release(k)
+	}
+	if !bytes.Equal(got[:len(big)], big) {
+		t.Fatalf("big extent did not round-trip")
+	}
+	if _, err := f.Page(3); err == nil {
+		t.Fatalf("Page(3) past the end should fail")
+	}
+	st := p.Stats()
+	if st.Faults != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 3 faults 0 hits", st)
+	}
+	if _, err := f.Page(0); err != nil {
+		t.Fatalf("re-Page(0): %v", err)
+	}
+	f.Release(0)
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestOpenRejectsUnsealedAndForeign(t *testing.T) {
+	dir := t.TempDir()
+	p := New(0)
+
+	// Unsealed: a writer that appended but never sealed leaves only a .tmp,
+	// which Open never sees; simulate a torn seal by clearing the flag.
+	path := filepath.Join(dir, "torn")
+	writeColdFile(t, path, []byte("payload"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[32:36], 0)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OpenCold(path); err == nil {
+		t.Fatalf("OpenCold accepted an unsealed file")
+	}
+
+	foreign := filepath.Join(dir, "foreign")
+	if err := os.WriteFile(foreign, make([]byte, 2*PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OpenCold(foreign); err == nil {
+		t.Fatalf("OpenCold accepted a foreign file")
+	}
+}
+
+func TestEvictionRespectsBudgetPinsAndEpochs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cold")
+	extents := make([][]byte, 8)
+	for i := range extents {
+		extents[i] = bytes.Repeat([]byte{byte(i + 1)}, PageSize)
+	}
+	writeColdFile(t, path, extents...)
+
+	p := New(2 * PageSize)
+	f, err := p.OpenCold(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 8; k++ {
+		if _, err := f.Page(k); err != nil {
+			t.Fatal(err)
+		}
+		f.Release(k)
+	}
+	st := p.Stats()
+	if st.ResidentBytes > 2*PageSize {
+		t.Fatalf("resident %d exceeds budget", st.ResidentBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 2-page budget")
+	}
+
+	// A pinned page survives any amount of pressure.
+	if _, err := f.Page(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k < 8; k++ {
+		if _, err := f.Page(k); err != nil {
+			t.Fatal(err)
+		}
+		f.Release(k)
+	}
+	if _, hit, _ := p.page(f, 0, false); !hit {
+		t.Fatalf("pinned page 0 was evicted")
+	}
+	f.Release(0)
+
+	// Epoch-tagged frames are protected until the tag drains.
+	tag := p.AcquireEpoch()
+	if _, err := f.Page(3); err != nil {
+		t.Fatal(err)
+	}
+	f.Release(3)
+	for k := int64(4); k < 8; k++ {
+		if _, err := f.Page(k); err != nil {
+			t.Fatal(err)
+		}
+		f.Release(k)
+	}
+	// Pages faulted under the live tag are all protected, so the pool may
+	// run soft-over-budget; page 3 must still be resident.
+	if _, hit, _ := p.page(f, 3, false); !hit {
+		t.Fatalf("epoch-tagged page 3 was evicted while its tag was live")
+	}
+	f.Release(3)
+	p.ReleaseEpoch(tag)
+	evBefore := p.Stats().Evictions
+	p.Reserve(PageSize) // pressure: budget now 1 page of frames
+	if p.Stats().Evictions == evBefore {
+		t.Fatalf("releasing the epoch plus pressure should evict")
+	}
+	p.Reserve(-PageSize)
+	_ = f.Close()
+	if st := p.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("Close left %d resident bytes", st.ResidentBytes)
+	}
+}
+
+func TestVirtualFilesModelResidency(t *testing.T) {
+	p := New(3 * PageSize)
+	f := p.Virtual("txdb")
+	if f.Touch(0) {
+		t.Fatalf("first touch reported a hit")
+	}
+	if !f.Touch(0) {
+		t.Fatalf("second touch reported a miss")
+	}
+	for k := int64(1); k < 6; k++ {
+		f.Touch(k)
+	}
+	st := p.Stats()
+	if st.ResidentBytes > 3*PageSize {
+		t.Fatalf("resident %d exceeds budget", st.ResidentBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("virtual pages were never evicted")
+	}
+	if st.HitRatio() <= 0 {
+		t.Fatalf("hit ratio = %v, want > 0", st.HitRatio())
+	}
+
+	// Nil handles (tiering off) are inert and always hit.
+	var nilFile *File
+	if !nilFile.Touch(7) {
+		t.Fatalf("nil file should report hits")
+	}
+	var nilPager *Pager
+	if nilPager.AcquireEpoch() != 0 {
+		t.Fatalf("nil pager should mint tag 0")
+	}
+	nilPager.ReleaseEpoch(0)
+	nilPager.Reserve(10)
+	if st := nilPager.Stats(); st != (Stats{}) {
+		t.Fatalf("nil pager stats = %+v", st)
+	}
+}
+
+// TestPagerStatsNotTorn is the pager-side sibling of iostat's
+// TestStatsSnapshotNotTorn: Stats() reads independent atomics against live
+// traffic, and the one cross-counter invariant it promises — Evictions <=
+// Faults, every eviction paid for by a prior admission — must hold for
+// every interleaving (Stats reads evictions before faults to make it so).
+func TestPagerStatsNotTorn(t *testing.T) {
+	p := New(2 * PageSize) // tight budget: constant fault/evict churn
+	f := p.Virtual("churn")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			f.Touch(int64(i % 16))
+		}
+		close(done)
+	}()
+	for {
+		st := p.Stats()
+		if st.Evictions > st.Faults {
+			t.Errorf("torn snapshot: Evictions=%d > Faults=%d", st.Evictions, st.Faults)
+			break
+		}
+		select {
+		case <-done:
+			wg.Wait()
+			st := p.Stats()
+			if st.Evictions == 0 {
+				t.Fatalf("churn produced no evictions; the invariant was never exercised")
+			}
+			return
+		default:
+		}
+	}
+	wg.Wait()
+}
+
+func TestConcurrentFaulting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cold")
+	extents := make([][]byte, 16)
+	for i := range extents {
+		extents[i] = bytes.Repeat([]byte{byte(i)}, PageSize)
+	}
+	writeColdFile(t, path, extents...)
+	p := New(4 * PageSize)
+	f, err := p.OpenCold(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := int64((g + i) % 16)
+				pg, err := f.Page(k)
+				if err != nil {
+					t.Errorf("Page(%d): %v", k, err)
+					return
+				}
+				if pg[0] != byte(k) {
+					t.Errorf("page %d holds %d", k, pg[0])
+					return
+				}
+				f.Release(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -39,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"bbsmine/internal/iostat"
 	"bbsmine/internal/mining"
 	"bbsmine/internal/obs"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/txdb"
 )
@@ -121,7 +123,16 @@ type Options struct {
 	RequestTimeout time.Duration
 	// PageCacheLimit bounds the durable stores' page caches in bytes
 	// (default 64 MiB), split evenly across the shards that have files.
+	// Ignored when MemBudget is set: tiered mode pools all residency.
 	PageCacheLimit int64
+	// MemBudget, when > 0, enables tiered slice storage: each shard's
+	// index is split into an obs-driven hot tier and an on-disk cold tier
+	// (cold files under ColdDir), and slice frames plus transaction-store
+	// page residency share one pager pool of this many bytes.
+	MemBudget int64
+	// ColdDir is where tiered mode writes the per-shard cold files.
+	// Required when MemBudget > 0.
+	ColdDir string
 	// Observe receives the server and mining telemetry; nil disables it.
 	Observe *obs.Registry
 	// RequestLog, when non-nil, receives one structured JSON line per
@@ -136,10 +147,31 @@ type Options struct {
 // snapshot is one shard's immutable (index, log) pair published at a commit
 // point. Queries clone from it; the shard's commit loop replaces it
 // wholesale.
+//
+// Under tiered storage a snapshot also owns a pager epoch tag: frames a
+// query faults while the snapshot is current inherit the tag and stay
+// evict-exempt until the snapshot is superseded AND its last query drains
+// (refs: one publisher ref dropped at replacement, one per in-flight
+// mine). A query can race the drain — load the pointer after the tag was
+// already released — which is benign by design: pager pinning is advisory,
+// so an unprotected snapshot re-faults pages instead of misreading them,
+// and the released CAS keeps the tag from being freed twice.
 type snapshot struct {
-	epoch uint64
-	idx   *sigfile.BBS
-	log   *txdb.LogView
+	epoch    uint64
+	idx      *sigfile.BBS
+	log      *txdb.LogView
+	pg       *pager.Pager // nil when tiering is off
+	pagerTag uint64
+	refs     atomic.Int64
+	released atomic.Bool
+}
+
+func (sn *snapshot) retain() { sn.refs.Add(1) }
+
+func (sn *snapshot) release() {
+	if sn.refs.Add(-1) == 0 && sn.released.CompareAndSwap(false, true) {
+		sn.pg.ReleaseEpoch(sn.pagerTag)
+	}
 }
 
 // engineShard is one shard's serving state: the master index and log its
@@ -151,6 +183,8 @@ type engineShard struct {
 	log       *txdb.AppendLog
 	file      *txdb.FileStore
 	indexPath string
+	pg        *pager.Pager // nil when tiering is off
+	logVirt   *pager.File  // virtual residency file attached to published log views
 	snap      atomic.Pointer[snapshot]
 	writeCh   chan *shardWrite
 	loopDone  chan struct{}
@@ -171,6 +205,7 @@ type Engine struct {
 	maxQueue int
 	timeout  time.Duration
 	cache    *queryCache
+	pager    *pager.Pager  // shared frame pool; nil when tiering is off
 	admitCh  chan struct{} // in-flight mine slots
 	queueLen atomic.Int64
 	wedged   atomic.Pointer[wedgeState] // set on an apply I/O error; fails all later writes
@@ -248,21 +283,45 @@ func New(opts Options) (*Engine, error) {
 	if clock == nil {
 		clock = SystemClock()
 	}
-	files := 0
-	for _, p := range parts {
-		if p.File != nil {
-			files++
+	var pg *pager.Pager
+	if opts.MemBudget > 0 {
+		if opts.ColdDir == "" {
+			return nil, fmt.Errorf("serve: MemBudget needs ColdDir for the cold files")
 		}
-	}
-	if files > 0 {
-		limit := opts.PageCacheLimit
-		if limit <= 0 {
-			limit = defaultPageCache
+		pg = pager.New(opts.MemBudget)
+		// Mirror bbsmine.Database.Tier: half the budget pins hot slices,
+		// the rest is the frame pool cold pages and transaction pages share.
+		perShard := opts.MemBudget / 2 / int64(n)
+		var touches []uint64
+		if opts.Observe != nil {
+			touches = opts.Observe.SliceTouches()
 		}
-		per := limit / int64(files)
+		for s, p := range parts {
+			cold := filepath.Join(opts.ColdDir, fmt.Sprintf("shard-%03d.cold", s))
+			if err := p.Index.Tier(pg, cold, perShard, touches); err != nil {
+				return nil, fmt.Errorf("serve: tiering shard %d: %w", s, err)
+			}
+			if p.File != nil {
+				p.File.AttachPager(pg.Virtual(fmt.Sprintf("txdb/shard-%d", s)))
+			}
+		}
+	} else {
+		files := 0
 		for _, p := range parts {
 			if p.File != nil {
-				p.File.SetCacheLimit(per)
+				files++
+			}
+		}
+		if files > 0 {
+			limit := opts.PageCacheLimit
+			if limit <= 0 {
+				limit = defaultPageCache
+			}
+			per := limit / int64(files)
+			for _, p := range parts {
+				if p.File != nil {
+					p.File.SetCacheLimit(per)
+				}
 			}
 		}
 	}
@@ -277,6 +336,7 @@ func New(opts Options) (*Engine, error) {
 		maxQueue: maxQueue,
 		timeout:  opts.RequestTimeout,
 		cache:    newQueryCache(cacheEntries, opts.Observe),
+		pager:    pg,
 		admitCh:  make(chan struct{}, maxInFlight),
 		nextPos:  total,
 		dead:     make(map[int]bool),
@@ -289,6 +349,8 @@ func New(opts Options) (*Engine, error) {
 			log:       p.Log,
 			file:      p.File,
 			indexPath: p.IndexPath,
+			pg:        pg,
+			logVirt:   pg.Virtual(fmt.Sprintf("log/shard-%d", s)),
 			writeCh:   make(chan *shardWrite, writeQueueDepth),
 			loopDone:  make(chan struct{}),
 		}
@@ -302,6 +364,29 @@ func New(opts Options) (*Engine, error) {
 		e.shards[s] = sh
 	}
 	e.obs.SetEpoch(e.Epoch())
+	if pg != nil && opts.Observe != nil {
+		opts.Observe.SetPagerSource(func() obs.PagerMetrics {
+			ps := pg.Stats()
+			var hot, cold int
+			for _, sh := range e.shards {
+				// Census the published snapshot, not the master: the
+				// commit loop mutates the master's slice table.
+				h, c := sh.snap.Load().idx.TierCensus()
+				hot += h
+				cold += c
+			}
+			return obs.PagerMetrics{
+				ResidentBytes: ps.ResidentBytes,
+				ReservedBytes: ps.ReservedBytes,
+				Faults:        ps.Faults,
+				Hits:          ps.Hits,
+				Evictions:     ps.Evictions,
+				HitRatio:      ps.HitRatio(),
+				SlicesHot:     int64(hot),
+				SlicesCold:    int64(cold),
+			}
+		})
+	}
 	for _, sh := range e.shards {
 		go e.shardLoop(sh)
 	}
@@ -310,13 +395,24 @@ func New(opts Options) (*Engine, error) {
 
 // publish snapshots the shard's master state. Called from New and the
 // shard's own commit loop only — the per-shard single-writer rule is what
-// makes Snapshot/View safe here.
+// makes Snapshot/View safe here. Each published snapshot carries a fresh
+// pager epoch tag and the publisher's ref; the replaced snapshot loses
+// that ref, so its tag drains once its last in-flight query finishes.
 func (sh *engineShard) publish() {
-	sh.snap.Store(&snapshot{
-		epoch: sh.idx.Epoch(),
-		idx:   sh.idx.Snapshot(),
-		log:   sh.log.View(),
-	})
+	next := &snapshot{
+		epoch:    sh.idx.Epoch(),
+		idx:      sh.idx.Snapshot(),
+		log:      sh.log.View(),
+		pg:       sh.pg,
+		pagerTag: sh.pg.AcquireEpoch(),
+	}
+	if sh.logVirt != nil {
+		next.log.AttachPager(sh.logVirt)
+	}
+	next.refs.Store(1)
+	if old := sh.snap.Swap(next); old != nil {
+		old.release()
+	}
 }
 
 // Shards returns the engine's shard count.
@@ -1045,6 +1141,16 @@ func (e *Engine) mineView(snaps []*snapshot, key string) (*sigfile.BBS, txdb.Sto
 // (queue stage), per-request deadline, private mining view (bind stage),
 // then core.Mine (mine stage).
 func (e *Engine) mine(ctx context.Context, snaps []*snapshot, key string, req QueryRequest, scheme core.Scheme, tau int, sp *Span) (*core.Result, error) {
+	// Hold each snapshot's pager epoch for the duration of the mine, so
+	// cold pages this query faults stay evict-exempt until it finishes.
+	for _, sn := range snaps {
+		sn.retain()
+	}
+	defer func() {
+		for _, sn := range snaps {
+			sn.release()
+		}
+	}()
 	queued := e.clock.Now()
 	release, err := e.admit(ctx)
 	sp.addStage(obs.StageQueue, e.clock.Now().Sub(queued).Nanoseconds())
@@ -1177,6 +1283,16 @@ type StatsInfo struct {
 	AdmissionRejected int64   `json:"admission_rejected"`
 	QueueDepth        int64   `json:"queue_depth"`
 	InFlight          int64   `json:"inflight"`
+
+	// Tiered storage (absent when the engine runs without -mem-budget):
+	// the shared pool's budget and frame+reservation residency, its fault
+	// hit ratio, and the hot/cold slice census over the published
+	// snapshots.
+	MemBudget     int64   `json:"mem_budget,omitempty"`
+	ResidentBytes int64   `json:"resident_bytes,omitempty"`
+	PagerHitRatio float64 `json:"pager_hit_ratio,omitempty"`
+	SlicesHot     int     `json:"slices_hot,omitempty"`
+	SlicesCold    int     `json:"slices_cold,omitempty"`
 }
 
 // Stats reports the published snapshot vector's shape plus cache residency
@@ -1215,5 +1331,16 @@ func (e *Engine) Stats() StatsInfo {
 		}
 	}
 	info.Items = len(items)
+	if e.pager != nil {
+		ps := e.pager.Stats()
+		info.MemBudget = e.pager.Budget()
+		info.ResidentBytes = ps.ResidentBytes + ps.ReservedBytes
+		info.PagerHitRatio = ps.HitRatio()
+		for _, sn := range snaps {
+			h, c := sn.idx.TierCensus()
+			info.SlicesHot += h
+			info.SlicesCold += c
+		}
+	}
 	return info
 }

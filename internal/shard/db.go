@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/sigfile"
 	"bbsmine/internal/sighash"
 	"bbsmine/internal/txdb"
@@ -116,6 +117,33 @@ func (db *DB) Delete(pos int) error {
 	db.dirty = true
 	return nil
 }
+
+// Tier re-platforms the index's slice storage on pg (see Index.Tier). The
+// per-shard cold files land in the database directory; an in-memory
+// database needs scratchDir. The cached merged view is invalidated: a
+// pre-tier merge holds every slice resident outside the pool's accounting,
+// so keeping it would serve sharded mines from an untracked full copy of
+// the index and the budget would never bite. The next mine re-merges,
+// faulting cold pages through the shared pool.
+func (db *DB) Tier(pg *pager.Pager, scratchDir string, hotBudget int64, touches []uint64) error {
+	dir := db.dir
+	if dir == "" {
+		dir = scratchDir
+	}
+	if dir == "" {
+		return fmt.Errorf("shard: tiering an in-memory database needs a scratch directory")
+	}
+	if err := db.idx.Tier(pg, dir, hotBudget, touches); err != nil {
+		return err
+	}
+	db.merged = nil
+	db.mergedStore = nil
+	return nil
+}
+
+// Untier thaws the index back to fully resident storage. The cached merged
+// view is answer-identical either way and is kept.
+func (db *DB) Untier() error { return db.idx.Untier() }
 
 // SetCompression sets the adaptive storage policy on every shard and
 // re-encodes the slices to match. The cached merged view is invalidated so

@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bbsmine/internal/pager"
+)
+
+// coldFile is the per-shard cold file name: each shard parks its cold
+// slice payloads in its own sealed page file, beside its data and index
+// files in a persistent layout or in a caller-provided scratch directory
+// for in-memory databases. Cold files are derived data — rebuilt by the
+// next Tier pass, never read at Open.
+const coldFile = "slices.cold"
+
+// Tier re-platforms every part's slice storage on pg (see sigfile.Tier):
+// the hot budget splits evenly across the shards, and shard s's cold
+// payloads land in dir/shard-.../slices.cold (dir itself when unsharded).
+// The touch counts are slice-position indexed and every shard draws from
+// the same hasher, so one profile drives all parts.
+func (x *Index) Tier(pg *pager.Pager, dir string, hotBudget int64, touches []uint64) error {
+	perShard := hotBudget / int64(len(x.parts))
+	for s, p := range x.parts {
+		sd := dir
+		if len(x.parts) > 1 {
+			sd = shardDir(dir, s)
+			if err := os.MkdirAll(sd, 0o755); err != nil {
+				return fmt.Errorf("shard: tiering shard %d: %w", s, err)
+			}
+		}
+		if err := p.Tier(pg, filepath.Join(sd, coldFile), perShard, touches); err != nil {
+			return fmt.Errorf("shard: tiering shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Untier thaws every part back to fully resident storage and closes the
+// per-shard cold files.
+func (x *Index) Untier() error {
+	var firstErr error
+	for s, p := range x.parts {
+		if err := p.Untier(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard: untiering shard %d: %w", s, err)
+		}
+	}
+	return firstErr
+}
+
+// Tiered reports whether the index's storage is tiered. Tier covers every
+// part, so part 0 speaks for all.
+func (x *Index) Tiered() bool { return x.parts[0].Tiered() }
+
+// TierCensus sums the per-part hot/cold slice censuses.
+func (x *Index) TierCensus() (hot, cold int) {
+	for _, p := range x.parts {
+		h, c := p.TierCensus()
+		hot += h
+		cold += c
+	}
+	return hot, cold
+}
+
+// ColdPayloadBytes sums the shards' cold-tier payload bytes.
+func (x *Index) ColdPayloadBytes() int64 {
+	var n int64
+	for _, p := range x.parts {
+		n += p.ColdPayloadBytes()
+	}
+	return n
+}

@@ -136,6 +136,13 @@ func (b *BBS) writeTo(w io.Writer) error {
 // ceil(n/64) words — while compressed payloads are position-based and need
 // no padding.
 func (b *BBS) writeSlice(w io.Writer, p int, s *bitvec.Slice, wordBuf []byte) error {
+	// A tiered slice persists from its thawed form: the cold file is
+	// derived data, the BBSSIG image is authoritative, so Save always
+	// writes resident payloads. (Positions/Runs would thaw internally, but
+	// a cold dense slice has no resident vector to alias.)
+	if s.IsCold() {
+		s = s.Thaw()
+	}
 	binary.LittleEndian.PutUint64(wordBuf, uint64(b.sliceOnes[p]))
 	if _, err := w.Write(wordBuf); err != nil {
 		return fmt.Errorf("sigfile: write slice %d ones: %w", p, err)

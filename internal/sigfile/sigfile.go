@@ -22,6 +22,7 @@ import (
 	"bbsmine/internal/bitvec"
 	"bbsmine/internal/iostat"
 	"bbsmine/internal/obs"
+	"bbsmine/internal/pager"
 	"bbsmine/internal/sighash"
 )
 
@@ -77,6 +78,14 @@ type BBS struct {
 	cowItems bool
 
 	epoch uint64 // applied write batches; in-memory only, 0 after Load
+
+	// Tiered storage bookkeeping (see tier.go). tierPager is non-nil while
+	// Tier has split the slices into hot/cold; tierFile is the sealed cold
+	// file backing the cold headers (nil when every slice fit the hot
+	// budget); tierReserved is the hot-tier reservation to return at Untier.
+	tierPager    *pager.Pager
+	tierFile     *pager.File
+	tierReserved int64
 
 	stats *iostat.Stats
 	obs   *obs.Registry // nil unless a mining run attached telemetry
@@ -502,6 +511,10 @@ func (b *BBS) CountIntoBuf(dst *bitvec.Vector, items []int32, posBuf *[]int) int
 func (b *BBS) countIntoObserved(dst *bitvec.Vector, pos []int, est int) int {
 	var s obs.KernelSample
 	s.Evals = 1
+	// Slice-touch tallies feed the tiering pass: every slice selected into
+	// this chain counts as touched, whether or not the early exit cuts the
+	// ANDs short — the selection is what the hot tier wants to predict.
+	b.obs.TouchSlices(pos)
 	done := 0
 	for _, p := range pos {
 		words, sparse := dst.WordStats()

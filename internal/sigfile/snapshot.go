@@ -93,9 +93,20 @@ func (b *BBS) QueryClone(stats *iostat.Stats) *BBS {
 
 // mutableSlice returns slice p ready for mutation, cloning it first if a
 // snapshot shares it. The clone preserves the encoding, so appends to a
-// compressed snapshot-shared slice stay compressed.
+// compressed snapshot-shared slice stay compressed. A cold slice thaws to
+// residency first — cold payloads are immutable by construction, and the
+// freshly decoded slice is shared with no snapshot (snapshots hold the old
+// header, which keeps faulting the unchanged cold extent).
 func (b *BBS) mutableSlice(p int) *bitvec.Slice {
 	s := b.slices[p]
+	if s.IsCold() {
+		s = s.Thaw()
+		b.slices[p] = s
+		if b.cow != nil {
+			b.cow[p] = false
+		}
+		return s
+	}
 	if b.cow != nil && b.cow[p] {
 		s = s.Clone()
 		b.slices[p] = s

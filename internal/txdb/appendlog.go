@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbsmine/internal/iostat"
+	"bbsmine/internal/pager"
 )
 
 // AppendLog is the serving layer's transaction store: an append-only
@@ -167,15 +168,24 @@ func (v *LogView) Append(Transaction) error {
 
 // Clone returns a view over the same records with a fresh private page
 // cache, so concurrent queries sharing one snapshot budget their cache
-// limits independently instead of racing on SetCacheLimit.
+// limits independently instead of racing on SetCacheLimit. An attached
+// pager carries over: under tiered storage residency is pooled by design,
+// and the shared frame table (not a private LRU) is what keeps each page
+// charged once across concurrent queries.
 func (v *LogView) Clone() *LogView {
-	return &LogView{
+	nv := &LogView{
 		txs:     v.txs,
 		offsets: v.offsets,
 		size:    v.size,
 		stats:   v.stats,
 	}
+	nv.cache.virt = v.cache.pagerFile()
+	return nv
 }
 
 // SetCacheLimit implements CacheLimiter for the view's private pool model.
 func (v *LogView) SetCacheLimit(bytes int64) { v.cache.setLimit(bytes, v.stats) }
+
+// AttachPager implements PagerBacked: page residency moves to the shared
+// pager pool and the view stops charging its private page-cache tallies.
+func (v *LogView) AttachPager(f *pager.File) { v.cache.attachPager(f, v.stats) }

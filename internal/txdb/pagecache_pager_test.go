@@ -1,0 +1,135 @@
+package txdb
+
+import (
+	"sync"
+	"testing"
+
+	"bbsmine/internal/iostat"
+	"bbsmine/internal/pager"
+)
+
+// With a pager attached, residency is modeled by the shared pool and the
+// store's own page-cache tallies must stay silent — the pager's gauges are
+// the single source of truth, and charging both would double-report the
+// same resident bytes. Fault counts still flow to the caller for the
+// rand-page accounting.
+func TestPageCachePagerDelegation(t *testing.T) {
+	stats := &iostat.Stats{}
+	pg := pager.New(4 * pager.PageSize)
+	var c pageCache
+	c.setLimit(64*iostat.PageSize, stats)
+	c.attachPager(pg.Virtual("txdb-test"), stats)
+
+	// First touches fault; re-touches hit — all in the pager.
+	for p := int64(0); p < 3; p++ {
+		if miss := c.misses(p*iostat.PageSize, (p+1)*iostat.PageSize, stats); miss != 1 {
+			t.Fatalf("page %d: %d misses, want 1", p, miss)
+		}
+	}
+	if miss := c.misses(0, iostat.PageSize, stats); miss != 0 {
+		t.Fatalf("re-touch missed, want hit")
+	}
+	ps := pg.Stats()
+	if ps.Faults != 3 || ps.Hits != 1 {
+		t.Fatalf("pager faults=%d hits=%d, want 3/1", ps.Faults, ps.Hits)
+	}
+	if ps.ResidentBytes != 3*pager.PageSize {
+		t.Fatalf("pager resident = %d bytes, want %d", ps.ResidentBytes, 3*pager.PageSize)
+	}
+
+	// No double-reporting: the store-side tallies never moved.
+	if h, e, r := stats.PageCacheHits(), stats.PageCacheEvictions(), stats.PageCacheResident(); h != 0 || e != 0 || r != 0 {
+		t.Fatalf("store page-cache tallies charged while pager attached: hits=%d evictions=%d resident=%d", h, e, r)
+	}
+	if c.residentPages() != 0 {
+		t.Fatalf("private LRU populated while pager attached")
+	}
+
+	// Blowing past the budget evicts in the shared pool.
+	for p := int64(10); p < 20; p++ {
+		c.misses(p*iostat.PageSize, (p+1)*iostat.PageSize, stats)
+	}
+	ps = pg.Stats()
+	if ps.Evictions == 0 {
+		t.Fatalf("no pager evictions after exceeding the budget")
+	}
+	if ps.ResidentBytes > pg.Budget() {
+		t.Fatalf("pager resident %d exceeds budget %d with nothing pinned", ps.ResidentBytes, pg.Budget())
+	}
+
+	// Detaching restores the private model.
+	c.attachPager(nil, stats)
+	if miss := c.misses(0, iostat.PageSize, stats); miss != 1 {
+		t.Fatalf("post-detach touch: %d misses, want 1 (fresh private LRU)", miss)
+	}
+	if r := stats.PageCacheResident(); r != 1 {
+		t.Fatalf("post-detach resident gauge = %d, want 1", r)
+	}
+}
+
+// Attaching mid-flight un-charges whatever the private LRU had resident, so
+// the iostat gauge drops to zero instead of freezing at its last value —
+// the re-pointing half of the no-double-reporting contract.
+func TestPageCacheAttachUnchargesResident(t *testing.T) {
+	stats := &iostat.Stats{}
+	var c pageCache
+	c.setLimit(64*iostat.PageSize, stats)
+	for p := int64(0); p < 5; p++ {
+		c.misses(p*iostat.PageSize, (p+1)*iostat.PageSize, stats)
+	}
+	if r := stats.PageCacheResident(); r != 5 {
+		t.Fatalf("resident gauge = %d, want 5", r)
+	}
+	pg := pager.New(0)
+	c.attachPager(pg.Virtual("txdb-test"), stats)
+	if r := stats.PageCacheResident(); r != 0 {
+		t.Fatalf("resident gauge after attach = %d, want 0", r)
+	}
+}
+
+// Concurrent Get traffic through an attached pager must stay race-free and
+// count every first touch exactly once — the same exactly-once contract the
+// private LRU had, now enforced by the pager's frame table. Pager stats are
+// all-atomic (no Reset), so unlike iostat snapshots there is no torn-read
+// pairing to defend; this pins the counters' consistency under load.
+func TestPageCachePagerConcurrent(t *testing.T) {
+	stats := &iostat.Stats{}
+	pg := pager.New(0) // unbounded: every page faults exactly once
+	var c pageCache
+	c.attachPager(pg.Virtual("txdb-test"), stats)
+
+	const (
+		goroutines = 8
+		pages      = 256
+	)
+	var wg sync.WaitGroup
+	faults := make([]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for p := int64(0); p < pages; p++ {
+				faults[g] += c.misses(p*iostat.PageSize, (p+1)*iostat.PageSize, stats)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, f := range faults {
+		total += f
+	}
+	if total != pages {
+		t.Fatalf("%d faults across workers, want %d (each page charged once)", total, pages)
+	}
+	ps := pg.Stats()
+	if ps.Faults != pages {
+		t.Fatalf("pager faults = %d, want %d", ps.Faults, pages)
+	}
+	if ps.Hits != int64(goroutines*pages-pages) {
+		t.Fatalf("pager hits = %d, want %d", ps.Hits, goroutines*pages-pages)
+	}
+	if h, e, r := stats.PageCacheHits(), stats.PageCacheEvictions(), stats.PageCacheResident(); h != 0 || e != 0 || r != 0 {
+		t.Fatalf("store tallies charged under delegation: hits=%d evictions=%d resident=%d", h, e, r)
+	}
+}

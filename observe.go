@@ -44,3 +44,23 @@ func MetricsMux() *http.ServeMux { return obs.NewServeMux() }
 // snapshots, so one Metrics() call carries both the funnel and the page
 // accounting.
 func (db *Database) BindStats(o *Observer) { o.BindIO(db.stats) }
+
+// BindPager folds the database's tiered-storage gauges (buffer-pool
+// counters, hot/cold slice census) into the observer's snapshots, flattened
+// to pager_* series on /metrics. Reads through the database at snapshot
+// time, so it reflects whatever Tier/Untier state holds then.
+func (db *Database) BindPager(o *Observer) {
+	o.SetPagerSource(func() obs.PagerMetrics {
+		t := db.TierStats()
+		return obs.PagerMetrics{
+			ResidentBytes: t.ResidentBytes,
+			ReservedBytes: t.ReservedBytes,
+			Faults:        t.Faults,
+			Hits:          t.Hits,
+			Evictions:     t.Evictions,
+			HitRatio:      t.HitRatio,
+			SlicesHot:     int64(t.SlicesHot),
+			SlicesCold:    int64(t.SlicesCold),
+		}
+	})
+}
